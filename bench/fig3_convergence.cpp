@@ -1,0 +1,70 @@
+// F3 — LNS convergence: best bottleneck vs iteration.
+//
+// One tight instance; SRA's search trajectory is printed as a series
+// (iteration, seconds, best bottleneck), with the swap-LS and greedy
+// final values as horizontal reference lines. Expected shape: steep early
+// descent, long diminishing tail, crossing below the baselines within the
+// first few hundred iterations.
+
+#include <cstdio>
+
+#include "core/baselines.hpp"
+#include "core/sra.hpp"
+#include "model/bounds.hpp"
+#include "util/table.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  resex::SyntheticConfig gen;
+  gen.seed = 42;
+  gen.machines = 60;
+  gen.exchangeMachines = 4;
+  gen.shardsPerMachine = 18.0;
+  gen.loadFactor = 0.85;
+  gen.placementSkew = 1.0;
+  const resex::Instance instance = resex::generateSynthetic(gen);
+
+  std::printf("== F3: LNS convergence (best bottleneck vs iteration) ==\n");
+  std::printf("m=%zu (+%zu), %zu shards, load %.2f, lower bound %.4f\n\n",
+              instance.regularCount(), instance.exchangeCount(),
+              instance.shardCount(), instance.loadFactor(),
+              resex::bottleneckLowerBound(instance));
+
+  resex::SraConfig config;
+  config.lns.seed = 42;
+  config.lns.maxIterations = 20000;
+  config.lns.recordTrajectory = true;
+  config.polish = false;  // show the raw search, not the polished endpoint
+  resex::Sra sra(config);
+  const resex::RebalanceResult result = sra.rebalance(instance);
+
+  resex::SwapLocalSearch ls;
+  resex::GreedyRebalancer greedy;
+  const double lsFinal = ls.rebalance(instance).after.bottleneckUtil;
+  const double greedyFinal = greedy.rebalance(instance).after.bottleneckUtil;
+
+  resex::Table table({"iteration", "seconds", "best-bottleneck"});
+  const auto& trajectory = sra.lastSearch().stats.trajectory;
+  // Thin the series: keep ~30 log-spaced points plus the endpoints.
+  std::size_t lastPrinted = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    const bool endpoint = i == 0 || i + 1 == trajectory.size();
+    const std::size_t iter = trajectory[i].iteration;
+    const bool logTick =
+        lastPrinted == static_cast<std::size_t>(-1) ||
+        iter >= lastPrinted + std::max<std::size_t>(1, lastPrinted / 3);
+    if (!endpoint && !logTick) continue;
+    lastPrinted = iter;
+    table.addRow({resex::Table::num(iter), resex::Table::num(trajectory[i].seconds, 3),
+                  resex::Table::num(trajectory[i].bestBottleneck, 4)});
+  }
+  table.print();
+
+  std::printf("\nreference lines: swap-LS final %.4f | greedy final %.4f | "
+              "SRA final (unpolished) %.4f\n",
+              lsFinal, greedyFinal, result.after.bottleneckUtil);
+  std::printf("iterations run: %zu, accepted: %zu, new bests: %zu\n",
+              sra.lastSearch().stats.iterations, sra.lastSearch().stats.accepted,
+              sra.lastSearch().stats.improvedBest);
+  return 0;
+}

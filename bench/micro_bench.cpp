@@ -1,0 +1,238 @@
+// Microbenchmarks of the hot paths (google-benchmark).
+//
+// These are the operations the LNS inner loop performs millions of times;
+// regressions here translate directly into worse solutions per second.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/assignment.hpp"
+#include "index/maxscore.hpp"
+#include "index/partition.hpp"
+#include "cluster/scheduler.hpp"
+#include "core/objective.hpp"
+#include "lns/destroy.hpp"
+#include "lns/lns.hpp"
+#include "lns/repair.hpp"
+#include "search/builder.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/zipf.hpp"
+
+namespace resex {
+namespace {
+
+Instance benchInstance(std::size_t machines, std::size_t dims = 2) {
+  SyntheticConfig config;
+  config.seed = 12345;
+  config.machines = machines;
+  config.exchangeMachines = std::max<std::size_t>(2, machines / 25);
+  config.shardsPerMachine = 18.0;
+  config.dims = dims;
+  config.loadFactor = 0.8;
+  return generateSynthetic(config);
+}
+
+void BM_ResourceVectorAddUtil(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  ResourceVector load(dims, 40.0);
+  const ResourceVector demand(dims, 1.5);
+  const ResourceVector cap(dims, 100.0);
+  for (auto _ : state) {
+    load += demand;
+    benchmark::DoNotOptimize(load.utilizationAgainst(cap));
+    load -= demand;
+  }
+}
+BENCHMARK(BM_ResourceVectorAddUtil)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AssignmentMoveShard(benchmark::State& state) {
+  const Instance instance = benchInstance(100);
+  Assignment a(instance);
+  Rng rng(1);
+  const std::size_t n = instance.shardCount();
+  const std::size_t m = instance.machineCount();
+  for (auto _ : state) {
+    const auto s = static_cast<ShardId>(rng.below(n));
+    const auto to = static_cast<MachineId>(rng.below(m));
+    a.moveShard(s, to);
+  }
+}
+BENCHMARK(BM_AssignmentMoveShard);
+
+void BM_ObjectiveEvaluate(benchmark::State& state) {
+  const Instance instance = benchInstance(static_cast<std::size_t>(state.range(0)));
+  const Objective objective = Objective::forInstance(instance);
+  Assignment a(instance);
+  for (auto _ : state) benchmark::DoNotOptimize(objective.evaluate(a));
+}
+BENCHMARK(BM_ObjectiveEvaluate)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler sampler(static_cast<std::uint64_t>(state.range(0)), 1.1);
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_GreedyRepair(benchmark::State& state) {
+  const Instance instance = benchInstance(100);
+  const Objective objective = Objective::forInstance(instance);
+  Assignment a(instance);
+  Rng rng(3);
+  GreedyRepair repair;
+  RandomDestroy destroy;
+  for (auto _ : state) {
+    const auto removed = destroy.destroy(a, 30, rng);
+    const bool ok = repair.repair(a, removed, objective, rng);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_GreedyRepair);
+
+void BM_RegretRepair(benchmark::State& state) {
+  const Instance instance = benchInstance(100);
+  const Objective objective = Objective::forInstance(instance);
+  Assignment a(instance);
+  Rng rng(3);
+  RegretRepair repair(2);
+  RandomDestroy destroy;
+  for (auto _ : state) {
+    const auto removed = destroy.destroy(a, 30, rng);
+    const bool ok = repair.repair(a, removed, objective, rng);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_RegretRepair);
+
+void BM_LnsIterations(benchmark::State& state) {
+  const Instance instance = benchInstance(static_cast<std::size_t>(state.range(0)));
+  const Objective objective = Objective::forInstance(instance);
+  for (auto _ : state) {
+    LnsConfig config;
+    config.seed = 11;
+    config.maxIterations = 200;
+    config.timeBudgetSeconds = 60.0;
+    LnsSolver solver(instance, objective, config);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_LnsIterations)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerBuild(benchmark::State& state) {
+  const Instance instance = benchInstance(100);
+  // A realistic plan: LNS best mapping.
+  const Objective objective = Objective::forInstance(instance);
+  LnsConfig config;
+  config.seed = 5;
+  config.maxIterations = 2000;
+  LnsSolver solver(instance, objective, config);
+  const LnsResult res = solver.solve();
+  MigrationScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.build(instance, instance.initialAssignment(), res.bestMapping));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(
+          diffMoves(instance.initialAssignment(), res.bestMapping).size()));
+}
+BENCHMARK(BM_SchedulerBuild)->Unit(benchmark::kMillisecond);
+
+void BM_QuerySimulation(benchmark::State& state) {
+  SearchWorkloadConfig config;
+  config.seed = 3;
+  config.corpus.docCount = 100000;
+  config.corpus.termCount = 5000;
+  config.shardCount = 100;
+  config.machines = 10;
+  const SearchWorkload workload(config);
+  const Instance instance = workload.buildInstance(config.peakQps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workload.simulate(instance.initialAssignment(), config.peakQps, 2000, 9));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_QuerySimulation)->Unit(benchmark::kMillisecond);
+
+void BM_VarbyteDecodeMonotone(benchmark::State& state) {
+  std::vector<std::uint32_t> docs;
+  Rng rng(5);
+  std::uint32_t current = 0;
+  for (int i = 0; i < 100000; ++i) {
+    current += 1 + static_cast<std::uint32_t>(rng.below(50));
+    docs.push_back(current);
+  }
+  const auto bytes = encodeMonotone(docs);
+  for (auto _ : state) benchmark::DoNotOptimize(decodeMonotone(bytes));
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_VarbyteDecodeMonotone)->Unit(benchmark::kMillisecond);
+
+void BM_Bm25TopKDisjunctive(benchmark::State& state) {
+  SyntheticDocConfig config;
+  config.seed = 3;
+  config.docCount = 20000;
+  config.termCount = 4000;
+  const auto docs = generateDocuments(config);
+  const InvertedIndex index(config.termCount, docs);
+  Rng rng(9);
+  const ZipfSampler termPick(config.termCount, 0.9);
+  for (auto _ : state) {
+    const std::vector<TermId> query{
+        static_cast<TermId>(termPick.sample(rng) - 1),
+        static_cast<TermId>(termPick.sample(rng) - 1)};
+    benchmark::DoNotOptimize(topKDisjunctive(index, query, 10, Bm25Params{}));
+  }
+}
+BENCHMARK(BM_Bm25TopKDisjunctive)->Unit(benchmark::kMicrosecond);
+
+void BM_Bm25TopKConjunctive(benchmark::State& state) {
+  SyntheticDocConfig config;
+  config.seed = 3;
+  config.docCount = 20000;
+  config.termCount = 4000;
+  const auto docs = generateDocuments(config);
+  const InvertedIndex index(config.termCount, docs);
+  Rng rng(11);
+  const ZipfSampler termPick(config.termCount, 0.9);
+  for (auto _ : state) {
+    const std::vector<TermId> query{
+        static_cast<TermId>(termPick.sample(rng) - 1),
+        static_cast<TermId>(termPick.sample(rng) - 1)};
+    benchmark::DoNotOptimize(topKConjunctive(index, query, 10, Bm25Params{}));
+  }
+}
+BENCHMARK(BM_Bm25TopKConjunctive)->Unit(benchmark::kMicrosecond);
+
+void BM_Bm25TopKMaxScore(benchmark::State& state) {
+  SyntheticDocConfig config;
+  config.seed = 3;
+  config.docCount = 20000;
+  config.termCount = 4000;
+  const auto docs = generateDocuments(config);
+  const InvertedIndex index(config.termCount, docs);
+  Rng rng(9);
+  const ZipfSampler termPick(config.termCount, 0.9);
+  for (auto _ : state) {
+    const std::vector<TermId> query{
+        static_cast<TermId>(termPick.sample(rng) - 1),
+        static_cast<TermId>(termPick.sample(rng) - 1)};
+    benchmark::DoNotOptimize(topKMaxScore(index, query, 10, Bm25Params{}));
+  }
+}
+BENCHMARK(BM_Bm25TopKMaxScore)->Unit(benchmark::kMicrosecond);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    SyntheticConfig config;
+    config.seed = static_cast<std::uint64_t>(state.iterations());
+    config.machines = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(generateSynthetic(config));
+  }
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace resex

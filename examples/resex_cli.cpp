@@ -1,0 +1,192 @@
+// resex_cli: operate on instance files from the command line.
+//
+//   resex_cli gen    --out inst.txt [--machines N --exchange K --load F ...]
+//   resex_cli solve  inst.txt [--algo sra|swap-ls|greedy|ffd] [--json out.json]
+//   resex_cli verify inst.txt solution.txt
+//   resex_cli info   inst.txt
+//
+// Solutions are written as one machine id per line (shard order), so they
+// diff and archive cleanly.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/baselines.hpp"
+#include "core/sra.hpp"
+#include "metrics/report.hpp"
+#include "model/bounds.hpp"
+#include "util/flags.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace resex;
+
+std::vector<MachineId> readSolution(const std::string& path, std::size_t shards) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open solution file " + path);
+  std::vector<MachineId> mapping;
+  MachineId m = 0;
+  while (in >> m) mapping.push_back(m);
+  if (mapping.size() != shards)
+    throw std::runtime_error("solution has " + std::to_string(mapping.size()) +
+                             " entries; instance has " + std::to_string(shards));
+  return mapping;
+}
+
+void writeSolution(const std::string& path, const std::vector<MachineId>& mapping) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  for (const MachineId m : mapping) out << m << "\n";
+}
+
+int cmdGen(Flags& flags) {
+  SyntheticConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  config.machines = static_cast<std::size_t>(flags.integer("machines"));
+  config.exchangeMachines = static_cast<std::size_t>(flags.integer("exchange"));
+  config.shardsPerMachine = flags.real("shards-per-machine");
+  config.dims = static_cast<std::size_t>(flags.integer("dims"));
+  config.loadFactor = flags.real("load");
+  config.placementSkew = flags.real("skew");
+  config.replicationFactor = static_cast<std::size_t>(flags.integer("replication"));
+  const Instance instance = generateSynthetic(config);
+  instance.saveToFile(flags.str("out"));
+  std::printf("wrote %s: %zu machines (+%zu exchange), %zu shards, load %.3f\n",
+              flags.str("out").c_str(), instance.regularCount(),
+              instance.exchangeCount(), instance.shardCount(),
+              instance.loadFactor());
+  return 0;
+}
+
+int cmdInfo(const Instance& instance) {
+  Assignment state(instance);
+  const BalanceMetrics metrics = measureBalance(state);
+  std::printf("machines:     %zu regular + %zu exchange\n", instance.regularCount(),
+              instance.exchangeCount());
+  std::printf("shards:       %zu (%s)\n", instance.shardCount(),
+              instance.hasReplication() ? "replicated" : "unreplicated");
+  std::printf("dims:         %zu\n", instance.dims());
+  std::printf("load factor:  %.4f\n", instance.loadFactor());
+  std::printf("lower bound:  %.4f\n", bottleneckLowerBound(instance));
+  std::printf("initial:      %s\n", metrics.summary().c_str());
+  return 0;
+}
+
+int cmdSolve(const Instance& instance, Flags& flags) {
+  const std::string algo = flags.str("algo");
+  std::unique_ptr<Rebalancer> rebalancer;
+  if (algo == "sra") {
+    SraConfig config;
+    config.lns.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+    config.lns.maxIterations = static_cast<std::size_t>(flags.integer("iters"));
+    config.lns.timeBudgetSeconds = flags.real("budget");
+    rebalancer = std::make_unique<Sra>(config);
+  } else if (algo == "swap-ls") {
+    rebalancer = std::make_unique<SwapLocalSearch>();
+  } else if (algo == "greedy") {
+    rebalancer = std::make_unique<GreedyRebalancer>();
+  } else if (algo == "ffd") {
+    rebalancer = std::make_unique<FfdRepack>();
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s' (sra|swap-ls|greedy|ffd)\n",
+                 algo.c_str());
+    return 2;
+  }
+
+  const RebalanceResult result = rebalancer->rebalance(instance);
+  std::cout << renderReport(result);
+
+  const auto problems = verifySchedule(instance, instance.initialAssignment(),
+                                       result.targetMapping, result.schedule);
+  if (problems.empty()) {
+    std::printf("audit:     ok\n");
+  } else {
+    std::printf("audit:     %zu problem(s); first: %s\n", problems.size(),
+                problems[0].c_str());
+  }
+
+  if (!flags.str("solution").empty()) {
+    writeSolution(flags.str("solution"), result.finalMapping);
+    std::printf("solution written to %s\n", flags.str("solution").c_str());
+  }
+  if (!flags.str("json").empty()) {
+    std::ofstream out(flags.str("json"));
+    out << toJson(result, flags.boolean("json-moves")) << "\n";
+    std::printf("json written to %s\n", flags.str("json").c_str());
+  }
+  return problems.empty() ? 0 : 1;
+}
+
+int cmdVerify(const Instance& instance, const std::string& solutionPath) {
+  const std::vector<MachineId> mapping =
+      readSolution(solutionPath, instance.shardCount());
+  Assignment state(instance, mapping);
+  const auto problems = state.validate(/*requireCapacity=*/true);
+  const BalanceMetrics metrics = measureBalance(state);
+  std::printf("mapping:  %s\n", metrics.summary().c_str());
+  std::size_t vacant = state.vacantCount();
+  const bool compensated = vacant >= instance.exchangeCount();
+  std::printf("vacancy:  %zu vacant, %zu required -> %s\n", vacant,
+              instance.exchangeCount(), compensated ? "ok" : "VIOLATED");
+  if (!problems.empty()) {
+    for (const auto& p : problems) std::printf("problem:  %s\n", p.c_str());
+    return 1;
+  }
+  std::printf("capacity + anti-affinity: ok\n");
+  return compensated ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("out", "instance.txt", "gen: output instance path")
+      .define("machines", "50", "gen: regular machines")
+      .define("exchange", "4", "gen: exchange machines")
+      .define("shards-per-machine", "16", "gen: physical shards per machine")
+      .define("dims", "2", "gen: resource dimensions")
+      .define("load", "0.8", "gen: load factor")
+      .define("skew", "1.0", "gen: placement skew")
+      .define("replication", "1", "gen: replicas per logical shard")
+      .define("algo", "sra", "solve: sra|swap-ls|greedy|ffd")
+      .define("seed", "1", "random seed")
+      .define("iters", "20000", "solve: LNS iterations")
+      .define("budget", "30", "solve: LNS seconds")
+      .define("solution", "", "solve: write final mapping here")
+      .define("json", "", "solve: write JSON report here")
+      .define("json-moves", "false", "solve: include per-move detail in JSON");
+
+  try {
+    flags.parse(argc, argv);
+    if (flags.helpRequested() || flags.positional().empty()) {
+      std::cout << "usage: resex_cli <gen|info|solve|verify> [args] [flags]\n\n"
+                << flags.helpText("resex_cli");
+      return flags.helpRequested() ? 0 : 2;
+    }
+    const std::string command = flags.positional()[0];
+    if (command == "gen") return cmdGen(flags);
+
+    if (flags.positional().size() < 2) {
+      std::fprintf(stderr, "%s requires an instance file\n", command.c_str());
+      return 2;
+    }
+    const Instance instance = Instance::loadFromFile(flags.positional()[1]);
+    if (command == "info") return cmdInfo(instance);
+    if (command == "solve") return cmdSolve(instance, flags);
+    if (command == "verify") {
+      if (flags.positional().size() < 3) {
+        std::fprintf(stderr, "verify requires an instance and a solution file\n");
+        return 2;
+      }
+      return cmdVerify(instance, flags.positional()[2]);
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

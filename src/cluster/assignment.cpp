@@ -1,0 +1,230 @@
+#include "cluster/assignment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resex {
+
+Assignment::Assignment(const Instance& instance)
+    : Assignment(instance, instance.initialAssignment()) {}
+
+Assignment::Assignment(const Instance& instance, std::vector<MachineId> mapping)
+    : instance_(&instance), shardTo_(std::move(mapping)) {
+  if (shardTo_.size() != instance.shardCount())
+    throw std::invalid_argument("Assignment: mapping size mismatch");
+  const std::size_t m = instance.machineCount();
+  loads_.assign(m, ResourceVector(instance.dims()));
+  utils_.assign(m, 0.0);
+  machineShards_.assign(m, {});
+  positions_.assign(shardTo_.size(), 0);
+  vacantCount_ = m;
+  for (ShardId s = 0; s < shardTo_.size(); ++s) {
+    const MachineId to = shardTo_[s];
+    if (to == kNoMachine) {
+      ++unassigned_;
+      continue;
+    }
+    if (to >= m) throw std::invalid_argument("Assignment: machine id out of range");
+    attach(s, to);
+  }
+  for (MachineId mach = 0; mach < m; ++mach) refreshUtil(mach);
+  // attach() maintained sumSq incrementally but from stale intermediates;
+  // rebuild it exactly once now that loads are final.
+  sumSqUtil_ = 0.0;
+  for (MachineId mach = 0; mach < m; ++mach) sumSqUtil_ += utils_[mach] * utils_[mach];
+}
+
+void Assignment::attach(ShardId s, MachineId m) {
+  positions_[s] = machineShards_[m].size();
+  machineShards_[m].push_back(s);
+  if (machineShards_[m].size() == 1) --vacantCount_;
+  loads_[m] += instance_->shard(s).demand;
+  if (m != instance_->initialMachineOf(s)) {
+    migratedBytes_ += instance_->shard(s).moveBytes;
+    ++movedShards_;
+  }
+}
+
+void Assignment::detach(ShardId s, MachineId m) {
+  auto& list = machineShards_[m];
+  const std::size_t pos = positions_[s];
+  const ShardId last = list.back();
+  list[pos] = last;
+  positions_[last] = pos;
+  list.pop_back();
+  if (list.empty()) ++vacantCount_;
+  loads_[m] -= instance_->shard(s).demand;
+  loads_[m].clampNonNegative();
+  if (m != instance_->initialMachineOf(s)) {
+    migratedBytes_ -= instance_->shard(s).moveBytes;
+    --movedShards_;
+  }
+}
+
+void Assignment::refreshUtil(MachineId m) {
+  const double fresh = loads_[m].utilizationAgainst(instance_->machine(m).capacity);
+  sumSqUtil_ += fresh * fresh - utils_[m] * utils_[m];
+  utils_[m] = fresh;
+}
+
+void Assignment::assign(ShardId s, MachineId m) {
+  if (shardTo_.at(s) != kNoMachine)
+    throw std::logic_error("Assignment::assign: shard already assigned");
+  if (m >= instance_->machineCount())
+    throw std::out_of_range("Assignment::assign: machine out of range");
+  shardTo_[s] = m;
+  --unassigned_;
+  attach(s, m);
+  refreshUtil(m);
+}
+
+MachineId Assignment::remove(ShardId s) {
+  const MachineId m = shardTo_.at(s);
+  if (m == kNoMachine) throw std::logic_error("Assignment::remove: shard unassigned");
+  detach(s, m);
+  shardTo_[s] = kNoMachine;
+  ++unassigned_;
+  refreshUtil(m);
+  return m;
+}
+
+void Assignment::moveShard(ShardId s, MachineId to) {
+  const MachineId from = shardTo_.at(s);
+  if (from == kNoMachine) throw std::logic_error("Assignment::moveShard: shard unassigned");
+  if (from == to) return;
+  detach(s, from);
+  refreshUtil(from);
+  shardTo_[s] = to;
+  attach(s, to);
+  refreshUtil(to);
+}
+
+double Assignment::bottleneckUtilization() const noexcept {
+  double worst = 0.0;
+  for (const double u : utils_)
+    if (u > worst) worst = u;
+  return worst;
+}
+
+MachineId Assignment::bottleneckMachine() const noexcept {
+  MachineId arg = 0;
+  double worst = -1.0;
+  for (MachineId m = 0; m < utils_.size(); ++m) {
+    if (utils_[m] > worst) {
+      worst = utils_[m];
+      arg = m;
+    }
+  }
+  return arg;
+}
+
+bool Assignment::hasReplicaOn(ShardId s, MachineId m) const {
+  if (!instance_->hasReplication()) return false;
+  for (const ShardId peer : instance_->replicaPeers(s))
+    if (peer != s && shardTo_[peer] == m) return true;
+  return false;
+}
+
+bool Assignment::replicaConflict(const Instance& instance,
+                                 const std::vector<MachineId>& mapping, ShardId s,
+                                 MachineId m) {
+  if (!instance.hasReplication()) return false;
+  for (const ShardId peer : instance.replicaPeers(s))
+    if (peer != s && mapping.at(peer) == m) return true;
+  return false;
+}
+
+bool Assignment::canPlace(ShardId s, MachineId m) const {
+  if (hasReplicaOn(s, m)) return false;
+  const ResourceVector after = loads_.at(m) + instance_->shard(s).demand;
+  return after.fitsWithin(instance_->machine(m).capacity);
+}
+
+bool Assignment::canPlaceTransient(ShardId s, MachineId m) const {
+  const Shard& shard = instance_->shard(s);
+  const ResourceVector copyPeak =
+      loads_.at(m) + shard.demand.hadamard(instance_->transientGamma());
+  if (!copyPeak.fitsWithin(instance_->machine(m).capacity)) return false;
+  return canPlace(s, m);
+}
+
+void Assignment::recomputeCaches() {
+  const std::size_t m = instance_->machineCount();
+  loads_.assign(m, ResourceVector(instance_->dims()));
+  machineShards_.assign(m, {});
+  vacantCount_ = m;
+  unassigned_ = 0;
+  migratedBytes_ = 0.0;
+  movedShards_ = 0;
+  for (ShardId s = 0; s < shardTo_.size(); ++s) {
+    if (shardTo_[s] == kNoMachine) {
+      ++unassigned_;
+      continue;
+    }
+    attach(s, shardTo_[s]);
+  }
+  sumSqUtil_ = 0.0;
+  utils_.assign(m, 0.0);
+  for (MachineId mach = 0; mach < m; ++mach) {
+    utils_[mach] = loads_[mach].utilizationAgainst(instance_->machine(mach).capacity);
+    sumSqUtil_ += utils_[mach] * utils_[mach];
+  }
+}
+
+std::vector<std::string> Assignment::validate(bool requireCapacity) const {
+  std::vector<std::string> problems;
+  auto complain = [&problems](std::string msg) { problems.push_back(std::move(msg)); };
+
+  const std::size_t m = instance_->machineCount();
+  std::vector<ResourceVector> trueLoads(m, ResourceVector(instance_->dims()));
+  std::size_t seenUnassigned = 0;
+  for (ShardId s = 0; s < shardTo_.size(); ++s) {
+    const MachineId to = shardTo_[s];
+    if (to == kNoMachine) {
+      ++seenUnassigned;
+      continue;
+    }
+    if (to >= m) {
+      complain("shard " + std::to_string(s) + " mapped out of range");
+      continue;
+    }
+    trueLoads[to] += instance_->shard(s).demand;
+    const auto& list = machineShards_[to];
+    const std::size_t pos = positions_[s];
+    if (pos >= list.size() || list[pos] != s)
+      complain("shard " + std::to_string(s) + " missing from its machine list");
+  }
+  if (seenUnassigned != unassigned_) complain("unassigned counter drifted");
+
+  std::size_t trueVacant = 0;
+  for (MachineId mach = 0; mach < m; ++mach) {
+    if (machineShards_[mach].empty()) ++trueVacant;
+    for (std::size_t d = 0; d < instance_->dims(); ++d) {
+      if (std::abs(trueLoads[mach][d] - loads_[mach][d]) > 1e-6)
+        complain("machine " + std::to_string(mach) + " load cache drifted");
+      if (requireCapacity &&
+          trueLoads[mach][d] > instance_->machine(mach).capacity[d] + 1e-6)
+        complain("machine " + std::to_string(mach) + " over capacity in dim " +
+                 std::to_string(d));
+    }
+    const double trueUtil =
+        trueLoads[mach].utilizationAgainst(instance_->machine(mach).capacity);
+    if (std::abs(trueUtil - utils_[mach]) > 1e-6)
+      complain("machine " + std::to_string(mach) + " util cache drifted");
+  }
+  if (trueVacant != vacantCount_) complain("vacancy counter drifted");
+
+  if (instance_->hasReplication()) {
+    for (std::uint32_t g = 0; g < instance_->replicaGroupCount(); ++g) {
+      const auto members = instance_->replicasInGroup(g);
+      for (std::size_t i = 0; i < members.size(); ++i)
+        for (std::size_t j = i + 1; j < members.size(); ++j)
+          if (shardTo_[members[i]] != kNoMachine &&
+              shardTo_[members[i]] == shardTo_[members[j]])
+            complain("replicas of group " + std::to_string(g) + " co-located");
+    }
+  }
+  return problems;
+}
+
+}  // namespace resex

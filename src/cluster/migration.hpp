@@ -1,0 +1,72 @@
+// Moves, phases, and schedules: how a reassignment physically executes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/instance.hpp"
+
+namespace resex {
+
+/// One shard relocation. `from` is where the shard sits when the move
+/// starts; `to` where its copy is built.
+struct Move {
+  ShardId shard = 0;
+  MachineId from = 0;
+  MachineId to = 0;
+
+  bool operator==(const Move&) const = default;
+};
+
+/// Moves executed concurrently: all copies proceed together, then all
+/// switch-overs commit together at the end of the phase.
+struct Phase {
+  std::vector<Move> moves;
+  /// Highest per-machine utilization observed during this phase's copy
+  /// window, including transient gamma additions.
+  double peakTransientUtil = 0.0;
+};
+
+/// A complete (or partial) execution plan.
+struct Schedule {
+  std::vector<Phase> phases;
+  /// Bytes actually transferred; staged (two-hop) shards count per hop.
+  double totalBytes = 0.0;
+  /// Number of extra hops introduced to break transient deadlocks.
+  std::size_t stagedHops = 0;
+  /// True when every requested relocation was scheduled.
+  bool complete = true;
+  /// Relocations that could not be scheduled (empty when complete).
+  std::vector<Move> unscheduled;
+
+  std::size_t phaseCount() const noexcept { return phases.size(); }
+  std::size_t moveCount() const noexcept;
+  /// Max of peakTransientUtil across phases (0 for an empty schedule).
+  double peakTransientUtil() const noexcept;
+};
+
+/// The relocations needed to turn `start` into `target` (shards whose
+/// machine differs). Both mappings must be fully assigned.
+std::vector<Move> diffMoves(const std::vector<MachineId>& start,
+                            const std::vector<MachineId>& target);
+
+/// Wall-clock estimate of executing a schedule: copies within a phase run
+/// concurrently, but each machine NIC moves one copy at a time at
+/// `bandwidthBytesPerSec` (per direction), so a phase lasts as long as its
+/// busiest endpoint:
+///   duration(phase) = max over machines of
+///       max(sum of incoming bytes, sum of outgoing bytes) / bandwidth
+/// and the schedule is the sum of its phases (phases are barriers).
+double estimateScheduleSeconds(const Instance& instance, const Schedule& schedule,
+                               double bandwidthBytesPerSec);
+
+/// Replays `schedule` from `start`, checking every capacity and transient
+/// constraint and that the end state equals `target` for completed
+/// schedules. Returns human-readable problems (empty == valid).
+std::vector<std::string> verifySchedule(const Instance& instance,
+                                        const std::vector<MachineId>& start,
+                                        const std::vector<MachineId>& target,
+                                        const Schedule& schedule);
+
+}  // namespace resex

@@ -1,0 +1,30 @@
+#include "cluster/resource.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace resex {
+
+std::string ResourceVector::toString(int precision) const {
+  std::string out = "(";
+  char buf[64];
+  for (std::size_t d = 0; d < dims_; ++d) {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, values_[d]);
+    if (d) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+double demandDistance(const ResourceVector& a, const ResourceVector& b) noexcept {
+  assert(a.dims() == b.dims());
+  double sumSq = 0.0;
+  for (std::size_t d = 0; d < a.dims(); ++d) {
+    const double delta = a[d] - b[d];
+    sumSq += delta * delta;
+  }
+  return std::sqrt(sumSq);
+}
+
+}  // namespace resex

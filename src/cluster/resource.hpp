@@ -1,0 +1,157 @@
+// ResourceVector: a small fixed-capacity vector of per-dimension quantities.
+//
+// Demands, capacities, and loads are all ResourceVectors. Dimensions are
+// runtime-chosen per Instance (1..kMaxResourceDims) but storage is inline,
+// so the LNS inner loop performs no heap traffic.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <string>
+
+namespace resex {
+
+inline constexpr std::size_t kMaxResourceDims = 8;
+
+class ResourceVector {
+ public:
+  ResourceVector() noexcept : dims_(0) { values_.fill(0.0); }
+
+  /// All dimensions initialized to `fill`.
+  explicit ResourceVector(std::size_t dims, double fill = 0.0) noexcept : dims_(dims) {
+    assert(dims <= kMaxResourceDims);
+    values_.fill(0.0);
+    for (std::size_t d = 0; d < dims_; ++d) values_[d] = fill;
+  }
+
+  /// From an initializer list, e.g. ResourceVector{1.0, 2.0}.
+  ResourceVector(std::initializer_list<double> init) noexcept : dims_(init.size()) {
+    assert(init.size() <= kMaxResourceDims);
+    values_.fill(0.0);
+    std::size_t d = 0;
+    for (const double v : init) values_[d++] = v;
+  }
+
+  std::size_t dims() const noexcept { return dims_; }
+
+  double operator[](std::size_t d) const noexcept {
+    assert(d < dims_);
+    return values_[d];
+  }
+  double& operator[](std::size_t d) noexcept {
+    assert(d < dims_);
+    return values_[d];
+  }
+
+  ResourceVector& operator+=(const ResourceVector& rhs) noexcept {
+    assert(dims_ == rhs.dims_);
+    for (std::size_t d = 0; d < dims_; ++d) values_[d] += rhs.values_[d];
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& rhs) noexcept {
+    assert(dims_ == rhs.dims_);
+    for (std::size_t d = 0; d < dims_; ++d) values_[d] -= rhs.values_[d];
+    return *this;
+  }
+  ResourceVector& operator*=(double k) noexcept {
+    for (std::size_t d = 0; d < dims_; ++d) values_[d] *= k;
+    return *this;
+  }
+
+  friend ResourceVector operator+(ResourceVector lhs, const ResourceVector& rhs) noexcept {
+    lhs += rhs;
+    return lhs;
+  }
+  friend ResourceVector operator-(ResourceVector lhs, const ResourceVector& rhs) noexcept {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend ResourceVector operator*(ResourceVector lhs, double k) noexcept {
+    lhs *= k;
+    return lhs;
+  }
+
+  /// Element-wise product (used for transient fractions: gamma (*) demand).
+  ResourceVector hadamard(const ResourceVector& rhs) const noexcept {
+    assert(dims_ == rhs.dims_);
+    ResourceVector out(dims_);
+    for (std::size_t d = 0; d < dims_; ++d) out.values_[d] = values_[d] * rhs.values_[d];
+    return out;
+  }
+
+  bool operator==(const ResourceVector& rhs) const noexcept {
+    if (dims_ != rhs.dims_) return false;
+    for (std::size_t d = 0; d < dims_; ++d)
+      if (values_[d] != rhs.values_[d]) return false;
+    return true;
+  }
+
+  /// True when every component is <= the corresponding capacity component
+  /// (within a small absolute tolerance to absorb float accumulation).
+  bool fitsWithin(const ResourceVector& capacity, double tol = 1e-9) const noexcept {
+    assert(dims_ == capacity.dims_);
+    for (std::size_t d = 0; d < dims_; ++d)
+      if (values_[d] > capacity.values_[d] + tol) return false;
+    return true;
+  }
+
+  /// max_d this[d] / capacity[d]; the bottleneck utilization of a load.
+  /// Zero-capacity dimensions with zero load contribute 0, with positive
+  /// load contribute +inf-like 1e18.
+  double utilizationAgainst(const ResourceVector& capacity) const noexcept {
+    assert(dims_ == capacity.dims_);
+    double worst = 0.0;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      const double cap = capacity.values_[d];
+      double u = 0.0;
+      if (cap > 0.0) {
+        u = values_[d] / cap;
+      } else if (values_[d] > 0.0) {
+        u = 1e18;
+      }
+      if (u > worst) worst = u;
+    }
+    return worst;
+  }
+
+  /// Largest component value.
+  double maxComponent() const noexcept {
+    double worst = 0.0;
+    for (std::size_t d = 0; d < dims_; ++d)
+      if (values_[d] > worst) worst = values_[d];
+    return worst;
+  }
+
+  /// Sum of components (used by size-ordering heuristics).
+  double sum() const noexcept {
+    double total = 0.0;
+    for (std::size_t d = 0; d < dims_; ++d) total += values_[d];
+    return total;
+  }
+
+  /// True when every component is (near) zero.
+  bool isZero(double tol = 1e-12) const noexcept {
+    for (std::size_t d = 0; d < dims_; ++d)
+      if (values_[d] > tol || values_[d] < -tol) return false;
+    return true;
+  }
+
+  /// Clamp tiny negative components (float drift after -=) back to zero.
+  void clampNonNegative(double tol = 1e-9) noexcept {
+    for (std::size_t d = 0; d < dims_; ++d)
+      if (values_[d] < 0.0 && values_[d] > -tol) values_[d] = 0.0;
+  }
+
+  std::string toString(int precision = 3) const;
+
+ private:
+  std::array<double, kMaxResourceDims> values_;
+  std::size_t dims_;
+};
+
+/// Euclidean-style distance between two demand vectors, used by Shaw
+/// (relatedness) destroy to group similar shards.
+double demandDistance(const ResourceVector& a, const ResourceVector& b) noexcept;
+
+}  // namespace resex

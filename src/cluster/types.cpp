@@ -1,0 +1,15 @@
+#include "cluster/types.hpp"
+
+namespace resex {
+
+const char* dimName(std::size_t dim) noexcept {
+  switch (dim) {
+    case 0: return "cpu";
+    case 1: return "mem";
+    case 2: return "disk";
+    case 3: return "net";
+    default: return "dim";
+  }
+}
+
+}  // namespace resex

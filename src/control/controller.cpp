@@ -1,0 +1,52 @@
+#include "control/controller.hpp"
+
+namespace resex {
+
+bool RebalanceTrigger::shouldRebalance(const BalanceMetrics& metrics,
+                                       std::size_t epoch) {
+  if (firedBefore_ && epoch < lastFired_ + config_.cooldownEpochs) return false;
+  const bool fire = config_.always ||
+                    metrics.bottleneckUtil > config_.bottleneckThreshold ||
+                    metrics.utilCv > config_.cvThreshold ||
+                    (config_.fireOnInfeasible && !metrics.feasible);
+  if (fire) {
+    firedBefore_ = true;
+    lastFired_ = epoch;
+  }
+  return fire;
+}
+
+EpochReport ClusterController::step(const Instance& instance) {
+  EpochReport report;
+  report.epoch = epoch_;
+
+  Assignment current(instance);
+  report.before = measureBalance(current);
+  report.after = report.before;
+  mapping_ = instance.initialAssignment();
+
+  report.triggered = trigger_.shouldRebalance(report.before, epoch_);
+  if (report.triggered) {
+    Sra sra(config_.sra);
+    RebalanceResult result = sra.rebalance(instance);
+    report.scheduleBytes = result.schedule.totalBytes;
+    report.stagedHops = result.schedule.stagedHops;
+    report.scheduleComplete = result.scheduleComplete();
+    report.solveSeconds = result.solveSeconds;
+    const bool overBudget = config_.bytesBudgetPerEpoch > 0.0 &&
+                            result.schedule.totalBytes > config_.bytesBudgetPerEpoch;
+    if (!overBudget) {
+      report.executed = true;
+      report.after = result.after;
+      mapping_ = std::move(result.finalMapping);
+      cumulativeBytes_ += result.schedule.totalBytes;
+      ++executed_;
+    }
+  }
+
+  ++epoch_;
+  history_.push_back(report);
+  return report;
+}
+
+}  // namespace resex

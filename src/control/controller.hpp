@@ -1,0 +1,96 @@
+// ClusterController: the operational loop around SRA.
+//
+// Production rebalancing is not a one-shot solve: an operator (or an
+// automated controller) watches balance metrics epoch over epoch, decides
+// *when* a rebalance pays for itself, bounds the migration traffic each
+// window may consume, and carries the placement forward. This module
+// packages that loop: a hysteresis trigger, a per-epoch byte budget, and
+// a history of what happened.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/sra.hpp"
+
+namespace resex {
+
+struct TriggerConfig {
+  /// Fire when the bottleneck utilization exceeds this.
+  double bottleneckThreshold = 0.9;
+  /// ... or when the utilization CV exceeds this.
+  double cvThreshold = 0.3;
+  /// Minimum epochs between firings (hysteresis).
+  std::size_t cooldownEpochs = 1;
+  /// Fire when the current placement is over capacity, regardless of the
+  /// thresholds (off only for do-nothing baselines).
+  bool fireOnInfeasible = true;
+  /// Fire every epoch regardless of metrics (for A/B comparisons).
+  bool always = false;
+};
+
+/// Stateful trigger with cooldown tracking.
+class RebalanceTrigger {
+ public:
+  explicit RebalanceTrigger(TriggerConfig config) : config_(config) {}
+
+  /// Decides for the epoch; firing starts the cooldown.
+  bool shouldRebalance(const BalanceMetrics& metrics, std::size_t epoch);
+
+  const TriggerConfig& config() const noexcept { return config_; }
+
+ private:
+  TriggerConfig config_;
+  bool firedBefore_ = false;
+  std::size_t lastFired_ = 0;
+};
+
+struct ControllerConfig {
+  TriggerConfig trigger;
+  SraConfig sra;
+  /// Migration bytes one epoch's rebalance may consume; a plan exceeding
+  /// the budget is discarded (reported, not executed). <= 0 disables.
+  double bytesBudgetPerEpoch = 0.0;
+};
+
+/// What happened in one controller epoch.
+struct EpochReport {
+  std::size_t epoch = 0;
+  bool triggered = false;
+  /// False when the trigger fired but the plan was discarded over budget.
+  bool executed = false;
+  BalanceMetrics before;
+  BalanceMetrics after;
+  double scheduleBytes = 0.0;
+  std::size_t stagedHops = 0;
+  bool scheduleComplete = true;
+  double solveSeconds = 0.0;
+};
+
+class ClusterController {
+ public:
+  explicit ClusterController(ControllerConfig config)
+      : config_(config), trigger_(config.trigger) {}
+
+  /// Processes one epoch. The instance's initial assignment must be the
+  /// cluster's current mapping (as the caller carried it forward); after
+  /// the call, mapping() reflects any executed rebalance.
+  EpochReport step(const Instance& instance);
+
+  /// The cluster's current mapping (empty before the first step).
+  const std::vector<MachineId>& mapping() const noexcept { return mapping_; }
+  double cumulativeBytes() const noexcept { return cumulativeBytes_; }
+  std::size_t rebalancesExecuted() const noexcept { return executed_; }
+  const std::vector<EpochReport>& history() const noexcept { return history_; }
+
+ private:
+  ControllerConfig config_;
+  RebalanceTrigger trigger_;
+  std::vector<MachineId> mapping_;
+  double cumulativeBytes_ = 0.0;
+  std::size_t executed_ = 0;
+  std::size_t epoch_ = 0;
+  std::vector<EpochReport> history_;
+};
+
+}  // namespace resex

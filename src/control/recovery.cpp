@@ -1,0 +1,58 @@
+#include "control/recovery.hpp"
+
+#include <stdexcept>
+
+namespace resex {
+
+Instance withFailedMachine(const Instance& instance, MachineId failed,
+                           double epsilonCapacity) {
+  if (failed >= instance.machineCount())
+    throw std::invalid_argument("withFailedMachine: machine out of range");
+  if (epsilonCapacity <= 0.0)
+    throw std::invalid_argument("withFailedMachine: epsilon must be > 0");
+
+  std::vector<Machine> machines = instance.machines();
+  machines[failed].capacity = ResourceVector(instance.dims(), epsilonCapacity);
+
+  std::vector<std::uint32_t> groups;
+  if (instance.hasReplication()) {
+    groups.resize(instance.shardCount());
+    for (ShardId s = 0; s < instance.shardCount(); ++s)
+      groups[s] = instance.replicaGroupOf(s);
+  }
+  return Instance(instance.dims(), std::move(machines), instance.shards(),
+                  instance.initialAssignment(), instance.exchangeCount(),
+                  instance.transientGamma(), std::move(groups));
+}
+
+RecoveryResult recoverFromFailure(const Instance& instance, MachineId failed,
+                                  const RecoveryConfig& config) {
+  const Instance crippled = withFailedMachine(instance, failed, config.epsilonCapacity);
+
+  RecoveryResult result;
+  for (ShardId s = 0; s < instance.shardCount(); ++s)
+    if (instance.initialMachineOf(s) == failed) ++result.shardsToEvacuate;
+
+  SraConfig sraConfig = config.sra;
+  // The evacuated machine must not count toward the compensation.
+  sraConfig.vacancyTargetOverride = instance.exchangeCount() + 1;
+  Sra sra(sraConfig);
+  result.rebalance = sra.rebalance(crippled);
+
+  result.evacuated = true;
+  for (ShardId s = 0; s < instance.shardCount(); ++s)
+    if (result.rebalance.finalMapping[s] == failed) result.evacuated = false;
+
+  Assignment after(crippled, result.rebalance.finalMapping);
+  double worst = 0.0;
+  for (MachineId m = 0; m < crippled.machineCount(); ++m) {
+    if (m == failed) continue;
+    worst = std::max(worst, after.utilizationOf(m));
+  }
+  result.survivorBottleneck = worst;
+  result.estimatedSeconds = estimateScheduleSeconds(
+      crippled, result.rebalance.schedule, config.migrationBandwidth);
+  return result;
+}
+
+}  // namespace resex

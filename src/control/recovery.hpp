@@ -1,0 +1,53 @@
+// Machine-failure recovery via resource exchange.
+//
+// When a machine dies, its shards must land somewhere *now* — the most
+// stringent reassignment a datacenter faces, because every surviving
+// machine is already loaded and transient constraints still apply to the
+// re-replication copies. The failure is modelled by collapsing the dead
+// machine's capacity to epsilon: any feasible end state necessarily
+// evacuates it, and the scheduler may move shards off it freely (a dead
+// source imposes no constraints) but never onto it.
+//
+// The compensation target is raised to k+1 so the evacuated corpse does
+// not masquerade as one of the k returned exchange machines.
+#pragma once
+
+#include "core/sra.hpp"
+
+namespace resex {
+
+struct RecoveryConfig {
+  SraConfig sra;
+  /// Capacity the failed machine keeps (must stay > 0 for model validity;
+  /// effectively zero).
+  double epsilonCapacity = 1e-6;
+  /// Per-machine migration bandwidth used to estimate the recovery time
+  /// (bytes/second; the default is a 10 Gbit/s NIC).
+  double migrationBandwidth = 1.25e9;
+};
+
+struct RecoveryResult {
+  /// The failure-modelling instance the plan was computed on.
+  RebalanceResult rebalance;
+  /// Shards that had to leave the failed machine.
+  std::size_t shardsToEvacuate = 0;
+  /// True when every one of them was actually moved off by the schedule.
+  bool evacuated = false;
+  /// Bottleneck utilization over the *surviving* machines after recovery.
+  double survivorBottleneck = 0.0;
+  /// Estimated wall-clock to execute the recovery schedule (see
+  /// estimateScheduleSeconds).
+  double estimatedSeconds = 0.0;
+};
+
+/// Builds the failure-modelling instance: identical to `instance` but with
+/// machine `failed`'s capacity collapsed to epsilon in every dimension.
+Instance withFailedMachine(const Instance& instance, MachineId failed,
+                           double epsilonCapacity = 1e-6);
+
+/// Plans and schedules the evacuation of `failed` plus the rebalancing of
+/// the survivors, using the exchange machines for headroom.
+RecoveryResult recoverFromFailure(const Instance& instance, MachineId failed,
+                                  const RecoveryConfig& config = {});
+
+}  // namespace resex

@@ -1,0 +1,90 @@
+// Baseline rebalancers SRA is evaluated against.
+//
+// SwapLocalSearch is the stand-in for the "state-of-the-art load balancing
+// method" of the paper's evaluation: transient-constrained move/swap
+// hill-climbing with no borrowed machines — every step must be directly
+// executable in the stringent environment, which is exactly the capability
+// gap resource exchange closes.
+#pragma once
+
+#include "core/rebalancer.hpp"
+
+namespace resex {
+
+/// Does nothing; provides the "before" reference row.
+class NoopRebalancer final : public Rebalancer {
+ public:
+  std::string_view name() const noexcept override { return "no-op"; }
+  RebalanceResult rebalance(const Instance& instance) override;
+};
+
+struct SwapLsConfig {
+  std::size_t maxSteps = 100000;
+  double timeBudgetSeconds = 30.0;
+  /// Consider sources among the top `sourcePoolSize` machines by
+  /// utilization (1 = strictly the bottleneck machine).
+  std::size_t sourcePoolSize = 3;
+};
+
+/// Transient-constrained move/swap hill climbing on regular machines only.
+/// Each accepted step becomes one schedule phase (steps execute one after
+/// another, as a production rebalancer would).
+class SwapLocalSearch final : public Rebalancer {
+ public:
+  explicit SwapLocalSearch(SwapLsConfig config = {}) : config_(config) {}
+  std::string_view name() const noexcept override { return "swap-ls"; }
+  RebalanceResult rebalance(const Instance& instance) override;
+
+ private:
+  SwapLsConfig config_;
+};
+
+struct GreedyConfig {
+  std::size_t maxMoves = 100000;
+};
+
+/// Sandpiper-style greedy: repeatedly move the best-fitting shard from the
+/// hottest machine to the coldest machine, while the move is directly
+/// transient-feasible and improves the objective.
+class GreedyRebalancer final : public Rebalancer {
+ public:
+  explicit GreedyRebalancer(GreedyConfig config = {}) : config_(config) {}
+  std::string_view name() const noexcept override { return "greedy"; }
+  RebalanceResult rebalance(const Instance& instance) override;
+
+ private:
+  GreedyConfig config_;
+};
+
+/// Migration-oblivious repack: best-fit-decreasing onto the regular
+/// machines from scratch. Near-ideal balance, enormous migration cost;
+/// the upper reference for achievable balance.
+class FfdRepack final : public Rebalancer {
+ public:
+  std::string_view name() const noexcept override { return "ffd-repack"; }
+  RebalanceResult rebalance(const Instance& instance) override;
+};
+
+struct FlowConfig {
+  /// Stop once every machine is within this of the mean utilization.
+  double tolerance = 0.02;
+  std::size_t maxMoves = 100000;
+};
+
+/// Transfer-based rebalancer (the classic production scheme): compute each
+/// machine's surplus over the mean utilization, pair the most overloaded
+/// machine with the most underloaded one, and move the shard that best
+/// realizes the fractional transfer — subject to direct transient
+/// feasibility, on regular machines only. A discretized one-round
+/// min-cost-flow relaxation.
+class FlowRebalancer final : public Rebalancer {
+ public:
+  explicit FlowRebalancer(FlowConfig config = {}) : config_(config) {}
+  std::string_view name() const noexcept override { return "flow-transfer"; }
+  RebalanceResult rebalance(const Instance& instance) override;
+
+ private:
+  FlowConfig config_;
+};
+
+}  // namespace resex

@@ -1,0 +1,53 @@
+#include "core/objective.hpp"
+
+#include <cstdio>
+
+namespace resex {
+
+bool Score::betterThan(const Score& rhs, double tol) const noexcept {
+  if (vacancyDeficit != rhs.vacancyDeficit) return vacancyDeficit < rhs.vacancyDeficit;
+  if (bottleneckUtil < rhs.bottleneckUtil - tol) return true;
+  if (bottleneckUtil > rhs.bottleneckUtil + tol) return false;
+  // The spread term is compared coarsely: a microscopic flattening gain
+  // must not justify unbounded migration bytes on the next key.
+  constexpr double kSpreadTol = 1e-4;
+  if (meanSqUtil < rhs.meanSqUtil - kSpreadTol) return true;
+  if (meanSqUtil > rhs.meanSqUtil + kSpreadTol) return false;
+  return migratedBytes < rhs.migratedBytes - tol;
+}
+
+std::string Score::toString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "{deficit=%zu bottleneck=%.4f meanSq=%.5f bytes=%.3g}",
+                vacancyDeficit, bottleneckUtil, meanSqUtil, migratedBytes);
+  return buf;
+}
+
+Score Objective::evaluate(const Assignment& assignment) const noexcept {
+  Score score;
+  const std::size_t vacant = assignment.vacantCount();
+  score.vacancyDeficit = vacant >= vacancyTarget_ ? 0 : vacancyTarget_ - vacant;
+  score.bottleneckUtil = assignment.bottleneckUtilization();
+  score.meanSqUtil = assignment.sumSquaredUtil() /
+                     static_cast<double>(assignment.instance().machineCount());
+  score.migratedBytes = assignment.migratedBytes();
+  return score;
+}
+
+Objective Objective::forInstance(const Instance& instance, double spreadWeight,
+                                 double bytesWeight) {
+  double totalBytes = 0.0;
+  for (const Shard& s : instance.shards()) totalBytes += s.moveBytes;
+  return Objective(instance.exchangeCount(), spreadWeight, bytesWeight, totalBytes);
+}
+
+double Objective::scalarize(const Score& score) const noexcept {
+  const double bytesTerm =
+      bytesNormalizer_ > 0.0
+          ? bytesWeight_ * score.migratedBytes / bytesNormalizer_
+          : 0.0;
+  return 10.0 * static_cast<double>(score.vacancyDeficit) + score.bottleneckUtil +
+         spreadWeight_ * score.meanSqUtil + bytesTerm;
+}
+
+}  // namespace resex

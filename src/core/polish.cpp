@@ -1,0 +1,189 @@
+#include "core/polish.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/timer.hpp"
+
+namespace resex {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Top-3 utilizations so the post-step bottleneck over unchanged machines
+/// is O(1) to obtain.
+struct Top3 {
+  MachineId id[3] = {kNoMachine, kNoMachine, kNoMachine};
+  double util[3] = {-1.0, -1.0, -1.0};
+
+  static Top3 scan(const Assignment& a) {
+    Top3 top;
+    const std::size_t m = a.instance().machineCount();
+    for (MachineId mach = 0; mach < m; ++mach) {
+      const double u = a.utilizationOf(mach);
+      if (u > top.util[0]) {
+        top.id[2] = top.id[1]; top.util[2] = top.util[1];
+        top.id[1] = top.id[0]; top.util[1] = top.util[0];
+        top.id[0] = mach; top.util[0] = u;
+      } else if (u > top.util[1]) {
+        top.id[2] = top.id[1]; top.util[2] = top.util[1];
+        top.id[1] = mach; top.util[1] = u;
+      } else if (u > top.util[2]) {
+        top.id[2] = mach; top.util[2] = u;
+      }
+    }
+    return top;
+  }
+
+  double maxExcluding(MachineId a, MachineId b) const noexcept {
+    for (int i = 0; i < 3; ++i)
+      if (id[i] != a && id[i] != b && id[i] != kNoMachine) return util[i];
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+PolishStats polishAssignment(Assignment& assignment, const Objective& objective,
+                             std::size_t maxSteps, double timeBudgetSeconds) {
+  const Instance& instance = assignment.instance();
+  const std::size_t m = instance.machineCount();
+  WallTimer timer;
+  PolishStats stats;
+
+  for (std::size_t step = 0; step < maxSteps; ++step) {
+    if (timer.seconds() >= timeBudgetSeconds) break;
+    const Top3 top = Top3::scan(assignment);
+    const MachineId hot = top.id[0];
+    const double curBottleneck = top.util[0];
+    const double curSumSq = assignment.sumSquaredUtil();
+    const double uHot = assignment.utilizationOf(hot);
+
+    struct Candidate {
+      ShardId s1 = 0;
+      MachineId to = 0;
+      ShardId s2 = 0;
+      bool isSwap = false;
+      double bottleneck = std::numeric_limits<double>::infinity();
+      double sumSq = std::numeric_limits<double>::infinity();
+    };
+    Candidate best;
+    auto consider = [&best](const Candidate& cand) {
+      if (cand.bottleneck < best.bottleneck - kTol ||
+          (cand.bottleneck <= best.bottleneck + kTol && cand.sumSq < best.sumSq - kTol))
+        best = cand;
+    };
+
+    // A step may not push vacancies below the compensation target. Moving
+    // a shard onto a vacant machine is allowed only with a spare vacancy
+    // or when the source empties in exchange.
+    const std::size_t vacantNow = assignment.vacantCount();
+    const std::size_t hotCount = assignment.shardCountOn(hot);
+
+    for (const ShardId s1 : assignment.shardsOn(hot)) {
+      const ResourceVector& w1 = instance.shard(s1).demand;
+      const ResourceVector hotWithout = assignment.loadOf(hot) - w1;
+      const double newUHot =
+          hotWithout.utilizationAgainst(instance.machine(hot).capacity);
+      for (MachineId to = 0; to < m; ++to) {
+        if (to == hot) continue;
+        const double uTo = assignment.utilizationOf(to);
+        // Move.
+        if (assignment.canPlace(s1, to)) {
+          const bool opensVacant = assignment.isVacant(to);
+          const bool closesSource = hotCount == 1;
+          const std::size_t vacantAfter =
+              vacantNow - (opensVacant ? 1 : 0) + (closesSource ? 1 : 0);
+          if (vacantAfter >= objective.vacancyTarget()) {
+            const ResourceVector toAfter = assignment.loadOf(to) + w1;
+            const double newUTo =
+                toAfter.utilizationAgainst(instance.machine(to).capacity);
+            Candidate cand;
+            cand.s1 = s1;
+            cand.to = to;
+            cand.bottleneck = std::max({newUHot, newUTo, top.maxExcluding(hot, to)});
+            cand.sumSq = curSumSq - uHot * uHot - uTo * uTo + newUHot * newUHot +
+                         newUTo * newUTo;
+            consider(cand);
+          }
+        }
+        // Swaps keep occupancy counts, so vacancy is unaffected.
+        if (assignment.hasReplicaOn(s1, to)) continue;
+        for (const ShardId s2 : assignment.shardsOn(to)) {
+          if (assignment.hasReplicaOn(s2, hot)) continue;
+          const ResourceVector& w2 = instance.shard(s2).demand;
+          const ResourceVector hotEnd = hotWithout + w2;
+          if (!hotEnd.fitsWithin(instance.machine(hot).capacity)) continue;
+          const ResourceVector toEnd = assignment.loadOf(to) - w2 + w1;
+          if (!toEnd.fitsWithin(instance.machine(to).capacity)) continue;
+          const double newUHot2 =
+              hotEnd.utilizationAgainst(instance.machine(hot).capacity);
+          const double newUTo2 =
+              toEnd.utilizationAgainst(instance.machine(to).capacity);
+          Candidate cand;
+          cand.s1 = s1;
+          cand.to = to;
+          cand.s2 = s2;
+          cand.isSwap = true;
+          cand.bottleneck = std::max({newUHot2, newUTo2, top.maxExcluding(hot, to)});
+          cand.sumSq = curSumSq - uHot * uHot - uTo * uTo + newUHot2 * newUHot2 +
+                       newUTo2 * newUTo2;
+          consider(cand);
+        }
+      }
+    }
+
+    const bool improves =
+        best.bottleneck < curBottleneck - kTol ||
+        (best.bottleneck <= curBottleneck + kTol && best.sumSq < curSumSq - kTol);
+    if (!improves) break;
+
+    assignment.moveShard(best.s1, best.to);
+    if (best.isSwap) {
+      assignment.moveShard(best.s2, hot);
+      ++stats.swaps;
+    } else {
+      ++stats.moves;
+    }
+  }
+  return stats;
+}
+
+std::size_t pruneRedundantMoves(Assignment& assignment, const Objective& objective,
+                                double bottleneckCap) {
+  const Instance& instance = assignment.instance();
+  std::size_t returned = 0;
+  // Most expensive displacements first; a few passes catch chains where
+  // one return opens room for another.
+  std::vector<ShardId> displaced;
+  for (int pass = 0; pass < 3; ++pass) {
+    displaced.clear();
+    for (ShardId s = 0; s < instance.shardCount(); ++s)
+      if (assignment.machineOf(s) != instance.initialMachineOf(s))
+        displaced.push_back(s);
+    std::sort(displaced.begin(), displaced.end(), [&instance](ShardId a, ShardId b) {
+      return instance.shard(a).moveBytes > instance.shard(b).moveBytes;
+    });
+    std::size_t returnedThisPass = 0;
+    for (const ShardId s : displaced) {
+      const MachineId home = instance.initialMachineOf(s);
+      if (!assignment.canPlace(s, home)) continue;
+      // Returning must not re-occupy a vacancy the compensation needs.
+      if (assignment.isVacant(home) &&
+          assignment.vacantCount() <= objective.vacancyTarget())
+        continue;
+      const ResourceVector homeAfter =
+          assignment.loadOf(home) + instance.shard(s).demand;
+      if (homeAfter.utilizationAgainst(instance.machine(home).capacity) >
+          bottleneckCap + kTol)
+        continue;
+      assignment.moveShard(s, home);
+      ++returnedThisPass;
+    }
+    returned += returnedThisPass;
+    if (returnedThisPass == 0) break;
+  }
+  return returned;
+}
+
+}  // namespace resex

@@ -1,0 +1,34 @@
+// Final polish for SRA: steepest-descent move/swap hill climbing on the
+// end-state assignment.
+//
+// Unlike the SwapLocalSearch baseline this uses end-state feasibility only
+// (the scheduler realizes the plan with staging through vacant machines),
+// may target exchange machines, and preserves the compensation constraint
+// (never drops the vacancy count below the objective's target). It runs
+// after LNS so SRA's output is locally optimal in the move/swap
+// neighborhood — the same neighborhood the baseline exhausts.
+#pragma once
+
+#include "cluster/assignment.hpp"
+#include "core/objective.hpp"
+
+namespace resex {
+
+struct PolishStats {
+  std::size_t moves = 0;
+  std::size_t swaps = 0;
+};
+
+/// Hill-climbs `assignment` in place; returns the steps taken.
+PolishStats polishAssignment(Assignment& assignment, const Objective& objective,
+                             std::size_t maxSteps = 10000,
+                             double timeBudgetSeconds = 10.0);
+
+/// Return-home pruning: sends displaced shards back to their initial
+/// machine whenever doing so keeps the bottleneck at or below
+/// `bottleneckCap` and preserves the vacancy target — migration bytes the
+/// final balance never needed. Returns the number of shards returned.
+std::size_t pruneRedundantMoves(Assignment& assignment, const Objective& objective,
+                                double bottleneckCap);
+
+}  // namespace resex

@@ -1,0 +1,50 @@
+// The common interface every rebalancing algorithm implements, and the
+// result record the experiment harnesses consume.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cluster/migration.hpp"
+#include "cluster/scheduler.hpp"
+#include "core/objective.hpp"
+#include "metrics/balance.hpp"
+
+namespace resex {
+
+struct RebalanceResult {
+  std::string algorithm;
+  /// What the optimizer asked for.
+  std::vector<MachineId> targetMapping;
+  /// What the schedule actually achieved (== target when complete).
+  std::vector<MachineId> finalMapping;
+  Schedule schedule;
+  /// Score of the achieved mapping under the instance's objective.
+  Score finalScore;
+  BalanceMetrics before;
+  BalanceMetrics after;
+  double solveSeconds = 0.0;
+
+  bool scheduleComplete() const noexcept { return schedule.complete; }
+};
+
+class Rebalancer {
+ public:
+  virtual ~Rebalancer() = default;
+  virtual std::string_view name() const noexcept = 0;
+  virtual RebalanceResult rebalance(const Instance& instance) = 0;
+};
+
+/// Applies a schedule's phases to `start`, returning the resulting mapping.
+std::vector<MachineId> applySchedule(const std::vector<MachineId>& start,
+                                     const Schedule& schedule);
+
+/// Fills the shared fields of a RebalanceResult from a target mapping:
+/// builds the schedule, replays it, and measures before/after.
+RebalanceResult finalizeResult(const Instance& instance, std::string algorithm,
+                               std::vector<MachineId> targetMapping,
+                               const SchedulerOptions& schedulerOptions,
+                               double solveSeconds);
+
+}  // namespace resex

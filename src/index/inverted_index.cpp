@@ -1,0 +1,84 @@
+#include "index/inverted_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace resex {
+
+PostingList::PostingList(const std::vector<DocId>& docs,
+                         const std::vector<std::uint32_t>& freqs)
+    : count_(docs.size()) {
+  if (docs.size() != freqs.size())
+    throw std::invalid_argument("PostingList: docs/freqs size mismatch");
+  docBytes_ = encodeMonotone(docs);
+  freqBytes_.reserve(freqs.size());
+  for (const std::uint32_t f : freqs) {
+    if (f == 0) throw std::invalid_argument("PostingList: zero term frequency");
+    varbyteEncode(f, freqBytes_);
+  }
+}
+
+void PostingList::decode(std::vector<DocId>& docs,
+                         std::vector<std::uint32_t>& freqs) const {
+  docs = decodeMonotone(docBytes_);
+  freqs.clear();
+  freqs.reserve(count_);
+  std::size_t offset = 0;
+  while (offset < freqBytes_.size())
+    freqs.push_back(static_cast<std::uint32_t>(varbyteDecode(freqBytes_, offset)));
+  if (docs.size() != count_ || freqs.size() != count_)
+    throw std::logic_error("PostingList: decode count mismatch");
+}
+
+InvertedIndex::InvertedIndex(std::uint32_t termCount,
+                             const std::vector<Document>& documents) {
+  // Dense indices follow ascending original document id.
+  std::vector<const Document*> ordered;
+  ordered.reserve(documents.size());
+  for (const Document& doc : documents) ordered.push_back(&doc);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Document* a, const Document* b) { return a->id < b->id; });
+  for (std::size_t i = 1; i < ordered.size(); ++i)
+    if (ordered[i]->id == ordered[i - 1]->id)
+      throw std::invalid_argument("InvertedIndex: duplicate document id");
+
+  docIds_.reserve(ordered.size());
+  docLengths_.reserve(ordered.size());
+  // Per-term accumulation: (dense doc, freq) pairs arrive in dense order.
+  std::vector<std::vector<DocId>> termDocs(termCount);
+  std::vector<std::vector<std::uint32_t>> termFreqs(termCount);
+
+  double totalLength = 0.0;
+  std::vector<std::uint32_t> freqScratch(termCount, 0);
+  std::vector<TermId> touched;
+  for (std::size_t dense = 0; dense < ordered.size(); ++dense) {
+    const Document& doc = *ordered[dense];
+    docIds_.push_back(doc.id);
+    docLengths_.push_back(static_cast<std::uint32_t>(doc.terms.size()));
+    totalLength += static_cast<double>(doc.terms.size());
+    touched.clear();
+    for (const TermId t : doc.terms) {
+      if (t >= termCount)
+        throw std::invalid_argument("InvertedIndex: term id out of range");
+      if (freqScratch[t] == 0) touched.push_back(t);
+      ++freqScratch[t];
+    }
+    for (const TermId t : touched) {
+      termDocs[t].push_back(static_cast<DocId>(dense));
+      termFreqs[t].push_back(freqScratch[t]);
+      freqScratch[t] = 0;
+    }
+  }
+
+  postings_.reserve(termCount);
+  for (TermId t = 0; t < termCount; ++t) {
+    postings_.emplace_back(termDocs[t], termFreqs[t]);
+    indexBytes_ += postings_.back().byteSize();
+    totalPostings_ += termDocs[t].size();
+  }
+  avgDocLength_ = docLengths_.empty()
+                      ? 0.0
+                      : totalLength / static_cast<double>(docLengths_.size());
+}
+
+}  // namespace resex

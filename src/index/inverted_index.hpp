@@ -1,0 +1,80 @@
+// A compact in-memory inverted index over synthetic documents.
+//
+// This is the materialized counterpart of the statistical search substrate
+// in src/search: real posting lists (VByte-compressed document ids plus
+// term frequencies), BM25 scoring, and query execution that counts the
+// postings it actually touches. The partition module builds one index per
+// shard so per-shard query cost can be *measured* instead of modelled —
+// and a test cross-checks the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/varbyte.hpp"
+#include "search/corpus.hpp"  // TermId
+
+namespace resex {
+
+using DocId = std::uint32_t;
+
+/// A document as a bag of terms (duplicates = term frequency).
+struct Document {
+  DocId id = 0;
+  std::vector<TermId> terms;
+};
+
+/// One term's compressed posting list.
+class PostingList {
+ public:
+  PostingList() = default;
+  /// `docs` strictly increasing; `freqs` parallel (freqs[i] >= 1).
+  PostingList(const std::vector<DocId>& docs, const std::vector<std::uint32_t>& freqs);
+
+  std::size_t documentCount() const noexcept { return count_; }
+  std::size_t byteSize() const noexcept { return docBytes_.size() + freqBytes_.size(); }
+
+  /// Decompresses the full list (ids + frequencies).
+  void decode(std::vector<DocId>& docs, std::vector<std::uint32_t>& freqs) const;
+
+ private:
+  std::vector<std::uint8_t> docBytes_;
+  std::vector<std::uint8_t> freqBytes_;
+  std::size_t count_ = 0;
+};
+
+/// Immutable inverted index built from a batch of documents.
+class InvertedIndex {
+ public:
+  /// Documents may arrive in any id order; ids must be unique.
+  InvertedIndex(std::uint32_t termCount, const std::vector<Document>& documents);
+
+  std::uint32_t termCount() const noexcept { return static_cast<std::uint32_t>(postings_.size()); }
+  std::size_t documentCount() const noexcept { return docLengths_.size(); }
+  /// Number of documents containing `term`.
+  std::size_t documentFrequency(TermId term) const {
+    return postings_.at(term).documentCount();
+  }
+  const PostingList& postings(TermId term) const { return postings_.at(term); }
+  /// Length (token count) of a document by *dense* index (see docId()).
+  std::uint32_t docLength(std::size_t denseIndex) const {
+    return docLengths_.at(denseIndex);
+  }
+  /// Original document id of a dense index.
+  DocId docId(std::size_t denseIndex) const { return docIds_.at(denseIndex); }
+  double averageDocLength() const noexcept { return avgDocLength_; }
+  /// Total compressed posting bytes.
+  std::size_t indexBytes() const noexcept { return indexBytes_; }
+  /// Total postings (sum of document frequencies).
+  std::size_t totalPostings() const noexcept { return totalPostings_; }
+
+ private:
+  std::vector<PostingList> postings_;
+  std::vector<std::uint32_t> docLengths_;  // by dense index
+  std::vector<DocId> docIds_;              // dense index -> original id
+  double avgDocLength_ = 0.0;
+  std::size_t indexBytes_ = 0;
+  std::size_t totalPostings_ = 0;
+};
+
+}  // namespace resex

@@ -1,0 +1,163 @@
+#include "index/maxscore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace resex {
+namespace {
+
+double bm25Term(double idf, double tf, double docLength, double avgDocLength,
+                const Bm25Params& params) {
+  const double norm =
+      params.k1 * (1.0 - params.b + params.b * docLength / std::max(1.0, avgDocLength));
+  return idf * (tf * (params.k1 + 1.0)) / (tf + norm);
+}
+
+struct HeapEntry {
+  double score;
+  DocId doc;  // original id (for final ordering); pruning only uses score
+};
+struct HeapWorse {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    // Min-heap on (score asc, doc desc): the top is the entry the next
+    // candidate must beat under the (score desc, doc asc) result order.
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+};
+
+}  // namespace
+
+std::vector<ScoredDoc> topKMaxScore(const InvertedIndex& index,
+                                    const std::vector<TermId>& terms, std::size_t k,
+                                    const Bm25Params& params, MaxScoreStats* stats,
+                                    const GlobalStats* global) {
+  if (k == 0 || terms.empty()) return {};
+  const std::size_t docCount =
+      global ? global->documentCount : index.documentCount();
+  const double avgLen = global ? global->avgDocLength : index.averageDocLength();
+
+  std::vector<TermId> unique(terms);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  struct List {
+    std::vector<DocId> docs;
+    std::vector<std::uint32_t> freqs;
+    double idf = 0.0;
+    double upperBound = 0.0;  // max possible BM25 contribution of this term
+    std::size_t cursor = 0;
+  };
+  std::vector<List> lists;
+  lists.reserve(unique.size());
+  for (const TermId t : unique) {
+    const PostingList& pl = index.postings(t);
+    if (pl.documentCount() == 0) continue;  // contributes nothing anywhere
+    List list;
+    pl.decode(list.docs, list.freqs);
+    const std::size_t df = global ? global->documentFrequency.at(t)
+                                  : pl.documentCount();
+    list.idf = bm25Idf(docCount, df);
+    // tf/(tf+norm) < 1, so idf*(k1+1) bounds any contribution.
+    list.upperBound = list.idf * (params.k1 + 1.0);
+    lists.push_back(std::move(list));
+  }
+  if (lists.empty()) return {};
+
+  // Cheap terms first; cumBound[i] = sum of upper bounds of lists 0..i.
+  std::sort(lists.begin(), lists.end(),
+            [](const List& a, const List& b) { return a.upperBound < b.upperBound; });
+  std::vector<double> cumBound(lists.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    running += lists[i].upperBound;
+    cumBound[i] = running;
+  }
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapWorse> heap;
+  auto threshold = [&heap, k]() {
+    return heap.size() < k ? -1.0 : heap.top().score;
+  };
+
+  // First essential list: smallest e with cumBound[e] > threshold; lists
+  // below e cannot lift a document past the threshold on their own.
+  std::size_t firstEssential = 0;
+  auto refreshEssential = [&]() {
+    const double theta = threshold();
+    while (firstEssential < lists.size() &&
+           cumBound[firstEssential] <= theta)
+      ++firstEssential;
+  };
+
+  for (;;) {
+    refreshEssential();
+    if (firstEssential >= lists.size()) break;  // nothing can beat the heap
+
+    // Next candidate: the smallest head among essential cursors.
+    DocId candidate = 0;
+    bool any = false;
+    for (std::size_t l = firstEssential; l < lists.size(); ++l) {
+      if (lists[l].cursor >= lists[l].docs.size()) continue;
+      const DocId head = lists[l].docs[lists[l].cursor];
+      if (!any || head < candidate) candidate = head;
+      any = true;
+    }
+    if (!any) break;  // essential lists exhausted
+
+    // Score the candidate over essential lists (advancing their cursors).
+    const double docLength = index.docLength(candidate);
+    double score = 0.0;
+    for (std::size_t l = firstEssential; l < lists.size(); ++l) {
+      List& list = lists[l];
+      if (list.cursor < list.docs.size() && list.docs[list.cursor] == candidate) {
+        score += bm25Term(list.idf, list.freqs[list.cursor], docLength, avgLen, params);
+        ++list.cursor;
+        if (stats) ++stats->postingsEvaluated;
+      }
+    }
+
+    // Complete with non-essential lists, bound-checking as we go.
+    bool pruned = false;
+    for (std::size_t l = firstEssential; l-- > 0;) {
+      const double bound = score + cumBound[l];
+      if (bound < threshold()) {
+        pruned = true;
+        break;
+      }
+      List& list = lists[l];
+      const auto begin =
+          list.docs.begin() + static_cast<std::ptrdiff_t>(list.cursor);
+      const auto it = std::lower_bound(begin, list.docs.end(), candidate);
+      list.cursor = static_cast<std::size_t>(it - list.docs.begin());
+      if (it != list.docs.end() && *it == candidate) {
+        score += bm25Term(list.idf, list.freqs[list.cursor], docLength, avgLen, params);
+        ++list.cursor;
+        if (stats) ++stats->postingsEvaluated;
+      }
+    }
+
+    if (pruned) {
+      if (stats) ++stats->candidatesPruned;
+      continue;
+    }
+    if (stats) ++stats->candidatesScored;
+    const DocId original = index.docId(candidate);
+    if (heap.size() < k) {
+      heap.push(HeapEntry{score, original});
+    } else if (score > heap.top().score ||
+               (score == heap.top().score && original < heap.top().doc)) {
+      heap.pop();
+      heap.push(HeapEntry{score, original});
+    }
+  }
+
+  std::vector<ScoredDoc> results(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    results[i] = ScoredDoc{heap.top().doc, heap.top().score};
+    heap.pop();
+  }
+  return results;
+}
+
+}  // namespace resex

@@ -1,0 +1,35 @@
+// MaxScore dynamic pruning (Turtle & Flood): exact BM25 top-k that skips
+// documents which provably cannot enter the result heap.
+//
+// This is the efficiency side of the same group's companion work ("Hybrid
+// Dynamic Pruning for Efficient and Effective Query Processing", ICPP
+// 2020): per-term score upper bounds split the query's posting lists into
+// an *essential* suffix (which alone could beat the current threshold)
+// and a *non-essential* prefix (only consulted to finish scoring a
+// candidate that survives the bound test). Results are exactly equal to
+// exhaustive evaluation — only the work differs.
+#pragma once
+
+#include "index/query_exec.hpp"
+
+namespace resex {
+
+struct MaxScoreStats {
+  /// Postings touched: essential-cursor advances plus non-essential
+  /// lookups that landed on the candidate.
+  std::size_t postingsEvaluated = 0;
+  /// Candidates fully scored (survived the bound test).
+  std::size_t candidatesScored = 0;
+  /// Candidates skipped by the bound test.
+  std::size_t candidatesPruned = 0;
+};
+
+/// Exact BM25 top-k with MaxScore pruning. Interface mirrors
+/// topKDisjunctive; pass `global` for partitioned (scatter-gather) use.
+std::vector<ScoredDoc> topKMaxScore(const InvertedIndex& index,
+                                    const std::vector<TermId>& terms, std::size_t k,
+                                    const Bm25Params& params,
+                                    MaxScoreStats* stats = nullptr,
+                                    const GlobalStats* global = nullptr);
+
+}  // namespace resex

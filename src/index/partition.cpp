@@ -1,0 +1,102 @@
+#include "index/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/zipf.hpp"
+
+namespace resex {
+
+std::vector<Document> generateDocuments(const SyntheticDocConfig& config) {
+  if (config.docCount == 0 || config.termCount == 0)
+    throw std::invalid_argument("generateDocuments: empty corpus");
+  Rng rng(config.seed);
+  const ZipfSampler terms(config.termCount, config.termExponent);
+  std::vector<Document> docs(config.docCount);
+  const double mu = std::log(std::max(1.0, config.meanDocLength)) -
+                    0.5 * config.docLengthSigma * config.docLengthSigma;
+  for (DocId d = 0; d < config.docCount; ++d) {
+    docs[d].id = d;
+    const auto length = static_cast<std::size_t>(
+        std::max(1.0, rng.lognormal(mu, config.docLengthSigma)));
+    docs[d].terms.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+      docs[d].terms.push_back(static_cast<TermId>(terms.sample(rng) - 1));
+  }
+  return docs;
+}
+
+PartitionedIndex::PartitionedIndex(std::uint32_t termCount,
+                                   const std::vector<Document>& documents,
+                                   std::size_t shardCount,
+                                   const std::vector<double>& weights) {
+  if (shardCount == 0) throw std::invalid_argument("PartitionedIndex: zero shards");
+  if (!weights.empty() && weights.size() != shardCount)
+    throw std::invalid_argument("PartitionedIndex: weight count mismatch");
+
+  // Deterministic weighted assignment: documents are dealt to the shard
+  // with the largest remaining weight deficit (a quota-style scheme).
+  std::vector<double> quota(shardCount, 1.0);
+  if (!weights.empty()) {
+    double total = 0.0;
+    for (const double w : weights) {
+      if (w <= 0.0) throw std::invalid_argument("PartitionedIndex: weights must be > 0");
+      total += w;
+    }
+    for (std::size_t i = 0; i < shardCount; ++i)
+      quota[i] = weights[i] / total * static_cast<double>(shardCount);
+  }
+  std::vector<double> credit(shardCount, 0.0);
+  std::vector<std::vector<Document>> perShard(shardCount);
+  for (const Document& doc : documents) {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < shardCount; ++i) {
+      credit[i] += quota[i];
+      if (credit[i] > credit[best]) best = i;
+    }
+    credit[best] -= static_cast<double>(shardCount);
+    perShard[best].push_back(doc);
+  }
+
+  totalDocs_ = documents.size();
+  shards_.reserve(shardCount);
+  for (std::size_t i = 0; i < shardCount; ++i)
+    shards_.push_back(std::make_unique<InvertedIndex>(termCount, perShard[i]));
+
+  // Global statistics (what a broker would broadcast).
+  global_.documentCount = totalDocs_;
+  global_.documentFrequency.assign(termCount, 0);
+  double totalLength = 0.0;
+  for (const auto& shard : shards_) {
+    for (TermId t = 0; t < termCount; ++t)
+      global_.documentFrequency[t] += shard->documentFrequency(t);
+    for (std::size_t d = 0; d < shard->documentCount(); ++d)
+      totalLength += shard->docLength(d);
+  }
+  global_.avgDocLength =
+      totalDocs_ ? totalLength / static_cast<double>(totalDocs_) : 0.0;
+}
+
+double PartitionedIndex::docFraction(std::size_t i) const {
+  if (totalDocs_ == 0) return 0.0;
+  return static_cast<double>(shards_.at(i)->documentCount()) /
+         static_cast<double>(totalDocs_);
+}
+
+std::vector<ScoredDoc> PartitionedIndex::searchTopK(
+    const std::vector<TermId>& terms, std::size_t k, const Bm25Params& params,
+    std::vector<ExecStats>* perShardStats) const {
+  std::vector<std::vector<ScoredDoc>> results(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ExecStats stats;
+    results[i] = topKDisjunctive(*shards_[i], terms, k, params, &stats, &global_);
+    if (perShardStats) {
+      (*perShardStats).at(i).postingsScanned += stats.postingsScanned;
+      (*perShardStats).at(i).candidatesScored += stats.candidatesScored;
+    }
+  }
+  return mergeTopK(results, k);
+}
+
+}  // namespace resex

@@ -1,0 +1,151 @@
+#include "index/query_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace resex {
+namespace {
+
+double bm25Term(double idf, double tf, double docLength, double avgDocLength,
+                const Bm25Params& params) {
+  const double norm =
+      params.k1 * (1.0 - params.b + params.b * docLength / std::max(1.0, avgDocLength));
+  return idf * (tf * (params.k1 + 1.0)) / (tf + norm);
+}
+
+std::vector<ScoredDoc> selectTopK(std::vector<ScoredDoc> scored, std::size_t k) {
+  const auto cmp = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  if (scored.size() > k) {
+    std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                      scored.end(), cmp);
+    scored.resize(k);
+  } else {
+    std::sort(scored.begin(), scored.end(), cmp);
+  }
+  return scored;
+}
+
+}  // namespace
+
+double bm25Idf(std::size_t documentCount, std::size_t documentFrequency) {
+  const double n = static_cast<double>(documentCount);
+  const double df = static_cast<double>(documentFrequency);
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+std::vector<ScoredDoc> topKDisjunctive(const InvertedIndex& index,
+                                       const std::vector<TermId>& terms,
+                                       std::size_t k, const Bm25Params& params,
+                                       ExecStats* stats, const GlobalStats* global) {
+  const std::size_t docCount =
+      global ? global->documentCount : index.documentCount();
+  const double avgLen = global ? global->avgDocLength : index.averageDocLength();
+  // Accumulate scores per dense doc (TAAT — term at a time).
+  std::unordered_map<DocId, double> accumulator;
+  std::vector<DocId> docs;
+  std::vector<std::uint32_t> freqs;
+  // Deduplicate repeated query terms (their contributions would double).
+  std::vector<TermId> unique(terms);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  for (const TermId t : unique) {
+    const PostingList& list = index.postings(t);
+    if (list.documentCount() == 0) continue;
+    const std::size_t df =
+        global ? global->documentFrequency.at(t) : list.documentCount();
+    const double idf = bm25Idf(docCount, df);
+    list.decode(docs, freqs);
+    if (stats) stats->postingsScanned += docs.size();
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      const double contribution =
+          bm25Term(idf, freqs[i], index.docLength(docs[i]), avgLen, params);
+      accumulator[docs[i]] += contribution;
+    }
+  }
+
+  std::vector<ScoredDoc> scored;
+  scored.reserve(accumulator.size());
+  for (const auto& [dense, score] : accumulator)
+    scored.push_back(ScoredDoc{index.docId(dense), score});
+  if (stats) stats->candidatesScored += scored.size();
+  return selectTopK(std::move(scored), k);
+}
+
+std::vector<ScoredDoc> topKConjunctive(const InvertedIndex& index,
+                                       const std::vector<TermId>& terms,
+                                       std::size_t k, const Bm25Params& params,
+                                       ExecStats* stats, const GlobalStats* global) {
+  if (terms.empty()) return {};
+  const std::size_t docCount =
+      global ? global->documentCount : index.documentCount();
+  const double avgLen = global ? global->avgDocLength : index.averageDocLength();
+  std::vector<TermId> unique(terms);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  // Decode every list once; order by length so the rarest drives.
+  struct DecodedList {
+    TermId term;
+    std::vector<DocId> docs;
+    std::vector<std::uint32_t> freqs;
+    double idf;
+  };
+  std::vector<DecodedList> lists(unique.size());
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    lists[i].term = unique[i];
+    const PostingList& pl = index.postings(unique[i]);
+    if (pl.documentCount() == 0) return {};  // empty intersection
+    pl.decode(lists[i].docs, lists[i].freqs);
+    const std::size_t df = global ? global->documentFrequency.at(unique[i])
+                                  : pl.documentCount();
+    lists[i].idf = bm25Idf(docCount, df);
+    if (stats) stats->postingsScanned += lists[i].docs.size();
+  }
+  std::sort(lists.begin(), lists.end(), [](const DecodedList& a, const DecodedList& b) {
+    return a.docs.size() < b.docs.size();
+  });
+
+  std::vector<ScoredDoc> scored;
+  std::vector<std::size_t> cursor(lists.size(), 0);
+  for (std::size_t i = 0; i < lists[0].docs.size(); ++i) {
+    const DocId candidate = lists[0].docs[i];
+    double score = bm25Term(lists[0].idf, lists[0].freqs[i],
+                            index.docLength(candidate), avgLen, params);
+    bool inAll = true;
+    for (std::size_t l = 1; l < lists.size() && inAll; ++l) {
+      // Galloping search from the saved cursor.
+      const auto& docs = lists[l].docs;
+      std::size_t lo = cursor[l];
+      std::size_t step = 1;
+      while (lo + step < docs.size() && docs[lo + step] < candidate) step <<= 1;
+      const auto begin = docs.begin() + static_cast<std::ptrdiff_t>(lo);
+      const auto end = docs.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(lo + step + 1, docs.size()));
+      const auto it = std::lower_bound(begin, end, candidate);
+      cursor[l] = static_cast<std::size_t>(it - docs.begin());
+      if (it == docs.end() || *it != candidate) {
+        inAll = false;
+      } else {
+        score += bm25Term(lists[l].idf, lists[l].freqs[cursor[l]],
+                          index.docLength(candidate), avgLen, params);
+      }
+    }
+    if (inAll) scored.push_back(ScoredDoc{index.docId(candidate), score});
+  }
+  if (stats) stats->candidatesScored += scored.size();
+  return selectTopK(std::move(scored), k);
+}
+
+std::vector<ScoredDoc> mergeTopK(const std::vector<std::vector<ScoredDoc>>& perShard,
+                                 std::size_t k) {
+  std::vector<ScoredDoc> all;
+  for (const auto& shard : perShard) all.insert(all.end(), shard.begin(), shard.end());
+  return selectTopK(std::move(all), k);
+}
+
+}  // namespace resex

@@ -1,0 +1,66 @@
+// Query execution over an InvertedIndex: BM25-scored disjunctive top-k and
+// conjunctive (AND) retrieval, with work accounting (postings touched).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.hpp"
+
+namespace resex {
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+struct ScoredDoc {
+  DocId doc = 0;   // original document id
+  double score = 0.0;
+};
+
+struct ExecStats {
+  /// Postings decoded and scored.
+  std::size_t postingsScanned = 0;
+  /// Documents that entered scoring.
+  std::size_t candidatesScored = 0;
+};
+
+/// BM25 idf with the standard +1 smoothing (never negative).
+double bm25Idf(std::size_t documentCount, std::size_t documentFrequency);
+
+/// Corpus-wide statistics for scoring. In a document-partitioned engine
+/// every shard must score with *global* statistics (brokers broadcast
+/// them), or per-shard top-k lists would not be comparable. When null,
+/// the index's own (local) statistics are used.
+struct GlobalStats {
+  std::size_t documentCount = 0;
+  double avgDocLength = 0.0;
+  /// Global document frequency per term (size == termCount).
+  std::vector<std::size_t> documentFrequency;
+};
+
+/// Disjunctive (OR) top-k by BM25: every posting of every query term is
+/// scored (exhaustive TAAT evaluation — the upper reference for the
+/// dynamic-pruning literature). Results sorted by descending score, ties
+/// by ascending doc id.
+std::vector<ScoredDoc> topKDisjunctive(const InvertedIndex& index,
+                                       const std::vector<TermId>& terms,
+                                       std::size_t k, const Bm25Params& params,
+                                       ExecStats* stats = nullptr,
+                                       const GlobalStats* global = nullptr);
+
+/// Conjunctive (AND): documents containing every term, scored by BM25,
+/// top-k. Intersection iterates the rarest list and gallops in the rest.
+std::vector<ScoredDoc> topKConjunctive(const InvertedIndex& index,
+                                       const std::vector<TermId>& terms,
+                                       std::size_t k, const Bm25Params& params,
+                                       ExecStats* stats = nullptr,
+                                       const GlobalStats* global = nullptr);
+
+/// Merges per-shard top-k lists into a global top-k (scatter-gather
+/// reduce step of a document-partitioned engine).
+std::vector<ScoredDoc> mergeTopK(const std::vector<std::vector<ScoredDoc>>& perShard,
+                                 std::size_t k);
+
+}  // namespace resex

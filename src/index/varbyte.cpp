@@ -1,0 +1,59 @@
+#include "index/varbyte.hpp"
+
+#include <stdexcept>
+
+namespace resex {
+
+void varbyteEncode(std::uint64_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value & 0x7F));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value | 0x80));
+}
+
+std::uint64_t varbyteDecode(const std::vector<std::uint8_t>& bytes,
+                            std::size_t& offset) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    if (offset >= bytes.size())
+      throw std::out_of_range("varbyteDecode: truncated input");
+    const std::uint8_t byte = bytes[offset++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if (byte & 0x80) return value;
+    shift += 7;
+    if (shift > 63) throw std::out_of_range("varbyteDecode: value overflow");
+  }
+}
+
+std::vector<std::uint8_t> encodeMonotone(const std::vector<std::uint32_t>& values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() + 4);
+  std::uint32_t previous = 0;
+  bool first = true;
+  for (const std::uint32_t v : values) {
+    if (!first && v <= previous)
+      throw std::invalid_argument("encodeMonotone: sequence not strictly increasing");
+    varbyteEncode(first ? v : v - previous, out);
+    previous = v;
+    first = false;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> decodeMonotone(const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint32_t> out;
+  std::size_t offset = 0;
+  std::uint32_t previous = 0;
+  bool first = true;
+  while (offset < bytes.size()) {
+    const auto delta = static_cast<std::uint32_t>(varbyteDecode(bytes, offset));
+    previous = first ? delta : previous + delta;
+    first = false;
+    out.push_back(previous);
+  }
+  return out;
+}
+
+}  // namespace resex

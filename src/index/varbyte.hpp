@@ -1,0 +1,25 @@
+// Variable-byte (VByte) encoding of unsigned integers and delta-encoded
+// monotone sequences — the standard posting-list compression baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace resex {
+
+/// Appends the VByte encoding of `value` to `out` (7 bits per byte, high
+/// bit set on the final byte).
+void varbyteEncode(std::uint64_t value, std::vector<std::uint8_t>& out);
+
+/// Decodes one value starting at `offset`; advances `offset` past it.
+/// Throws std::out_of_range on truncated input.
+std::uint64_t varbyteDecode(const std::vector<std::uint8_t>& bytes,
+                            std::size_t& offset);
+
+/// Delta + VByte encodes a strictly increasing sequence.
+std::vector<std::uint8_t> encodeMonotone(const std::vector<std::uint32_t>& values);
+
+/// Inverse of encodeMonotone.
+std::vector<std::uint32_t> decodeMonotone(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace resex

@@ -1,0 +1,200 @@
+#include "index/wand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace resex {
+namespace {
+
+double bm25Term(double idf, double tf, double docLength, double avgDocLength,
+                const Bm25Params& params) {
+  const double norm =
+      params.k1 * (1.0 - params.b + params.b * docLength / std::max(1.0, avgDocLength));
+  return idf * (tf * (params.k1 + 1.0)) / (tf + norm);
+}
+
+struct HeapEntry {
+  double score;
+  DocId doc;
+};
+struct HeapWorse {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+};
+
+}  // namespace
+
+std::vector<ScoredDoc> topKWand(const InvertedIndex& index,
+                                const std::vector<TermId>& terms, std::size_t k,
+                                const Bm25Params& params, WandStats* stats,
+                                const GlobalStats* global) {
+  if (k == 0 || terms.empty()) return {};
+  const std::size_t docCount =
+      global ? global->documentCount : index.documentCount();
+  const double avgLen = global ? global->avgDocLength : index.averageDocLength();
+
+  std::vector<TermId> unique(terms);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  struct List {
+    std::vector<DocId> docs;
+    std::vector<std::uint32_t> freqs;
+    double idf = 0.0;
+    double upperBound = 0.0;
+    std::size_t cursor = 0;
+
+    bool exhausted() const { return cursor >= docs.size(); }
+    DocId head() const { return docs[cursor]; }
+    /// Seeks to the first posting >= target; counts as one evaluation.
+    void seek(DocId target) {
+      const auto begin = docs.begin() + static_cast<std::ptrdiff_t>(cursor);
+      cursor = static_cast<std::size_t>(
+          std::lower_bound(begin, docs.end(), target) - docs.begin());
+    }
+  };
+  std::vector<List> lists;
+  for (const TermId t : unique) {
+    const PostingList& pl = index.postings(t);
+    if (pl.documentCount() == 0) continue;
+    List list;
+    pl.decode(list.docs, list.freqs);
+    const std::size_t df = global ? global->documentFrequency.at(t)
+                                  : pl.documentCount();
+    list.idf = bm25Idf(docCount, df);
+    list.upperBound = list.idf * (params.k1 + 1.0);
+    lists.push_back(std::move(list));
+  }
+  if (lists.empty()) return {};
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapWorse> heap;
+  auto threshold = [&heap, k]() {
+    return heap.size() < k ? -1.0 : heap.top().score;
+  };
+
+  // Active list indices, kept sorted by head document each round.
+  std::vector<std::size_t> order(lists.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (;;) {
+    order.erase(std::remove_if(order.begin(), order.end(),
+                               [&lists](std::size_t i) { return lists[i].exhausted(); }),
+                order.end());
+    if (order.empty()) break;
+    std::sort(order.begin(), order.end(), [&lists](std::size_t a, std::size_t b) {
+      return lists[a].head() < lists[b].head();
+    });
+
+    // Pivot: first prefix whose accumulated upper bounds could beat theta.
+    const double theta = threshold();
+    double acc = 0.0;
+    std::size_t pivot = order.size();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      acc += lists[order[i]].upperBound;
+      if (acc > theta) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot == order.size()) break;  // even all lists together cannot beat theta
+    const DocId pivotDoc = lists[order[pivot]].head();
+
+    if (lists[order[0]].head() == pivotDoc) {
+      // Every list up to the pivot sits on pivotDoc: score it fully.
+      const double docLength = index.docLength(pivotDoc);
+      double score = 0.0;
+      for (const std::size_t i : order) {
+        List& list = lists[i];
+        if (!list.exhausted() && list.head() == pivotDoc) {
+          score += bm25Term(list.idf, list.freqs[list.cursor], docLength, avgLen,
+                            params);
+          ++list.cursor;
+          if (stats) ++stats->postingsEvaluated;
+        }
+      }
+      if (stats) ++stats->candidatesScored;
+      const DocId original = index.docId(pivotDoc);
+      if (heap.size() < k) {
+        heap.push(HeapEntry{score, original});
+      } else if (score > heap.top().score ||
+                 (score == heap.top().score && original < heap.top().doc)) {
+        heap.pop();
+        heap.push(HeapEntry{score, original});
+      }
+    } else {
+      // Advance the pre-pivot list with the largest upper bound (the
+      // classic pick) straight to the pivot document. Only lists whose
+      // head is strictly before the pivot qualify — a list already parked
+      // on the pivot document would make the seek a no-op and stall the
+      // loop.
+      std::size_t advance = order[0];
+      for (std::size_t i = 1; i < pivot; ++i) {
+        if (lists[order[i]].head() >= pivotDoc) break;  // heads are sorted
+        if (lists[order[i]].upperBound > lists[advance].upperBound)
+          advance = order[i];
+      }
+      const DocId before = lists[advance].head();
+      lists[advance].seek(pivotDoc);
+      if (stats) {
+        ++stats->postingsEvaluated;
+        if (lists[advance].exhausted() || lists[advance].head() > before + 1)
+          ++stats->skips;
+      }
+    }
+  }
+
+  std::vector<ScoredDoc> results(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    results[i] = ScoredDoc{heap.top().doc, heap.top().score};
+    heap.pop();
+  }
+  return results;
+}
+
+PruningStrategy chooseStrategy(const InvertedIndex& index,
+                               const std::vector<TermId>& terms,
+                               const GlobalStats* global) {
+  // Heuristic calibrated on fig12_pruning (in-memory decoded lists, work
+  // counted per posting evaluated): MaxScore's non-essential split wins on
+  // balanced queries of any length; WAND's pivot skipping only pays when
+  // one list dwarfs the others, so the pivot can leap through the long
+  // list driven by the short ones. A real engine with on-disk skip lists
+  // would weight WAND's deep seeks more favourably — recalibrate there.
+  std::vector<TermId> unique(terms);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  if (unique.size() < 2) return PruningStrategy::MaxScore;  // identical behaviour
+  std::size_t longest = 0;
+  std::size_t rest = 0;
+  for (const TermId t : unique) {
+    const std::size_t df = global ? global->documentFrequency.at(t)
+                                  : index.documentFrequency(t);
+    longest = std::max(longest, df);
+    rest += df;
+  }
+  rest -= longest;
+  if (rest > 0 && longest > 8 * rest) return PruningStrategy::Wand;
+  return PruningStrategy::MaxScore;
+}
+
+std::vector<ScoredDoc> topKHybrid(const InvertedIndex& index,
+                                  const std::vector<TermId>& terms, std::size_t k,
+                                  const Bm25Params& params,
+                                  std::size_t* postingsEvaluated,
+                                  const GlobalStats* global) {
+  if (chooseStrategy(index, terms, global) == PruningStrategy::Wand) {
+    WandStats stats;
+    auto results = topKWand(index, terms, k, params, &stats, global);
+    if (postingsEvaluated) *postingsEvaluated += stats.postingsEvaluated;
+    return results;
+  }
+  MaxScoreStats stats;
+  auto results = topKMaxScore(index, terms, k, params, &stats, global);
+  if (postingsEvaluated) *postingsEvaluated += stats.postingsEvaluated;
+  return results;
+}
+
+}  // namespace resex

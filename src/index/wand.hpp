@@ -1,0 +1,48 @@
+// WAND (Broder et al.) dynamic pruning, and the hybrid strategy selector.
+//
+// WAND is the pivot-based alternative to MaxScore: cursors are kept sorted
+// by their current document; the *pivot* is the first position where the
+// accumulated score upper bounds could beat the heap threshold, and lists
+// before the pivot skip straight to the pivot document. Like MaxScore it
+// returns exactly the exhaustive top-k.
+//
+// topKHybrid chooses between the two per query — the idea of the group's
+// companion paper ("Hybrid Dynamic Pruning", ICPP 2020): MaxScore tends to
+// win on queries with several terms (its non-essential lists soak up the
+// long tail), WAND on short selective queries (deep skips).
+#pragma once
+
+#include "index/maxscore.hpp"
+
+namespace resex {
+
+struct WandStats {
+  /// Postings scored plus cursor seeks performed.
+  std::size_t postingsEvaluated = 0;
+  std::size_t candidatesScored = 0;
+  /// Pivot advances that skipped at least one document.
+  std::size_t skips = 0;
+};
+
+/// Exact BM25 top-k with WAND pruning.
+std::vector<ScoredDoc> topKWand(const InvertedIndex& index,
+                                const std::vector<TermId>& terms, std::size_t k,
+                                const Bm25Params& params, WandStats* stats = nullptr,
+                                const GlobalStats* global = nullptr);
+
+enum class PruningStrategy { MaxScore, Wand };
+
+/// The per-query strategy the hybrid executor would pick (exposed for
+/// tests and experiments).
+PruningStrategy chooseStrategy(const InvertedIndex& index,
+                               const std::vector<TermId>& terms,
+                               const GlobalStats* global = nullptr);
+
+/// Dispatches each query to MaxScore or WAND by chooseStrategy.
+std::vector<ScoredDoc> topKHybrid(const InvertedIndex& index,
+                                  const std::vector<TermId>& terms, std::size_t k,
+                                  const Bm25Params& params,
+                                  std::size_t* postingsEvaluated = nullptr,
+                                  const GlobalStats* global = nullptr);
+
+}  // namespace resex

@@ -1,0 +1,55 @@
+#include "lns/adaptive.hpp"
+
+#include <algorithm>
+
+namespace resex {
+namespace {
+
+double outcomeScore(OperatorOutcome outcome) noexcept {
+  switch (outcome) {
+    case OperatorOutcome::NewBest: return 33.0;
+    case OperatorOutcome::Improved: return 9.0;
+    case OperatorOutcome::Accepted: return 3.0;
+    case OperatorOutcome::Rejected: return 0.0;
+    case OperatorOutcome::RepairFailed: return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+AdaptiveSelector::AdaptiveSelector(std::size_t operatorCount, bool uniform,
+                                   double reaction, std::size_t segmentLength)
+    : uniform_(uniform), reaction_(reaction), segmentLength_(std::max<std::size_t>(1, segmentLength)),
+      weights_(operatorCount, 1.0), segmentScore_(operatorCount, 0.0),
+      segmentUses_(operatorCount, 0), totalUses_(operatorCount, 0) {}
+
+std::size_t AdaptiveSelector::select(Rng& rng) noexcept {
+  if (weights_.empty()) return 0;
+  const std::size_t pick = rng.discrete(weights_);
+  ++segmentUses_[pick];
+  ++totalUses_[pick];
+  return pick;
+}
+
+void AdaptiveSelector::reward(std::size_t op, OperatorOutcome outcome) noexcept {
+  if (op >= weights_.size()) return;
+  segmentScore_[op] += outcomeScore(outcome);
+  if (++segmentTicks_ >= segmentLength_) endSegment();
+}
+
+void AdaptiveSelector::endSegment() noexcept {
+  segmentTicks_ = 0;
+  if (!uniform_) {
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      if (segmentUses_[i] == 0) continue;
+      const double observed = segmentScore_[i] / static_cast<double>(segmentUses_[i]);
+      weights_[i] = (1.0 - reaction_) * weights_[i] + reaction_ * observed;
+      weights_[i] = std::max(weights_[i], 0.05);  // never starve an operator
+    }
+  }
+  std::fill(segmentScore_.begin(), segmentScore_.end(), 0.0);
+  std::fill(segmentUses_.begin(), segmentUses_.end(), 0);
+}
+
+}  // namespace resex

@@ -1,0 +1,55 @@
+// ALNS adaptive operator selection (Ropke & Pisinger style).
+//
+// Each operator carries a weight; selection is roulette-wheel. Rewards
+// accumulate per segment and blend into the weights with a reaction
+// factor, so operators that keep producing improvements get picked more.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace resex {
+
+enum class OperatorOutcome {
+  NewBest,      // produced a new global best
+  Improved,     // improved the current solution
+  Accepted,     // accepted without improving
+  Rejected,     // repaired fine but rejected
+  RepairFailed  // repair could not place every shard
+};
+
+class AdaptiveSelector {
+ public:
+  /// `uniform == true` disables adaptation (for the ablation): weights stay
+  /// equal and rewards are ignored.
+  AdaptiveSelector(std::size_t operatorCount, bool uniform = false,
+                   double reaction = 0.2, std::size_t segmentLength = 100);
+
+  std::size_t operatorCount() const noexcept { return weights_.size(); }
+
+  /// Roulette-wheel pick by current weights.
+  std::size_t select(Rng& rng) noexcept;
+
+  /// Records the outcome of using operator `op`.
+  void reward(std::size_t op, OperatorOutcome outcome) noexcept;
+
+  double weightOf(std::size_t op) const { return weights_.at(op); }
+  std::size_t usesOf(std::size_t op) const { return totalUses_.at(op); }
+
+ private:
+  void endSegment() noexcept;
+
+  bool uniform_;
+  double reaction_;
+  std::size_t segmentLength_;
+  std::size_t segmentTicks_ = 0;
+  std::vector<double> weights_;
+  std::vector<double> segmentScore_;
+  std::vector<std::size_t> segmentUses_;
+  std::vector<std::size_t> totalUses_;
+};
+
+}  // namespace resex

@@ -1,0 +1,184 @@
+#include "lns/destroy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resex {
+
+std::vector<ShardId> RandomDestroy::destroy(Assignment& assignment, std::size_t quota,
+                                            Rng& rng) {
+  const std::size_t n = assignment.instance().shardCount();
+  std::vector<ShardId> removed;
+  removed.reserve(quota);
+  // Sample without replacement over all shard ids; skip unassigned ones.
+  std::vector<std::size_t> picks = rng.sampleIndices(n, std::min(quota * 2 + 4, n));
+  for (const std::size_t s : picks) {
+    if (removed.size() >= quota) break;
+    const auto shard = static_cast<ShardId>(s);
+    if (!assignment.isAssigned(shard)) continue;
+    assignment.remove(shard);
+    removed.push_back(shard);
+  }
+  return removed;
+}
+
+std::vector<ShardId> WorstMachineDestroy::destroy(Assignment& assignment,
+                                                  std::size_t quota, Rng& rng) {
+  const Instance& instance = assignment.instance();
+  const std::size_t m = instance.machineCount();
+  std::vector<MachineId> byUtil(m);
+  for (MachineId i = 0; i < m; ++i) byUtil[i] = i;
+  std::sort(byUtil.begin(), byUtil.end(), [&assignment](MachineId a, MachineId b) {
+    return assignment.utilizationOf(a) > assignment.utilizationOf(b);
+  });
+  const std::size_t top = std::max<std::size_t>(
+      1, static_cast<std::size_t>(topFraction_ * static_cast<double>(m)));
+
+  std::vector<ShardId> removed;
+  removed.reserve(quota);
+  std::size_t guard = 0;
+  while (removed.size() < quota && guard++ < quota * 8 + 16) {
+    const MachineId victim = byUtil[rng.below(top)];
+    const auto resident = assignment.shardsOn(victim);
+    if (resident.empty()) continue;
+    const ShardId shard = resident[rng.below(resident.size())];
+    assignment.remove(shard);
+    removed.push_back(shard);
+  }
+  return removed;
+}
+
+std::vector<ShardId> ShawDestroy::destroy(Assignment& assignment, std::size_t quota,
+                                          Rng& rng) {
+  const Instance& instance = assignment.instance();
+  const std::size_t n = instance.shardCount();
+  if (quota == 0 || n == 0) return {};
+
+  // Find an assigned seed.
+  ShardId seed = kNoMachine;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto cand = static_cast<ShardId>(rng.below(n));
+    if (assignment.isAssigned(cand)) {
+      seed = cand;
+      break;
+    }
+  }
+  if (seed == kNoMachine) return {};
+
+  const MachineId seedMachine = assignment.machineOf(seed);
+  struct Scored {
+    ShardId shard;
+    double relatedness;
+  };
+  std::vector<Scored> candidates;
+  candidates.reserve(n);
+  const ResourceVector& seedDemand = instance.shard(seed).demand;
+  for (ShardId s = 0; s < n; ++s) {
+    if (s == seed || !assignment.isAssigned(s)) continue;
+    double dist = demandDistance(seedDemand, instance.shard(s).demand);
+    if (assignment.machineOf(s) == seedMachine) dist *= sameMachineBonus_;
+    candidates.push_back(Scored{s, dist});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Scored& a, const Scored& b) { return a.relatedness < b.relatedness; });
+
+  std::vector<ShardId> removed;
+  removed.reserve(quota);
+  assignment.remove(seed);
+  removed.push_back(seed);
+  // Biased pick from the sorted-by-relatedness prefix (classic Shaw y^p).
+  std::vector<bool> taken(candidates.size(), false);
+  while (removed.size() < quota && removed.size() <= candidates.size()) {
+    const double y = std::pow(rng.uniform(), greediness_);
+    auto idx = static_cast<std::size_t>(y * static_cast<double>(candidates.size()));
+    if (idx >= candidates.size()) idx = candidates.size() - 1;
+    // Walk forward to the first untaken candidate.
+    while (idx < candidates.size() && taken[idx]) ++idx;
+    if (idx >= candidates.size()) break;
+    taken[idx] = true;
+    assignment.remove(candidates[idx].shard);
+    removed.push_back(candidates[idx].shard);
+  }
+  return removed;
+}
+
+std::vector<ShardId> BindingDimensionDestroy::destroy(Assignment& assignment,
+                                                      std::size_t quota, Rng& rng) {
+  const Instance& instance = assignment.instance();
+  std::vector<ShardId> removed;
+  removed.reserve(quota);
+  std::size_t guard = 0;
+  while (removed.size() < quota && guard++ < quota * 4 + 8) {
+    // Re-derive the bottleneck each round: removals shift it.
+    const MachineId hot = assignment.bottleneckMachine();
+    const ResourceVector& load = assignment.loadOf(hot);
+    const ResourceVector& cap = instance.machine(hot).capacity;
+    std::size_t bindingDim = 0;
+    double worst = -1.0;
+    for (std::size_t d = 0; d < instance.dims(); ++d) {
+      const double u = cap[d] > 0.0 ? load[d] / cap[d] : 0.0;
+      if (u > worst) {
+        worst = u;
+        bindingDim = d;
+      }
+    }
+    const auto resident = assignment.shardsOn(hot);
+    if (resident.empty()) break;
+    // Heaviest shard in the binding dimension, with light randomization
+    // between the top two so repeats diversify.
+    ShardId best = resident[0];
+    ShardId second = resident[0];
+    for (const ShardId s : resident) {
+      if (instance.shard(s).demand[bindingDim] >
+          instance.shard(best).demand[bindingDim]) {
+        second = best;
+        best = s;
+      }
+    }
+    const ShardId victim = (second != best && rng.chance(0.3)) ? second : best;
+    assignment.remove(victim);
+    removed.push_back(victim);
+  }
+  return removed;
+}
+
+std::vector<ShardId> VacancyDestroy::destroy(Assignment& assignment, std::size_t quota,
+                                             Rng& rng) {
+  const Instance& instance = assignment.instance();
+  const std::size_t m = instance.machineCount();
+  std::vector<MachineId> occupied;
+  occupied.reserve(m);
+  for (MachineId i = 0; i < m; ++i)
+    if (!assignment.isVacant(i)) occupied.push_back(i);
+  if (occupied.empty()) return {};
+  std::sort(occupied.begin(), occupied.end(), [&assignment](MachineId a, MachineId b) {
+    const std::size_t ca = assignment.shardCountOn(a);
+    const std::size_t cb = assignment.shardCountOn(b);
+    if (ca != cb) return ca < cb;
+    return assignment.utilizationOf(a) < assignment.utilizationOf(b);
+  });
+
+  std::vector<ShardId> removed;
+  removed.reserve(quota);
+  // Drain whole machines, lightest first, with slight randomization so
+  // repeated applications explore different vacancy patterns.
+  std::size_t cursor = 0;
+  while (removed.size() < quota && cursor < occupied.size()) {
+    std::size_t pick = cursor;
+    if (cursor + 1 < occupied.size() && rng.chance(0.25)) pick = cursor + 1;
+    const MachineId victim = occupied[pick];
+    std::swap(occupied[pick], occupied[cursor]);
+    ++cursor;
+    const auto resident = assignment.shardsOn(victim);
+    if (resident.size() > quota - removed.size() + 4) continue;  // too big to drain
+    // Copy: removing mutates the span's backing store.
+    std::vector<ShardId> toRemove(resident.begin(), resident.end());
+    for (const ShardId s : toRemove) {
+      assignment.remove(s);
+      removed.push_back(s);
+    }
+  }
+  return removed;
+}
+
+}  // namespace resex

@@ -1,0 +1,70 @@
+// Destroy operators: which shards to rip out each LNS iteration.
+#pragma once
+
+#include "lns/operators.hpp"
+
+namespace resex {
+
+/// Uniformly random assigned shards.
+class RandomDestroy final : public DestroyOperator {
+ public:
+  std::string_view name() const noexcept override { return "random"; }
+  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
+                               Rng& rng) override;
+};
+
+/// Shards from the most-utilized machines (randomized among the top few):
+/// attacks the bottleneck directly.
+class WorstMachineDestroy final : public DestroyOperator {
+ public:
+  /// `topFraction`: sample source machines among the top fraction by util.
+  explicit WorstMachineDestroy(double topFraction = 0.15) : topFraction_(topFraction) {}
+  std::string_view name() const noexcept override { return "worst-machine"; }
+  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
+                               Rng& rng) override;
+
+ private:
+  double topFraction_;
+};
+
+/// Shaw relatedness removal: a random seed shard plus the shards most
+/// similar to it (demand distance, with a bonus for sharing a machine);
+/// related shards are the ones a repair can profitably interchange.
+class ShawDestroy final : public DestroyOperator {
+ public:
+  explicit ShawDestroy(double sameMachineBonus = 0.5, double greediness = 4.0)
+      : sameMachineBonus_(sameMachineBonus), greediness_(greediness) {}
+  std::string_view name() const noexcept override { return "shaw"; }
+  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
+                               Rng& rng) override;
+
+ private:
+  double sameMachineBonus_;
+  double greediness_;
+};
+
+/// Drains the least-loaded occupied machines entirely, creating vacancies —
+/// the operator that makes the compensation constraint (return k vacant
+/// machines) reachable after the search has spread load onto exchange
+/// machines.
+class VacancyDestroy final : public DestroyOperator {
+ public:
+  std::string_view name() const noexcept override { return "vacancy-drain"; }
+  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
+                               Rng& rng) override;
+};
+
+/// Targets the *binding dimension*: finds the bottleneck machine's worst
+/// resource dimension and removes the shards that consume the most of it
+/// there (plus a few from the runner-up machines). On multi-dimensional
+/// instances this attacks exactly the constraint that pins the objective;
+/// not in the default portfolio (redundant with worst-machine on 1-2 dim
+/// instances) — register it explicitly for dimension-heavy workloads.
+class BindingDimensionDestroy final : public DestroyOperator {
+ public:
+  std::string_view name() const noexcept override { return "binding-dim"; }
+  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
+                               Rng& rng) override;
+};
+
+}  // namespace resex

@@ -1,0 +1,174 @@
+#include "lns/lns.hpp"
+
+#include <algorithm>
+
+#include "lns/destroy.hpp"
+#include "lns/repair.hpp"
+#include "util/log.hpp"
+
+namespace resex {
+
+LnsSolver::LnsSolver(const Instance& instance, Objective objective, LnsConfig config)
+    : instance_(&instance), objective_(objective), config_(config) {}
+
+void LnsSolver::addDestroy(std::unique_ptr<DestroyOperator> op) {
+  destroys_.push_back(std::move(op));
+}
+
+void LnsSolver::addRepair(std::unique_ptr<RepairOperator> op) {
+  repairs_.push_back(std::move(op));
+}
+
+void LnsSolver::setAcceptance(std::unique_ptr<AcceptanceCriterion> acceptance) {
+  acceptance_ = std::move(acceptance);
+}
+
+void LnsSolver::installDefaults() {
+  if (destroys_.empty()) {
+    addDestroy(std::make_unique<RandomDestroy>());
+    addDestroy(std::make_unique<WorstMachineDestroy>());
+    addDestroy(std::make_unique<ShawDestroy>());
+    addDestroy(std::make_unique<VacancyDestroy>());
+  }
+  if (repairs_.empty()) {
+    addRepair(std::make_unique<GreedyRepair>());
+    addRepair(std::make_unique<GreedyRepair>(0.15));
+    addRepair(std::make_unique<RegretRepair>(2));
+  }
+}
+
+LnsResult LnsSolver::solve(const Assignment& start) {
+  installDefaults();
+  Rng rng(config_.seed);
+  WallTimer timer;
+
+  Assignment current = start;
+  Score currentScore = objective_.evaluate(current);
+  double currentScalar = objective_.scalarize(currentScore);
+
+  LnsResult result;
+  result.bestMapping = current.mapping();
+  result.bestScore = currentScore;
+
+  LnsStats& stats = result.stats;
+  if (config_.recordTrajectory)
+    stats.trajectory.push_back(
+        {0, 0.0, currentScalar, currentScore.bottleneckUtil});
+
+  AdaptiveSelector destroySel(destroys_.size(), !config_.adaptiveWeights);
+  AdaptiveSelector repairSel(repairs_.size(), !config_.adaptiveWeights);
+
+  // Default acceptance: annealing whose horizon matches the iteration
+  // budget and whose initial temperature is a small fraction of the
+  // starting objective (so early worsening moves of a few percent pass).
+  std::unique_ptr<AcceptanceCriterion> defaultAcceptance;
+  AcceptanceCriterion* acceptance = acceptance_.get();
+  if (acceptance == nullptr) {
+    defaultAcceptance = SimulatedAnnealingAcceptance::forHorizon(
+        0.02 * std::max(0.5, currentScalar), std::max<std::size_t>(1, config_.maxIterations));
+    acceptance = defaultAcceptance.get();
+  }
+
+  const std::size_t n = instance_->shardCount();
+  const auto fractionCap = static_cast<std::size_t>(
+      std::max(1.0, config_.destroyFractionCap * static_cast<double>(n)));
+  const std::size_t quotaLo = std::max<std::size_t>(1, config_.destroyMin);
+  const std::size_t quotaHi =
+      std::max(quotaLo, std::min(config_.destroyMax, fractionCap));
+
+  std::vector<MachineId> previousHomes;   // rollback info, reused per iteration
+  std::vector<MachineId> mappingBefore;   // pre-destroy snapshot, reused
+
+  for (std::size_t iter = 1; iter <= config_.maxIterations; ++iter) {
+    if (timer.seconds() >= config_.timeBudgetSeconds) break;
+    if (config_.targetBottleneck > 0.0 && result.bestScore.vacancyDeficit == 0 &&
+        result.bestScore.bottleneckUtil <= config_.targetBottleneck + 1e-9)
+      break;
+    ++stats.iterations;
+
+    const std::size_t dOp = destroySel.select(rng);
+    const std::size_t rOp = repairSel.select(rng);
+    const std::size_t quota = quotaLo + rng.below(quotaHi - quotaLo + 1);
+
+    mappingBefore = current.mapping();
+    const std::vector<ShardId> removed = destroys_[dOp]->destroy(current, quota, rng);
+    previousHomes.clear();
+    for (const ShardId s : removed) previousHomes.push_back(mappingBefore[s]);
+
+    const bool repaired =
+        !removed.empty() &&
+        repairs_[rOp]->repair(current, removed, objective_, rng);
+
+    auto rollback = [&]() {
+      for (std::size_t i = 0; i < removed.size(); ++i) {
+        if (current.isAssigned(removed[i])) current.remove(removed[i]);
+      }
+      for (std::size_t i = 0; i < removed.size(); ++i)
+        current.assign(removed[i], previousHomes[i]);
+    };
+
+    if (!repaired) {
+      if (!removed.empty()) rollback();
+      ++stats.repairFailures;
+      destroySel.reward(dOp, OperatorOutcome::RepairFailed);
+      repairSel.reward(rOp, OperatorOutcome::RepairFailed);
+      acceptance->onIteration();
+      continue;
+    }
+
+    const Score candidateScore = objective_.evaluate(current);
+    const double candidateScalar = objective_.scalarize(candidateScore);
+    const double bestScalar = objective_.scalarize(result.bestScore);
+
+    OperatorOutcome outcome;
+    if (candidateScore.betterThan(result.bestScore)) {
+      outcome = OperatorOutcome::NewBest;
+    } else if (candidateScalar < currentScalar) {
+      outcome = OperatorOutcome::Improved;
+    } else if (acceptance->accept(candidateScalar, currentScalar, bestScalar, rng)) {
+      outcome = OperatorOutcome::Accepted;
+    } else {
+      outcome = OperatorOutcome::Rejected;
+    }
+
+    if (outcome == OperatorOutcome::Rejected) {
+      rollback();
+    } else {
+      currentScore = candidateScore;
+      currentScalar = candidateScalar;
+      ++stats.accepted;
+      if (outcome == OperatorOutcome::NewBest) {
+        result.bestMapping = current.mapping();
+        result.bestScore = candidateScore;
+        ++stats.improvedBest;
+        if (config_.recordTrajectory)
+          stats.trajectory.push_back({iter, timer.seconds(), candidateScalar,
+                                      candidateScore.bottleneckUtil});
+      }
+    }
+    destroySel.reward(dOp, outcome);
+    repairSel.reward(rOp, outcome);
+    acceptance->onIteration();
+
+    // Periodically rebuild caches: float accumulation over millions of
+    // incremental +=/-= must never skew comparisons.
+    if ((iter & 0xFFF) == 0) {
+      current.recomputeCaches();
+      currentScore = objective_.evaluate(current);
+      currentScalar = objective_.scalarize(currentScore);
+    }
+  }
+
+  stats.seconds = timer.seconds();
+  stats.destroyUses.resize(destroys_.size());
+  stats.repairUses.resize(repairs_.size());
+  for (std::size_t i = 0; i < destroys_.size(); ++i)
+    stats.destroyUses[i] = destroySel.usesOf(i);
+  for (std::size_t i = 0; i < repairs_.size(); ++i)
+    stats.repairUses[i] = repairSel.usesOf(i);
+  RESEX_LOG_DEBUG("LNS done: iters=%zu accepted=%zu best=%s", stats.iterations,
+                  stats.accepted, result.bestScore.toString().c_str());
+  return result;
+}
+
+}  // namespace resex

@@ -1,0 +1,42 @@
+// Operator interfaces for large neighborhood search.
+//
+// Contract: a destroy operator removes a subset of assigned shards from the
+// assignment (leaving them unassigned) and returns exactly the removed ids;
+// it must not mutate anything else, so the solver can roll an iteration
+// back from (shard, previous machine) pairs alone. A repair operator
+// reinserts the given unassigned shards within hard capacity; returning
+// false signals that some shard had no feasible machine (the solver rolls
+// back; partially placed shards are allowed at that point).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cluster/assignment.hpp"
+#include "core/objective.hpp"
+#include "util/rng.hpp"
+
+namespace resex {
+
+class DestroyOperator {
+ public:
+  virtual ~DestroyOperator() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Removes up to `quota` shards; returns the removed ids.
+  virtual std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
+                                       Rng& rng) = 0;
+};
+
+class RepairOperator {
+ public:
+  virtual ~RepairOperator() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Reinserts `shards` (all currently unassigned). The objective is made
+  /// available so repair can respect the vacancy target (avoid opening
+  /// machines that must stay vacant).
+  virtual bool repair(Assignment& assignment, std::span<const ShardId> shards,
+                      const Objective& objective, Rng& rng) = 0;
+};
+
+}  // namespace resex

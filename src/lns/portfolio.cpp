@@ -1,0 +1,45 @@
+#include "lns/portfolio.hpp"
+
+#include <future>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace resex {
+
+PortfolioResult solvePortfolio(const Instance& instance, const Objective& objective,
+                               const PortfolioConfig& config) {
+  ThreadPool& pool = globalPool();
+  const std::size_t searches =
+      config.searches == 0 ? pool.threadCount() : config.searches;
+
+  WallTimer timer;
+  std::vector<std::future<LnsResult>> futures;
+  futures.reserve(searches);
+  for (std::size_t i = 0; i < searches; ++i) {
+    LnsConfig lnsConfig = config.lns;
+    std::uint64_t mix = config.baseSeed + 0x9e3779b97f4a7c15ULL * (i + 1);
+    lnsConfig.seed = splitmix64(mix);
+    futures.push_back(pool.submit([&instance, &objective, lnsConfig] {
+      LnsSolver solver(instance, objective, lnsConfig);
+      return solver.solve();
+    }));
+  }
+
+  PortfolioResult result;
+  result.perSearchBottleneck.reserve(searches);
+  bool first = true;
+  for (std::size_t i = 0; i < searches; ++i) {
+    LnsResult candidate = futures[i].get();
+    result.perSearchBottleneck.push_back(candidate.bestScore.bottleneckUtil);
+    if (first || candidate.bestScore.betterThan(result.best.bestScore)) {
+      result.best = std::move(candidate);
+      result.winner = i;
+      first = false;
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace resex

@@ -1,0 +1,32 @@
+// Parallel multi-start portfolio: independent seeded LNS searches across
+// the thread pool; the best result wins. Deterministic for a fixed seed
+// set and worker count (searches never communicate mid-run).
+#pragma once
+
+#include "lns/lns.hpp"
+
+namespace resex {
+
+struct PortfolioConfig {
+  /// Number of independent searches (0 = one per hardware thread).
+  std::size_t searches = 0;
+  /// Base seed; search i runs with seed mix(baseSeed, i).
+  std::uint64_t baseSeed = 1;
+  /// Per-search LNS configuration (seed field is overridden).
+  LnsConfig lns;
+};
+
+struct PortfolioResult {
+  LnsResult best;
+  /// Index of the winning search.
+  std::size_t winner = 0;
+  /// Final best bottleneck of every search (spread shows seed sensitivity).
+  std::vector<double> perSearchBottleneck;
+  double seconds = 0.0;
+};
+
+/// Runs the portfolio from the instance's initial placement.
+PortfolioResult solvePortfolio(const Instance& instance, const Objective& objective,
+                               const PortfolioConfig& config);
+
+}  // namespace resex

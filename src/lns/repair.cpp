@@ -1,0 +1,120 @@
+#include "lns/repair.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace resex {
+
+double placementCost(const Assignment& assignment, ShardId shard, MachineId machine,
+                     const Objective& objective) noexcept {
+  if (!assignment.canPlace(shard, machine))
+    return std::numeric_limits<double>::infinity();
+  const Instance& instance = assignment.instance();
+  const ResourceVector after =
+      assignment.loadOf(machine) + instance.shard(shard).demand;
+  double cost = after.utilizationAgainst(instance.machine(machine).capacity);
+  if (assignment.isVacant(machine)) {
+    // Opening this machine consumes a vacancy. If vacancies are at or below
+    // the compensation target, that creates (or deepens) a deficit — allowed
+    // during the search but strongly discouraged.
+    if (assignment.vacantCount() <= objective.vacancyTarget()) cost += 4.0;
+    else cost += 0.25;  // mild bias: keep spare vacancies when possible
+  }
+  return cost;
+}
+
+namespace {
+
+/// Three cheapest placements for one shard (enough for regret-2/3).
+struct BestThree {
+  MachineId best = kNoMachine;
+  double cost1 = std::numeric_limits<double>::infinity();
+  double cost2 = std::numeric_limits<double>::infinity();
+  double cost3 = std::numeric_limits<double>::infinity();
+};
+
+BestThree bestPlacements(const Assignment& assignment, ShardId shard,
+                         const Objective& objective) {
+  BestThree out;
+  const std::size_t m = assignment.instance().machineCount();
+  for (MachineId cand = 0; cand < m; ++cand) {
+    const double cost = placementCost(assignment, shard, cand, objective);
+    if (cost < out.cost1) {
+      out.cost3 = out.cost2;
+      out.cost2 = out.cost1;
+      out.cost1 = cost;
+      out.best = cand;
+    } else if (cost < out.cost2) {
+      out.cost3 = out.cost2;
+      out.cost2 = cost;
+    } else if (cost < out.cost3) {
+      out.cost3 = cost;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool GreedyRepair::repair(Assignment& assignment, std::span<const ShardId> shards,
+                          const Objective& objective, Rng& rng) {
+  const Instance& instance = assignment.instance();
+  std::vector<ShardId> order(shards.begin(), shards.end());
+  std::sort(order.begin(), order.end(), [&instance](ShardId a, ShardId b) {
+    return instance.shard(a).demand.maxComponent() >
+           instance.shard(b).demand.maxComponent();
+  });
+
+  const std::size_t m = instance.machineCount();
+  for (const ShardId s : order) {
+    MachineId best = kNoMachine;
+    double bestCost = std::numeric_limits<double>::infinity();
+    for (MachineId cand = 0; cand < m; ++cand) {
+      double cost = placementCost(assignment, s, cand, objective);
+      if (noise_ > 0.0 && cost < std::numeric_limits<double>::infinity())
+        cost *= 1.0 + noise_ * rng.uniform();
+      if (cost < bestCost) {
+        bestCost = cost;
+        best = cand;
+      }
+    }
+    if (best == kNoMachine) return false;
+    assignment.assign(s, best);
+  }
+  return true;
+}
+
+bool RegretRepair::repair(Assignment& assignment, std::span<const ShardId> shards,
+                          const Objective& objective, Rng& /*rng*/) {
+  std::vector<ShardId> remaining(shards.begin(), shards.end());
+  while (!remaining.empty()) {
+    double bestRegret = -1.0;
+    std::size_t bestIdx = 0;
+    MachineId bestMachine = kNoMachine;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const BestThree options = bestPlacements(assignment, remaining[i], objective);
+      if (options.best == kNoMachine) return false;
+      double regret;
+      if (options.cost2 == std::numeric_limits<double>::infinity()) {
+        // Only one feasible machine left: insert immediately (max regret).
+        regret = std::numeric_limits<double>::max();
+      } else {
+        // regret-k = sum_{j=2..k} (cost_j - cost_1).
+        regret = options.cost2 - options.cost1;
+        if (k_ >= 3 && options.cost3 != std::numeric_limits<double>::infinity())
+          regret += options.cost3 - options.cost1;
+      }
+      if (regret > bestRegret) {
+        bestRegret = regret;
+        bestIdx = i;
+        bestMachine = options.best;
+      }
+    }
+    assignment.assign(remaining[bestIdx], bestMachine);
+    remaining[bestIdx] = remaining.back();
+    remaining.pop_back();
+  }
+  return true;
+}
+
+}  // namespace resex

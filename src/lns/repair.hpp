@@ -1,0 +1,45 @@
+// Repair operators: where removed shards go back.
+#pragma once
+
+#include "lns/operators.hpp"
+
+namespace resex {
+
+/// Placement cost shared by the repair heuristics: resulting bottleneck
+/// utilization of the target machine, plus a penalty for opening a machine
+/// that the vacancy (compensation) constraint needs to stay vacant.
+/// Returns +inf when the placement is capacity-infeasible.
+double placementCost(const Assignment& assignment, ShardId shard, MachineId machine,
+                     const Objective& objective) noexcept;
+
+/// Greedy best-fit: shards in decreasing max-dimension demand, each onto
+/// the feasible machine with the lowest placement cost. A touch of noise
+/// (optional) diversifies repeated repairs of the same ruin.
+class GreedyRepair final : public RepairOperator {
+ public:
+  explicit GreedyRepair(double noise = 0.0) : noise_(noise) {}
+  std::string_view name() const noexcept override {
+    return noise_ > 0.0 ? "greedy+noise" : "greedy";
+  }
+  bool repair(Assignment& assignment, std::span<const ShardId> shards,
+              const Objective& objective, Rng& rng) override;
+
+ private:
+  double noise_;
+};
+
+/// Regret-k insertion: repeatedly inserts the shard whose best option beats
+/// its k-th best by the most (the shard that will suffer most if deferred).
+/// Slower but markedly stronger on tight instances.
+class RegretRepair final : public RepairOperator {
+ public:
+  explicit RegretRepair(int k = 2) : k_(k) {}
+  std::string_view name() const noexcept override { return k_ >= 3 ? "regret-3" : "regret-2"; }
+  bool repair(Assignment& assignment, std::span<const ShardId> shards,
+              const Objective& objective, Rng& rng) override;
+
+ private:
+  int k_;
+};
+
+}  // namespace resex

@@ -1,0 +1,94 @@
+#include "metrics/report.hpp"
+
+#include <cstdio>
+
+#include "util/json_writer.hpp"
+
+namespace resex {
+namespace {
+
+void writeMetrics(JsonWriter& json, const char* name, const BalanceMetrics& metrics) {
+  json.key(name).beginObject();
+  json.field("bottleneck_util", metrics.bottleneckUtil);
+  json.field("mean_util", metrics.meanUtil);
+  json.field("util_cv", metrics.utilCv);
+  json.field("jain_fairness", metrics.jain);
+  json.field("vacant_machines", metrics.vacantMachines);
+  json.field("moved_shards", metrics.movedShards);
+  json.field("migrated_bytes", metrics.migratedBytes);
+  json.field("feasible", metrics.feasible);
+  json.key("per_dim_bottleneck").beginArray();
+  for (const double u : metrics.perDimBottleneck) json.value(u);
+  json.endArray();
+  json.endObject();
+}
+
+}  // namespace
+
+std::string renderReport(const RebalanceResult& result) {
+  char buf[512];
+  std::string out;
+  out += "algorithm: " + result.algorithm + "\n";
+  out += "before:    " + result.before.summary() + "\n";
+  out += "after:     " + result.after.summary() + "\n";
+  std::snprintf(buf, sizeof buf,
+                "schedule:  %zu phases, %zu moves, %zu staged hops, %.3f GB, "
+                "peak transient %.4f, complete=%s\n",
+                result.schedule.phaseCount(), result.schedule.moveCount(),
+                result.schedule.stagedHops, result.schedule.totalBytes / 1e9,
+                result.schedule.peakTransientUtil(),
+                result.scheduleComplete() ? "yes" : "no");
+  out += buf;
+  std::snprintf(buf, sizeof buf, "score:     %s\nsolve:     %.3fs\n",
+                result.finalScore.toString().c_str(), result.solveSeconds);
+  out += buf;
+  return out;
+}
+
+std::string toJson(const RebalanceResult& result, bool includeMoves) {
+  JsonWriter json;
+  json.beginObject();
+  json.field("algorithm", result.algorithm);
+  json.field("solve_seconds", result.solveSeconds);
+  writeMetrics(json, "before", result.before);
+  writeMetrics(json, "after", result.after);
+
+  json.key("score").beginObject();
+  json.field("vacancy_deficit", result.finalScore.vacancyDeficit);
+  json.field("bottleneck_util", result.finalScore.bottleneckUtil);
+  json.field("mean_sq_util", result.finalScore.meanSqUtil);
+  json.field("migrated_bytes", result.finalScore.migratedBytes);
+  json.endObject();
+
+  json.key("schedule").beginObject();
+  json.field("complete", result.schedule.complete);
+  json.field("total_bytes", result.schedule.totalBytes);
+  json.field("staged_hops", result.schedule.stagedHops);
+  json.field("unscheduled", result.schedule.unscheduled.size());
+  json.field("peak_transient_util", result.schedule.peakTransientUtil());
+  json.key("phases").beginArray();
+  for (const Phase& phase : result.schedule.phases) {
+    json.beginObject();
+    json.field("moves", phase.moves.size());
+    json.field("peak_transient_util", phase.peakTransientUtil);
+    if (includeMoves) {
+      json.key("detail").beginArray();
+      for (const Move& mv : phase.moves) {
+        json.beginObject();
+        json.field("shard", static_cast<std::uint64_t>(mv.shard));
+        json.field("from", static_cast<std::uint64_t>(mv.from));
+        json.field("to", static_cast<std::uint64_t>(mv.to));
+        json.endObject();
+      }
+      json.endArray();
+    }
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace resex

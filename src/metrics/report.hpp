@@ -1,0 +1,20 @@
+// Rebalance result reporting: human-readable text and machine-readable
+// JSON exports consumed by the CLI and external tooling.
+#pragma once
+
+#include <string>
+
+#include "core/rebalancer.hpp"
+
+namespace resex {
+
+/// Multi-line human-readable account of a rebalance (before/after metrics,
+/// schedule shape, timings).
+std::string renderReport(const RebalanceResult& result);
+
+/// Full JSON export: metrics, score, schedule phases and moves.
+/// `includeMoves` controls whether every move is emitted (large) or only
+/// per-phase counts.
+std::string toJson(const RebalanceResult& result, bool includeMoves = false);
+
+}  // namespace resex

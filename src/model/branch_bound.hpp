@@ -1,0 +1,47 @@
+// Exact depth-first branch-and-bound for small RESEX instances.
+//
+// Minimizes the bottleneck utilization Lambda subject to hard capacity and
+// the compensation (>= k vacant machines) constraint, exactly the IP of
+// ip_model.hpp with migration cost dropped. Used by the optimality-gap
+// experiment (T6) as the ground truth SRA is compared against.
+//
+// Pruning: incumbent bound, a running volume bound on the remaining
+// shards, and symmetry breaking among still-empty machines of identical
+// capacity (only the first of each class is tried).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/instance.hpp"
+
+namespace resex {
+
+struct BranchBoundConfig {
+  std::uint64_t nodeLimit = 50'000'000;
+  double timeBudgetSeconds = 60.0;
+  /// Stop once the incumbent is within this of the lower bound.
+  double gapTolerance = 1e-9;
+};
+
+struct BranchBoundResult {
+  std::vector<MachineId> mapping;
+  double bottleneck = 0.0;
+  /// True when the search space was exhausted (the result is optimal).
+  bool optimal = false;
+  /// True when any feasible solution was found.
+  bool feasible = false;
+  std::uint64_t nodesVisited = 0;
+  double seconds = 0.0;
+};
+
+class BranchBoundSolver {
+ public:
+  explicit BranchBoundSolver(BranchBoundConfig config = {}) : config_(config) {}
+
+  BranchBoundResult solve(const Instance& instance) const;
+
+ private:
+  BranchBoundConfig config_;
+};
+
+}  // namespace resex

@@ -1,0 +1,73 @@
+// The paper's linearly constrained integer programming (IP) model, made
+// explicit as a data structure.
+//
+//   minimize    Lambda
+//   subject to  sum_i x_{s,i} = 1                          for every shard s
+//               sum_s w_{s,r} x_{s,i} <= C_{i,r} Lambda    for every machine i, dim r
+//               sum_s w_{s,r} x_{s,i} <= C_{i,r}           (hard capacity)
+//               x_{s,i} <= y_i                             (machine i "open")
+//               sum_i (1 - y_i) >= k                       (compensation)
+//               x_{s,i}, y_i in {0,1},  Lambda >= 0
+//
+// The structure exists for three reasons: (a) documentation fidelity to
+// the paper, (b) cross-checking the exact solver's constraint handling in
+// tests, and (c) emitting standard LP-format text so any external MIP
+// solver can be used to audit small instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/instance.hpp"
+
+namespace resex {
+
+/// One linear constraint: sum_j coeff[j] * var[j]  (sense)  rhs.
+struct LinearConstraint {
+  enum class Sense { LessEqual, GreaterEqual, Equal };
+  std::vector<std::size_t> vars;
+  std::vector<double> coeffs;
+  Sense sense = Sense::LessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class IpModel {
+ public:
+  explicit IpModel(const Instance& instance);
+
+  // Variable indexing: x(s,i) first, then y(i), then Lambda last.
+  std::size_t xVar(ShardId s, MachineId i) const noexcept {
+    return static_cast<std::size_t>(s) * machineCount_ + i;
+  }
+  std::size_t yVar(MachineId i) const noexcept {
+    return shardCount_ * machineCount_ + i;
+  }
+  std::size_t lambdaVar() const noexcept {
+    return shardCount_ * machineCount_ + machineCount_;
+  }
+  std::size_t variableCount() const noexcept { return lambdaVar() + 1; }
+  bool isBinary(std::size_t var) const noexcept { return var < lambdaVar(); }
+
+  const std::vector<LinearConstraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// Evaluates a candidate solution (mapping + implied y/Lambda) against
+  /// every constraint; returns the violated constraint names.
+  std::vector<std::string> checkMapping(const std::vector<MachineId>& mapping) const;
+
+  /// The Lambda implied by a mapping (its bottleneck utilization).
+  double impliedLambda(const std::vector<MachineId>& mapping) const;
+
+  /// CPLEX-LP-format rendering of the whole model.
+  std::string toLpFormat() const;
+
+ private:
+  const Instance* instance_;
+  std::size_t shardCount_;
+  std::size_t machineCount_;
+  std::vector<LinearConstraint> constraints_;
+};
+
+}  // namespace resex

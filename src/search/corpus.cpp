@@ -1,0 +1,32 @@
+#include "search/corpus.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resex {
+
+Corpus::Corpus(const CorpusConfig& config) : config_(config) {
+  if (config.termCount == 0) throw std::invalid_argument("Corpus: no terms");
+  if (config.docCount == 0) throw std::invalid_argument("Corpus: no documents");
+
+  // df_t proportional to (t+1)^-s, scaled to the requested total posting
+  // volume, then capped at docCount (a term cannot appear in more
+  // documents than exist); the cap slightly reduces the total, which is
+  // acceptable — the shape is what matters.
+  df_.resize(config.termCount);
+  double shapeSum = 0.0;
+  for (TermId t = 0; t < config.termCount; ++t) {
+    df_[t] = std::pow(static_cast<double>(t + 1), -config.dfExponent);
+    shapeSum += df_[t];
+  }
+  const double targetPostings =
+      static_cast<double>(config.docCount) * config.avgTermsPerDoc;
+  const double scale = targetPostings / shapeSum;
+  totalPostings_ = 0.0;
+  for (TermId t = 0; t < config.termCount; ++t) {
+    df_[t] = std::min(df_[t] * scale, static_cast<double>(config.docCount));
+    totalPostings_ += df_[t];
+  }
+}
+
+}  // namespace resex

@@ -1,0 +1,47 @@
+// Synthetic corpus statistics for the search-engine substrate.
+//
+// We model what drives per-shard cost in a document-partitioned engine:
+// term document frequencies (posting-list lengths). Frequencies follow a
+// Zipf law over the vocabulary, scaled so the corpus has the requested
+// total posting count. Individual documents are never materialized — only
+// the statistics that the query cost model consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace resex {
+
+using TermId = std::uint32_t;
+
+struct CorpusConfig {
+  std::uint64_t docCount = 1'000'000;
+  std::uint32_t termCount = 50'000;
+  /// Zipf exponent of document frequency by term rank.
+  double dfExponent = 1.1;
+  /// Average distinct terms per document (sets total postings).
+  double avgTermsPerDoc = 120.0;
+};
+
+class Corpus {
+ public:
+  explicit Corpus(const CorpusConfig& config);
+
+  std::uint64_t docCount() const noexcept { return config_.docCount; }
+  std::uint32_t termCount() const noexcept { return config_.termCount; }
+  const CorpusConfig& config() const noexcept { return config_; }
+
+  /// Document frequency (== posting-list length) of term `t`; term 0 is
+  /// the most frequent. Capped at docCount.
+  double documentFrequency(TermId t) const { return df_.at(t); }
+
+  /// Total postings across the corpus.
+  double totalPostings() const noexcept { return totalPostings_; }
+
+ private:
+  CorpusConfig config_;
+  std::vector<double> df_;
+  double totalPostings_ = 0.0;
+};
+
+}  // namespace resex

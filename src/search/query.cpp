@@ -1,0 +1,50 @@
+#include "search/query.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resex {
+
+QueryGenerator::QueryGenerator(const Corpus& corpus, QueryModelConfig config)
+    : corpus_(&corpus), config_(config),
+      termSampler_(corpus.termCount(), config.termExponent) {
+  if (config.minTerms == 0 || config.minTerms > config.maxTerms)
+    throw std::invalid_argument("QueryGenerator: bad term-count range");
+
+  // E[df of a query term] = sum_t P(t) df(t), with P Zipf(termExponent).
+  double probNorm = 0.0;
+  for (TermId t = 0; t < corpus.termCount(); ++t)
+    probNorm += std::pow(static_cast<double>(t + 1), -config.termExponent);
+  for (TermId t = 0; t < corpus.termCount(); ++t) {
+    const double p =
+        std::pow(static_cast<double>(t + 1), -config.termExponent) / probNorm;
+    expectedDfPerTerm_ += p * corpus.documentFrequency(t);
+  }
+  expectedTermsPerQuery_ =
+      0.5 * static_cast<double>(config.minTerms + config.maxTerms);
+}
+
+Query QueryGenerator::next(Rng& rng) const {
+  Query q;
+  const std::size_t count =
+      config_.minTerms +
+      static_cast<std::size_t>(rng.below(config_.maxTerms - config_.minTerms + 1));
+  q.terms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    q.terms.push_back(static_cast<TermId>(termSampler_.sample(rng) - 1));
+  return q;
+}
+
+double QueryGenerator::workOnShard(const Query& query, double docFraction) const {
+  double postings = 0.0;
+  for (const TermId t : query.terms) postings += corpus_->documentFrequency(t);
+  return config_.workPerShardFixed +
+         config_.workPerPosting * postings * docFraction;
+}
+
+double QueryGenerator::expectedWorkOnShard(double docFraction) const {
+  return config_.workPerShardFixed + config_.workPerPosting * expectedTermsPerQuery_ *
+                                         expectedDfPerTerm_ * docFraction;
+}
+
+}  // namespace resex

@@ -1,0 +1,54 @@
+// Query generation and the per-(query, shard) cost model.
+#pragma once
+
+#include <vector>
+
+#include "search/corpus.hpp"
+#include "util/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace resex {
+
+/// A conjunctive multi-term query.
+struct Query {
+  std::vector<TermId> terms;
+};
+
+struct QueryModelConfig {
+  /// Zipf exponent of term popularity in the query stream. Query and
+  /// corpus popularity share the term ranking, so popular query terms have
+  /// long posting lists — the realistic, adversarial case.
+  double termExponent = 0.9;
+  std::size_t minTerms = 1;
+  std::size_t maxTerms = 4;
+  /// CPU work per posting scored (arbitrary work units).
+  double workPerPosting = 1e-6;
+  /// Fixed per-shard dispatch/merge overhead per query.
+  double workPerShardFixed = 2e-4;
+};
+
+class QueryGenerator {
+ public:
+  QueryGenerator(const Corpus& corpus, QueryModelConfig config);
+
+  Query next(Rng& rng) const;
+
+  /// CPU work a query performs on a shard holding `docFraction` of the
+  /// corpus (document-partitioned: postings split pro rata).
+  double workOnShard(const Query& query, double docFraction) const;
+
+  /// Expected work of a random query on a shard with `docFraction`
+  /// (closed form over the term popularity distribution).
+  double expectedWorkOnShard(double docFraction) const;
+
+  const QueryModelConfig& config() const noexcept { return config_; }
+
+ private:
+  const Corpus* corpus_;
+  QueryModelConfig config_;
+  ZipfSampler termSampler_;
+  double expectedDfPerTerm_ = 0.0;
+  double expectedTermsPerQuery_ = 0.0;
+};
+
+}  // namespace resex

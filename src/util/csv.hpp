@@ -1,0 +1,26 @@
+// CSV emission for experiment results (consumed by external plotting).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace resex {
+
+/// Writes RFC-4180-style CSV. Cells containing commas, quotes, or newlines
+/// are quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void writeRow(const std::vector<std::string>& cells);
+  void writeHeader(const std::vector<std::string>& names) { writeRow(names); }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace resex

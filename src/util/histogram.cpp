@@ -1,0 +1,92 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace resex {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucketWidth_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (buckets == 0) throw std::invalid_argument("LinearHistogram: zero buckets");
+  if (!(hi > lo)) throw std::invalid_argument("LinearHistogram: hi must exceed lo");
+}
+
+void LinearHistogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / bucketWidth_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double LinearHistogram::bucketLow(std::size_t bucket) const {
+  return lo_ + bucketWidth_ * static_cast<double>(bucket);
+}
+
+std::string LinearHistogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char label[64];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(label, sizeof label, "%10.3f | ", bucketLow(b));
+    out += label;
+    const std::size_t bar = counts_[b] * width / peak;
+    out.append(bar, '#');
+    std::snprintf(label, sizeof label, " %zu\n", counts_[b]);
+    out += label;
+  }
+  return out;
+}
+
+LatencyHistogram::LatencyHistogram(double minValue, int subBucketsPerOctave)
+    : minValue_(minValue), subBuckets_(subBucketsPerOctave),
+      logBase_(std::log(2.0) / subBucketsPerOctave) {
+  if (minValue <= 0.0) throw std::invalid_argument("LatencyHistogram: minValue must be > 0");
+  if (subBucketsPerOctave <= 0)
+    throw std::invalid_argument("LatencyHistogram: subBuckets must be > 0");
+}
+
+std::size_t LatencyHistogram::bucketFor(double x) const noexcept {
+  if (x <= minValue_) return 0;
+  return static_cast<std::size_t>(std::log(x / minValue_) / logBase_) + 1;
+}
+
+double LatencyHistogram::bucketValue(std::size_t bucket) const noexcept {
+  if (bucket == 0) return minValue_;
+  // Midpoint (geometric) of the bucket's range.
+  return minValue_ * std::exp((static_cast<double>(bucket) - 0.5) * logBase_);
+}
+
+void LatencyHistogram::add(double x) noexcept {
+  const std::size_t b = bucketFor(x);
+  if (b >= counts_.size()) counts_.resize(b + 1, 0);
+  ++counts_[b];
+  ++total_;
+  sum_ += x;
+  maxSeen_ = std::max(maxSeen_, x);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t b = 0; b < other.counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  maxSeen_ = std::max(maxSeen_, other.maxSeen_);
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen > target) return bucketValue(b);
+  }
+  return maxSeen_;
+}
+
+}  // namespace resex

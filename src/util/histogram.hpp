@@ -1,0 +1,65 @@
+// Fixed-bucket and HDR-style histograms for latency reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace resex {
+
+/// Linear-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket. Used for quick text visualisation of distributions.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t totalCount() const noexcept { return total_; }
+  std::size_t bucketCount() const noexcept { return counts_.size(); }
+  std::size_t countAt(std::size_t bucket) const { return counts_.at(bucket); }
+  double bucketLow(std::size_t bucket) const;
+  /// ASCII rendering, one line per bucket, bar scaled to `width` chars.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucketWidth_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Log-bucketed histogram for latency-like positive values: constant
+/// relative error (~ +/- 2^(1/subBuckets)), O(1) insert, quantiles without
+/// retaining samples. Values below `minValue` clamp to the first bucket.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double minValue = 1e-6, int subBucketsPerOctave = 8);
+
+  void add(double x) noexcept;
+  void merge(const LatencyHistogram& other);
+  std::size_t totalCount() const noexcept { return total_; }
+  /// Quantile q in [0,1]; returns the representative value of the bucket
+  /// containing the q-th sample. Empty histogram returns 0.
+  double quantile(double q) const noexcept;
+  double maxSeen() const noexcept { return maxSeen_; }
+  double sum() const noexcept { return sum_; }
+  double meanValue() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+ private:
+  std::size_t bucketFor(double x) const noexcept;
+  double bucketValue(std::size_t bucket) const noexcept;
+
+  double minValue_;
+  int subBuckets_;
+  double logBase_;  // log of the per-bucket growth ratio
+  std::vector<std::uint64_t> counts_;
+  std::size_t total_ = 0;
+  double maxSeen_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace resex

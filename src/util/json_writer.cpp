@@ -1,0 +1,141 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace resex {
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::beforeValue() {
+  if (stack_.empty()) {
+    if (!out_.empty()) throw std::logic_error("JsonWriter: multiple top-level values");
+    return;
+  }
+  if (stack_.back() == Frame::Object) {
+    if (!pendingKey_) throw std::logic_error("JsonWriter: value in object without key");
+    pendingKey_ = false;
+    return;
+  }
+  if (hasElements_.back()) out_ += ',';
+  hasElements_.back() = true;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  hasElements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  if (stack_.empty() || stack_.back() != Frame::Object || pendingKey_)
+    throw std::logic_error("JsonWriter: mismatched endObject");
+  out_ += '}';
+  stack_.pop_back();
+  hasElements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  hasElements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  if (stack_.empty() || stack_.back() != Frame::Array)
+    throw std::logic_error("JsonWriter: mismatched endArray");
+  out_ += ']';
+  stack_.pop_back();
+  hasElements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Frame::Object || pendingKey_)
+    throw std::logic_error("JsonWriter: key outside object");
+  if (hasElements_.back()) out_ += ',';
+  hasElements_.back() = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  beforeValue();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::nullValue() {
+  beforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!stack_.empty()) throw std::logic_error("JsonWriter: unclosed containers");
+  return out_;
+}
+
+}  // namespace resex

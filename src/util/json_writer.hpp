@@ -1,0 +1,58 @@
+// Minimal streaming JSON emitter (no dependencies, no DOM).
+//
+// Used to export rebalance results and experiment records in a form other
+// tooling can consume. Keys/values are written in call order; the writer
+// tracks nesting and comma placement and validates basic misuse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace resex {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& nullValue();
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The document; valid once all containers are closed.
+  const std::string& str() const;
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  enum class Frame { Object, Array };
+  void beforeValue();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> hasElements_;
+  bool pendingKey_ = false;
+};
+
+}  // namespace resex

@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace resex {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* levelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char line[2048];
+  const int prefix = std::snprintf(line, sizeof line, "[resex %s] ", levelName(level));
+  if (prefix < 0) return;
+  va_list args;
+  va_start(args, fmt);
+  const int body = std::vsnprintf(line + prefix,
+                                  sizeof line - static_cast<std::size_t>(prefix) - 2,
+                                  fmt, args);
+  va_end(args);
+  if (body < 0) return;
+  // vsnprintf returns the untruncated length; clamp to what actually fits
+  // so the newline append stays inside the buffer.
+  const std::size_t len =
+      std::min(static_cast<std::size_t>(prefix) + static_cast<std::size_t>(body),
+               sizeof line - 2);
+  line[len] = '\n';
+  line[len + 1] = '\0';
+  std::fputs(line, stderr);
+}
+
+}  // namespace resex

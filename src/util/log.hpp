@@ -1,0 +1,26 @@
+// Minimal leveled logger writing to stderr.
+//
+// The library itself logs sparingly (experiments print their own tables);
+// logging exists for debugging solver behaviour at Debug level.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace resex {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+/// printf-style logging. Thread-safe (single atomic write per line).
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define RESEX_LOG_DEBUG(...) ::resex::logf(::resex::LogLevel::Debug, __VA_ARGS__)
+#define RESEX_LOG_INFO(...) ::resex::logf(::resex::LogLevel::Info, __VA_ARGS__)
+#define RESEX_LOG_WARN(...) ::resex::logf(::resex::LogLevel::Warn, __VA_ARGS__)
+#define RESEX_LOG_ERROR(...) ::resex::logf(::resex::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace resex

@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace resex {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless bounded draw with rejection to remove bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (hasSpare_) {
+    hasSpare_ = false;
+    return spareNormal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spareNormal_ = v * factor;
+  hasSpare_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) noexcept {
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) return 0;
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sampleIndices(std::size_t n, std::size_t count) {
+  if (count >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: count draws, no rejection loop over a hash set scan.
+  std::vector<std::size_t> picked;
+  picked.reserve(count);
+  std::vector<bool> seen(n, false);
+  for (std::size_t j = n - count; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(below(j + 1));
+    if (!seen[t]) {
+      seen[t] = true;
+      picked.push_back(t);
+    } else {
+      seen[j] = true;
+      picked.push_back(j);
+    }
+  }
+  return picked;
+}
+
+}  // namespace resex

@@ -1,0 +1,122 @@
+// Deterministic pseudo-random number generation for resex.
+//
+// Everything stochastic in the library draws from an explicitly seeded
+// Rng so that experiments are reproducible bit-for-bit. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through SplitMix64; it is much
+// faster than std::mt19937_64 and has no observable statistical defects
+// at the scales used here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace resex {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) noexcept { reseed(seed); }
+
+  /// Reinitializes the state from a single 64-bit seed.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Pareto (Lomax-shifted) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Log-normal with the given log-space mu/sigma.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Index draw proportional to non-negative weights; empty/all-zero -> 0.
+  std::size_t discrete(std::span<const double> weights) noexcept;
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) (count > n returns all n).
+  std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t count);
+
+  /// Derives an independent child generator (for per-thread streams).
+  Rng split() noexcept {
+    const std::uint64_t s = (*this)();
+    return Rng(s ^ 0x9e3779b97f4a7c15ULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spareNormal_ = 0.0;
+  bool hasSpare_ = false;
+};
+
+}  // namespace resex

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resex {
+
+void OnlineStats::add(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::cv() const noexcept {
+  const double m = mean();
+  return m != 0.0 ? stddev() / m : 0.0;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+std::vector<double> quantiles(std::vector<double> values, std::span<const double> qs) {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  if (values.empty()) {
+    out.assign(qs.size(), 0.0);
+    return out;
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : qs) {
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(values[lo] + frac * (values[hi] - values[lo]));
+  }
+  return out;
+}
+
+double jainFairness(std::span<const double> values) noexcept {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sumSq += v * v;
+  }
+  if (sumSq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sumSq);
+}
+
+double gini(std::vector<double> values) {
+  if (values.size() < 2) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cumWeighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cumWeighted += static_cast<double>(i + 1) * values[i];
+    total += values[i];
+  }
+  if (total == 0.0) return 0.0;
+  const double n = static_cast<double>(values.size());
+  return (2.0 * cumWeighted) / (n * total) - (n + 1.0) / n;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double maxOf(std::span<const double> values) noexcept {
+  double best = 0.0;
+  bool first = true;
+  for (const double v : values) {
+    best = first ? v : std::max(best, v);
+    first = false;
+  }
+  return best;
+}
+
+}  // namespace resex

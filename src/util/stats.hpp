@@ -1,0 +1,61 @@
+// Online and batch statistics used throughout metrics and experiments.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace resex {
+
+/// Welford online accumulator for mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const noexcept { return count_ ? m2_ / static_cast<double>(count_) : 0.0; }
+  /// Sample variance (divides by n-1); 0 when fewer than two samples.
+  double sampleVariance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  /// Coefficient of variation: stddev / mean (0 when mean is 0).
+  double cv() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Quantile of a sample using linear interpolation (type-7, numpy default).
+/// q in [0, 1]; empty input returns 0.
+double quantile(std::vector<double> values, double q);
+
+/// Several quantiles at once; sorts the sample a single time.
+std::vector<double> quantiles(std::vector<double> values, std::span<const double> qs);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 when perfectly even.
+/// Empty or all-zero input returns 1.
+double jainFairness(std::span<const double> values) noexcept;
+
+/// Gini coefficient of a non-negative sample; 0 when perfectly even.
+double gini(std::vector<double> values);
+
+/// Arithmetic mean; empty input returns 0.
+double mean(std::span<const double> values) noexcept;
+
+/// Maximum; empty input returns 0.
+double maxOf(std::span<const double> values) noexcept;
+
+}  // namespace resex

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+
+namespace resex {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table: row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string Table::num(std::size_t value) {
+  return std::to_string(value);
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return std::string(buf);
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emitRow = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) out += "  ";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emitRow(header_, out);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out.append(widths[c], '-');
+    if (c + 1 < widths.size()) out += "  ";
+  }
+  out += '\n';
+  for (const auto& row : rows_) emitRow(row, out);
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+void Table::print() const { std::cout << render() << std::flush; }
+
+}  // namespace resex

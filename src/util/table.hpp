@@ -1,0 +1,41 @@
+// Console table printer: the bench harnesses print paper-style tables with
+// aligned columns through this helper.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resex {
+
+/// Column-aligned text table. Add a header then rows of stringly cells;
+/// numeric helpers format doubles compactly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision, trimming trailing zeros.
+  static std::string num(double value, int precision = 3);
+  /// Integer cell.
+  static std::string num(std::size_t value);
+  /// Percentage cell, e.g. 12.3%.
+  static std::string pct(double fraction, int precision = 1);
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  std::string render() const;
+  void print(std::ostream& os) const;
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace resex

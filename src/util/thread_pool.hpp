@@ -1,0 +1,74 @@
+// Work-queue thread pool and a blocked parallel_for built on it.
+//
+// The pool is deliberately simple (single mutex-protected deque): tasks in
+// this library are coarse (whole LNS searches, per-epoch simulations,
+// instance-generation blocks), so queue contention is negligible and the
+// simplicity buys easy reasoning about shutdown and exceptions.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resex {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future rethrows any exception the task threw.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Blocks until every task submitted so far has completed.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idleCv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Shared process-wide pool (lazily constructed, sized to the hardware).
+ThreadPool& globalPool();
+
+/// Runs fn(i) for i in [0, n) across the pool in contiguous blocks.
+/// Exceptions from any block are rethrown (first one wins). For n below
+/// `grainSize` the loop runs inline to avoid dispatch overhead.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 std::size_t grainSize = 256);
+
+/// Runs fn(block_begin, block_end) over contiguous ranges covering [0, n).
+void parallelForBlocked(std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& fn,
+                        std::size_t grainSize = 256);
+
+}  // namespace resex

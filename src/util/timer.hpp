@@ -1,0 +1,41 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace resex {
+
+/// Monotonic stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const noexcept { return seconds() * 1e3; }
+  double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Simple deadline: construct with a budget in seconds, poll expired().
+class Deadline {
+ public:
+  explicit Deadline(double budgetSeconds) noexcept : budget_(budgetSeconds) {}
+
+  bool expired() const noexcept { return timer_.seconds() >= budget_; }
+  double remaining() const noexcept { return budget_ - timer_.seconds(); }
+  double budget() const noexcept { return budget_; }
+  double elapsed() const noexcept { return timer_.seconds(); }
+
+ private:
+  WallTimer timer_;
+  double budget_;
+};
+
+}  // namespace resex

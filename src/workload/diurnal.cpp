@@ -1,0 +1,18 @@
+#include "workload/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace resex {
+
+double DiurnalModel::multiplier(double hour, double phaseShiftHours) const noexcept {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  const double t = (hour + phaseShiftHours - peakHour) / 24.0;
+  const double primary = std::cos(kTwoPi * t);
+  const double secondary = std::cos(2.0 * kTwoPi * t);
+  const double value = base * (1.0 + amplitude * primary + secondHarmonic * amplitude * secondary);
+  return std::max(0.05, value);
+}
+
+}  // namespace resex

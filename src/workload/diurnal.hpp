@@ -1,0 +1,23 @@
+// Diurnal load model: smooth day/night demand multiplier with per-entity
+// phase jitter, the standard shape of search-engine query traffic.
+#pragma once
+
+#include <cstddef>
+
+namespace resex {
+
+struct DiurnalModel {
+  /// Mean multiplier across the day.
+  double base = 1.0;
+  /// Peak-to-mean swing (0 = flat, 0.5 = peaks 50% above base).
+  double amplitude = 0.4;
+  /// Hour of the primary peak (0..24).
+  double peakHour = 14.0;
+  /// Weight of the secondary harmonic (morning/evening double peak).
+  double secondHarmonic = 0.15;
+
+  /// Multiplier at `hour` in [0, 24), optionally phase-shifted per entity.
+  double multiplier(double hour, double phaseShiftHours = 0.0) const noexcept;
+};
+
+}  // namespace resex

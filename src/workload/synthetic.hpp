@@ -1,0 +1,69 @@
+// Synthetic RESEX instance generation.
+//
+// Reproduces the statistical features that make production shard
+// rebalancing hard: heavy-tailed shard demands, correlated resource
+// dimensions, heterogeneous machine SKUs, and a skewed (imbalanced but
+// feasible) initial placement.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/instance.hpp"
+#include "util/rng.hpp"
+
+namespace resex {
+
+struct SyntheticConfig {
+  std::uint64_t seed = 1;
+  /// Regular machines.
+  std::size_t machines = 100;
+  /// Borrowed exchange machines appended after the regular ones.
+  std::size_t exchangeMachines = 4;
+  /// Average shards per regular machine.
+  double shardsPerMachine = 20.0;
+  std::size_t dims = 2;
+  /// Target worst-dimension (total demand) / (total regular capacity).
+  double loadFactor = 0.7;
+  /// Lognormal sigma of shard base demand: 0 = equal shards, ~1 = heavy tail.
+  double shardSizeSigma = 0.8;
+  /// Correlation in [0,1] between dimension 0 and the others (1 = identical
+  /// shape, 0 = independent).
+  double dimCorrelation = 0.5;
+  /// Distinct machine capacity classes (1 = homogeneous).
+  std::size_t skuCount = 2;
+  /// Capacity ratio between successive SKUs (sku i has base * ratio^i).
+  double skuRatio = 1.5;
+  /// Fraction of shards whose demand is inflated (hot shards).
+  double hotspotFraction = 0.05;
+  /// Demand multiplier applied to hot shards before normalization.
+  double hotspotMultiplier = 4.0;
+  /// Skew of the initial placement: 0 = near-balanced start, larger values
+  /// concentrate shards on a few "sticky" machines (Zipf-weighted).
+  double placementSkew = 0.8;
+  /// No shard may exceed this fraction of the smallest machine's capacity
+  /// in any dimension (production shards are machine-splittable units).
+  /// Enforced by water-filling, so the load-factor target stays exact.
+  double maxShardFraction = 0.5;
+  /// Replicas per logical shard (1 = unreplicated). Replicas share a
+  /// demand vector and must live on distinct machines (anti-affinity);
+  /// shardsPerMachine counts physical shards (replicas included).
+  std::size_t replicationFactor = 1;
+  /// Per-dimension transient fraction; dims beyond the list reuse the last
+  /// entry. Default: dim 0 (cpu) copies cost 30%, all others duplicate fully.
+  double gammaCpu = 0.3;
+  double gammaOther = 1.0;
+  /// Mean migration bytes per unit of (last-dimension) demand.
+  double bytesPerDemand = 1e9;
+};
+
+/// Generates a validated, capacity-feasible instance. Throws
+/// std::runtime_error if the requested load factor leaves no feasible
+/// initial placement (practically only for loadFactor near or above 1).
+Instance generateSynthetic(const SyntheticConfig& config);
+
+/// Convenience: a small instance suitable for unit tests (fast, feasible).
+Instance tinyTestInstance(std::uint64_t seed = 7, std::size_t machines = 6,
+                          std::size_t shards = 24, std::size_t exchange = 2,
+                          double loadFactor = 0.6);
+
+}  // namespace resex

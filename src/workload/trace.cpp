@@ -1,0 +1,136 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace resex {
+
+Trace::Trace(const Instance& base, TraceConfig config,
+             std::vector<std::vector<ResourceVector>> demands)
+    : base_(&base), config_(config), demands_(std::move(demands)) {
+  for (const auto& epoch : demands_)
+    if (epoch.size() != base.shardCount())
+      throw std::invalid_argument("Trace: demand row size mismatch");
+}
+
+double Trace::epochLoadFactor(std::size_t epoch) const {
+  ResourceVector total(base_->dims());
+  for (const ResourceVector& w : demands_.at(epoch)) total += w;
+  return total.utilizationAgainst(base_->totalRegularCapacity());
+}
+
+Instance Trace::instanceForEpoch(std::size_t epoch,
+                                 const std::vector<MachineId>& currentMapping) const {
+  const auto& epochDemands = demands_.at(epoch);
+  if (currentMapping.size() != base_->shardCount())
+    throw std::invalid_argument("Trace: mapping size mismatch");
+
+  // The k machines that are vacant under currentMapping are "returned" and
+  // re-borrowed as this epoch's exchange machines: relabel them to the tail.
+  const std::size_t m = base_->machineCount();
+  const std::size_t k = base_->exchangeCount();
+  std::vector<bool> occupied(m, false);
+  for (const MachineId mach : currentMapping) {
+    if (mach == kNoMachine || mach >= m)
+      throw std::invalid_argument("Trace: mapping references unknown machine");
+    occupied[mach] = true;
+  }
+  std::vector<MachineId> vacant;
+  for (MachineId mach = 0; mach < m; ++mach)
+    if (!occupied[mach]) vacant.push_back(mach);
+  if (vacant.size() < k)
+    throw std::runtime_error("Trace: fewer vacant machines than the exchange count");
+  vacant.resize(k);
+
+  std::vector<bool> isReturned(m, false);
+  for (const MachineId mach : vacant) isReturned[mach] = true;
+
+  // newIndex[old] = position in the relabeled machine array.
+  std::vector<MachineId> newIndex(m, 0);
+  std::vector<Machine> machines;
+  machines.reserve(m);
+  for (MachineId mach = 0; mach < m; ++mach) {
+    if (isReturned[mach]) continue;
+    newIndex[mach] = static_cast<MachineId>(machines.size());
+    Machine copy = base_->machine(mach);
+    copy.id = newIndex[mach];
+    copy.isExchange = false;
+    machines.push_back(copy);
+  }
+  for (const MachineId mach : vacant) {
+    newIndex[mach] = static_cast<MachineId>(machines.size());
+    Machine copy = base_->machine(mach);
+    copy.id = newIndex[mach];
+    copy.isExchange = true;
+    machines.push_back(copy);
+  }
+
+  std::vector<Shard> shards(base_->shardCount());
+  std::vector<MachineId> initial(base_->shardCount());
+  for (ShardId s = 0; s < base_->shardCount(); ++s) {
+    shards[s] = base_->shard(s);
+    shards[s].demand = epochDemands[s];
+    initial[s] = newIndex[currentMapping[s]];
+  }
+
+  std::vector<std::uint32_t> groups;
+  if (base_->hasReplication()) {
+    groups.resize(base_->shardCount());
+    for (ShardId s = 0; s < base_->shardCount(); ++s)
+      groups[s] = base_->replicaGroupOf(s);
+  }
+  return Instance(base_->dims(), std::move(machines), std::move(shards), std::move(initial),
+                  k, base_->transientGamma(), std::move(groups));
+}
+
+Trace generateTrace(const Instance& base, const TraceConfig& config) {
+  if (config.epochs == 0) throw std::invalid_argument("generateTrace: zero epochs");
+  Rng rng(config.seed);
+  const std::size_t n = base.shardCount();
+  const std::size_t dims = base.dims();
+
+  std::vector<double> phase(n);
+  for (std::size_t s = 0; s < n; ++s)
+    phase[s] = rng.normal(0.0, config.shardPhaseJitterHours);
+
+  std::vector<double> drift(n, 1.0);
+  std::vector<double> hotspot(n, 1.0);
+
+  std::vector<std::vector<ResourceVector>> demands(config.epochs);
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    const double hour = std::fmod(static_cast<double>(e) * config.epochHours, 24.0);
+    demands[e].reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      drift[s] *= rng.lognormal(0.0, config.driftSigma);
+      // Pull drift gently back toward 1 so no shard diverges without bound.
+      drift[s] = std::pow(drift[s], 0.98);
+      if (hotspot[s] > 1.0)
+        hotspot[s] = 1.0 + (hotspot[s] - 1.0) * config.hotspotDecay;
+      if (rng.chance(config.hotspotRate)) hotspot[s] = config.hotspotMultiplier;
+      const double mult =
+          config.diurnal.multiplier(hour, phase[s]) * drift[s] * hotspot[s];
+      demands[e].push_back(base.shard(static_cast<ShardId>(s)).demand * mult);
+    }
+  }
+
+  // Normalize so the worst epoch's load factor equals peakLoadFactor.
+  const ResourceVector capacity = base.totalRegularCapacity();
+  double worst = 0.0;
+  for (const auto& epoch : demands) {
+    ResourceVector total(dims);
+    for (const ResourceVector& w : epoch) total += w;
+    worst = std::max(worst, total.utilizationAgainst(capacity));
+  }
+  if (worst > 0.0) {
+    const double scale = config.peakLoadFactor / worst;
+    for (auto& epoch : demands)
+      for (ResourceVector& w : epoch) w *= scale;
+  }
+
+  return Trace(base, config, std::move(demands));
+}
+
+}  // namespace resex

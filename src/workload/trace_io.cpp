@@ -1,0 +1,90 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace resex {
+
+void saveTraceCsv(const Trace& trace, const std::string& path) {
+  CsvWriter csv(path);
+  const std::size_t dims = trace.base().dims();
+  std::vector<std::string> header{"epoch", "shard"};
+  for (std::size_t d = 0; d < dims; ++d)
+    header.push_back("demand_" + std::to_string(d));
+  csv.writeHeader(header);
+
+  char buf[64];
+  for (std::size_t e = 0; e < trace.epochCount(); ++e) {
+    for (ShardId s = 0; s < trace.shardCount(); ++s) {
+      std::vector<std::string> row{std::to_string(e), std::to_string(s)};
+      for (std::size_t d = 0; d < dims; ++d) {
+        std::snprintf(buf, sizeof buf, "%.17g", trace.demand(e, s)[d]);
+        row.emplace_back(buf);
+      }
+      csv.writeRow(row);
+    }
+  }
+}
+
+Trace loadTraceCsv(const Instance& base, const TraceConfig& config,
+                   const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadTraceCsv: cannot open " + path);
+
+  const std::size_t dims = base.dims();
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("loadTraceCsv: empty file");
+  // Header is not interpreted beyond arity checking.
+  std::size_t headerCols = 1;
+  for (const char c : line)
+    if (c == ',') ++headerCols;
+  if (headerCols != 2 + dims)
+    throw std::runtime_error("loadTraceCsv: header arity does not match dims");
+
+  std::vector<std::vector<ResourceVector>> demands;
+  std::vector<std::vector<bool>> seen;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    std::string cell;
+    auto nextCell = [&]() -> std::string {
+      if (!std::getline(cells, cell, ','))
+        throw std::runtime_error("loadTraceCsv: short row: " + line);
+      return cell;
+    };
+    const std::size_t epoch = std::stoul(nextCell());
+    const std::size_t shard = std::stoul(nextCell());
+    if (shard >= base.shardCount())
+      throw std::runtime_error("loadTraceCsv: shard id out of range");
+    if (epoch >= demands.size()) {
+      demands.resize(epoch + 1,
+                     std::vector<ResourceVector>(base.shardCount(), ResourceVector(dims)));
+      seen.resize(epoch + 1, std::vector<bool>(base.shardCount(), false));
+    }
+    if (seen[epoch][shard])
+      throw std::runtime_error("loadTraceCsv: duplicate (epoch, shard) row");
+    seen[epoch][shard] = true;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double value = std::stod(nextCell());
+      if (value < 0.0) throw std::runtime_error("loadTraceCsv: negative demand");
+      demands[epoch][shard][d] = value;
+    }
+    ++rows;
+  }
+  if (demands.empty()) throw std::runtime_error("loadTraceCsv: no data rows");
+  for (std::size_t e = 0; e < demands.size(); ++e)
+    for (ShardId s = 0; s < base.shardCount(); ++s)
+      if (!seen[e][s])
+        throw std::runtime_error("loadTraceCsv: missing row for epoch " +
+                                 std::to_string(e) + " shard " + std::to_string(s));
+
+  TraceConfig effective = config;
+  effective.epochs = demands.size();
+  return Trace(base, effective, std::move(demands));
+}
+
+}  // namespace resex

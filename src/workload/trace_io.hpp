@@ -1,0 +1,25 @@
+// Trace import/export: the ingestion path for external ("real") demand
+// traces.
+//
+// CSV schema, one row per (epoch, shard):
+//   epoch,shard,demand_0[,demand_1,...]
+// with a header line. Rows may appear in any order; every (epoch, shard)
+// pair must appear exactly once and epochs must be dense from 0.
+#pragma once
+
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace resex {
+
+/// Writes a trace's demand matrices as CSV.
+void saveTraceCsv(const Trace& trace, const std::string& path);
+
+/// Reads a demand trace for the shards of `base`. The returned Trace uses
+/// `config` for its metadata fields (epoch hours etc.); demand values come
+/// entirely from the file. Throws std::runtime_error on malformed input.
+Trace loadTraceCsv(const Instance& base, const TraceConfig& config,
+                   const std::string& path);
+
+}  // namespace resex

@@ -1,0 +1,39 @@
+// Zipf-distributed sampling over {1..n} with exponent s >= 0.
+//
+// Uses Hörmann's rejection-inversion method: O(1) draws with no O(n) table,
+// so it scales to vocabulary-sized domains (search-term popularity).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace resex {
+
+class ZipfSampler {
+ public:
+  /// n >= 1 elements; exponent >= 0 (0 = uniform). Throws on bad args.
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  /// Draws a rank in [1, n]; rank 1 is the most popular.
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double exponent() const noexcept { return s_; }
+
+  /// P(rank) under the (normalized) Zipf law — for tests and analysis.
+  double probability(std::uint64_t rank) const;
+
+ private:
+  double h(double x) const;
+  double hInverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double hX1_;
+  double hN_;
+  double norm_;  // sum_{k=1..n} k^-s (computed lazily only for probability())
+  mutable bool normComputed_ = false;
+};
+
+}  // namespace resex

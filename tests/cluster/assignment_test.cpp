@@ -1,0 +1,206 @@
+#include "cluster/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+using testing::placedInstance;
+using testing::uniformInstance;
+
+TEST(Assignment, StartsAtInitialPlacement) {
+  const Instance inst = uniformInstance(3, 1, {10.0, 20.0, 30.0});
+  Assignment a(inst);
+  EXPECT_EQ(a.machineOf(0), 0u);
+  EXPECT_EQ(a.machineOf(1), 1u);
+  EXPECT_EQ(a.machineOf(2), 2u);
+  EXPECT_EQ(a.unassignedCount(), 0u);
+  EXPECT_EQ(a.vacantCount(), 1u);  // the exchange machine
+  EXPECT_DOUBLE_EQ(a.loadOf(1)[0], 20.0);
+  EXPECT_DOUBLE_EQ(a.utilizationOf(2), 0.3);
+}
+
+TEST(Assignment, BottleneckQueries) {
+  const Instance inst = uniformInstance(3, 0, {10.0, 50.0, 30.0});
+  Assignment a(inst);
+  EXPECT_DOUBLE_EQ(a.bottleneckUtilization(), 0.5);
+  EXPECT_EQ(a.bottleneckMachine(), 1u);
+}
+
+TEST(Assignment, MoveUpdatesLoadsAndLists) {
+  const Instance inst = uniformInstance(2, 1, {10.0, 20.0});
+  Assignment a(inst);
+  a.moveShard(0, 1);
+  EXPECT_EQ(a.machineOf(0), 1u);
+  EXPECT_DOUBLE_EQ(a.loadOf(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(a.loadOf(1)[0], 30.0);
+  EXPECT_EQ(a.shardCountOn(0), 0u);
+  EXPECT_EQ(a.shardCountOn(1), 2u);
+  EXPECT_TRUE(a.isVacant(0));
+  EXPECT_EQ(a.vacantCount(), 2u);
+}
+
+TEST(Assignment, MoveToSameMachineIsNoop) {
+  const Instance inst = uniformInstance(2, 0, {10.0});
+  Assignment a(inst);
+  a.moveShard(0, 0);
+  EXPECT_EQ(a.machineOf(0), 0u);
+  EXPECT_TRUE(a.validate().empty());
+}
+
+TEST(Assignment, RemoveAndAssign) {
+  const Instance inst = uniformInstance(2, 0, {10.0, 20.0});
+  Assignment a(inst);
+  const MachineId from = a.remove(1);
+  EXPECT_EQ(from, 1u);
+  EXPECT_FALSE(a.isAssigned(1));
+  EXPECT_EQ(a.unassignedCount(), 1u);
+  EXPECT_TRUE(a.isVacant(1));
+  a.assign(1, 0);
+  EXPECT_EQ(a.machineOf(1), 0u);
+  EXPECT_DOUBLE_EQ(a.loadOf(0)[0], 30.0);
+  EXPECT_TRUE(a.validate().empty());
+}
+
+TEST(Assignment, DoubleAssignThrows) {
+  const Instance inst = uniformInstance(2, 0, {10.0});
+  Assignment a(inst);
+  EXPECT_THROW(a.assign(0, 1), std::logic_error);
+}
+
+TEST(Assignment, RemoveUnassignedThrows) {
+  const Instance inst = uniformInstance(2, 0, {10.0});
+  Assignment a(inst);
+  a.remove(0);
+  EXPECT_THROW(a.remove(0), std::logic_error);
+}
+
+TEST(Assignment, MigratedBytesTracksDisplacement) {
+  const Instance inst = uniformInstance(3, 0, {10.0, 20.0, 30.0});
+  Assignment a(inst);
+  EXPECT_DOUBLE_EQ(a.migratedBytes(), 0.0);
+  EXPECT_EQ(a.movedShardCount(), 0u);
+  a.moveShard(0, 1);
+  EXPECT_DOUBLE_EQ(a.migratedBytes(), 10.0);
+  EXPECT_EQ(a.movedShardCount(), 1u);
+  a.moveShard(0, 0);  // back home
+  EXPECT_DOUBLE_EQ(a.migratedBytes(), 0.0);
+  EXPECT_EQ(a.movedShardCount(), 0u);
+}
+
+TEST(Assignment, SumSquaredUtilMatchesDirectComputation) {
+  const Instance inst = uniformInstance(3, 1, {10.0, 50.0, 30.0});
+  Assignment a(inst);
+  a.moveShard(0, 1);
+  a.moveShard(2, 3);
+  double expected = 0.0;
+  for (MachineId m = 0; m < inst.machineCount(); ++m) {
+    const double u = a.loadOf(m).utilizationAgainst(inst.machine(m).capacity);
+    expected += u * u;
+  }
+  EXPECT_NEAR(a.sumSquaredUtil(), expected, 1e-9);
+}
+
+TEST(Assignment, CanPlaceHonorsCapacity) {
+  const Instance inst = uniformInstance(2, 0, {60.0, 50.0});
+  Assignment a(inst);
+  EXPECT_FALSE(a.canPlace(0, 1));  // 50 + 60 > 100
+  a.remove(1);
+  EXPECT_TRUE(a.canPlace(0, 1));
+}
+
+TEST(Assignment, CanPlaceTransientUsesGamma) {
+  // gamma = (0.5, 0.5): copy consumes half demand on the target.
+  const Instance inst = placedInstance(2, 0, {60.0, 55.0}, {0, 1}, 100.0,
+                                       ResourceVector{0.5, 0.5});
+  Assignment a(inst);
+  // End state 55 + 60 = 115 > 100: transient placement must fail even
+  // though the copy window 55 + 30 = 85 fits.
+  EXPECT_FALSE(a.canPlaceTransient(0, 1));
+  // A smaller shard: copy 60 + 27.5 = 87.5 ok, end 60 + 55 = 115 > 100 no.
+  EXPECT_FALSE(a.canPlaceTransient(1, 0));
+}
+
+TEST(Assignment, CanPlaceTransientCopyWindowBinds) {
+  // gamma = 1: target needs full headroom during the copy.
+  const Instance inst = placedInstance(3, 0, {30.0, 80.0, 0.0}, {0, 1, 2});
+  Assignment a(inst);
+  // Move shard 0 (30) onto machine 1 (80): end 110 > 100 -> reject.
+  EXPECT_FALSE(a.canPlaceTransient(0, 1));
+  // Move shard 0 onto empty machine 2: trivially fine.
+  EXPECT_TRUE(a.canPlaceTransient(0, 2));
+}
+
+TEST(Assignment, ConstructFromPartialMapping) {
+  const Instance inst = uniformInstance(2, 0, {10.0, 20.0});
+  Assignment a(inst, {kNoMachine, 0});
+  EXPECT_FALSE(a.isAssigned(0));
+  EXPECT_EQ(a.unassignedCount(), 1u);
+  EXPECT_DOUBLE_EQ(a.loadOf(0)[0], 20.0);
+  EXPECT_TRUE(a.validate().empty());
+}
+
+TEST(Assignment, MappingSizeMismatchThrows) {
+  const Instance inst = uniformInstance(2, 0, {10.0});
+  EXPECT_THROW(Assignment(inst, {0, 0}), std::invalid_argument);
+}
+
+TEST(Assignment, MachineOutOfRangeThrows) {
+  const Instance inst = uniformInstance(2, 0, {10.0});
+  EXPECT_THROW(Assignment(inst, {9}), std::invalid_argument);
+}
+
+TEST(Assignment, ValidateReportsOverCapacity) {
+  const Instance inst = uniformInstance(2, 0, {60.0, 70.0});
+  Assignment a(inst, {0, 0});  // 130 on one 100-capacity machine
+  const auto problems = a.validate(/*requireCapacity=*/true);
+  EXPECT_FALSE(problems.empty());
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/false).empty());
+}
+
+TEST(Assignment, RecomputeCachesIsIdempotent) {
+  const Instance inst = uniformInstance(3, 1, {10.0, 20.0, 30.0});
+  Assignment a(inst);
+  a.moveShard(0, 2);
+  a.moveShard(1, 3);
+  const double sumSq = a.sumSquaredUtil();
+  const double bytes = a.migratedBytes();
+  a.recomputeCaches();
+  EXPECT_NEAR(a.sumSquaredUtil(), sumSq, 1e-9);
+  EXPECT_NEAR(a.migratedBytes(), bytes, 1e-9);
+  EXPECT_TRUE(a.validate().empty());
+}
+
+TEST(Assignment, RandomWalkKeepsCachesConsistent) {
+  const Instance inst = tinyTestInstance(11, 6, 36, 2, 0.6);
+  Assignment a(inst);
+  Rng rng(99);
+  for (int step = 0; step < 5000; ++step) {
+    const auto s = static_cast<ShardId>(rng.below(inst.shardCount()));
+    const auto m = static_cast<MachineId>(rng.below(inst.machineCount()));
+    if (!a.isAssigned(s)) {
+      a.assign(s, m);
+    } else if (rng.chance(0.3)) {
+      a.remove(s);
+    } else {
+      a.moveShard(s, m);
+    }
+  }
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/false).empty());
+}
+
+TEST(Assignment, EqualityComparesMappings) {
+  const Instance inst = uniformInstance(2, 0, {10.0, 20.0});
+  Assignment a(inst);
+  Assignment b(inst);
+  EXPECT_EQ(a, b);
+  a.moveShard(0, 1);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,153 @@
+#include "cluster/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+
+namespace resex {
+namespace {
+
+using testing::placedInstance;
+using testing::uniformInstance;
+
+TEST(DiffMoves, EmptyWhenIdentical) {
+  const std::vector<MachineId> a{0, 1, 2};
+  EXPECT_TRUE(diffMoves(a, a).empty());
+}
+
+TEST(DiffMoves, ListsEveryDifference) {
+  const std::vector<MachineId> start{0, 1, 2};
+  const std::vector<MachineId> target{1, 1, 0};
+  const auto moves = diffMoves(start, target);
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0], (Move{0, 0, 1}));
+  EXPECT_EQ(moves[1], (Move{2, 2, 0}));
+}
+
+TEST(DiffMoves, RejectsSizeMismatch) {
+  EXPECT_THROW(diffMoves({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(DiffMoves, RejectsUnassigned) {
+  EXPECT_THROW(diffMoves({kNoMachine}, {0}), std::invalid_argument);
+}
+
+TEST(Schedule, CountsAndPeak) {
+  Schedule s;
+  EXPECT_EQ(s.moveCount(), 0u);
+  EXPECT_DOUBLE_EQ(s.peakTransientUtil(), 0.0);
+  Phase p1;
+  p1.moves.push_back(Move{0, 0, 1});
+  p1.peakTransientUtil = 0.7;
+  Phase p2;
+  p2.moves.push_back(Move{1, 1, 0});
+  p2.moves.push_back(Move{2, 2, 0});
+  p2.peakTransientUtil = 0.9;
+  s.phases = {p1, p2};
+  EXPECT_EQ(s.phaseCount(), 2u);
+  EXPECT_EQ(s.moveCount(), 3u);
+  EXPECT_DOUBLE_EQ(s.peakTransientUtil(), 0.9);
+}
+
+TEST(VerifySchedule, AcceptsValidSingleMove) {
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 2});
+  s.phases.push_back(p);
+  s.totalBytes = 40.0;
+  const std::vector<MachineId> target{2, 1};
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
+}
+
+TEST(VerifySchedule, RejectsWrongSource) {
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 1, 2});  // shard 0 is on machine 0, not 1
+  s.phases.push_back(p);
+  s.totalBytes = 40.0;
+  const std::vector<MachineId> target{2, 1};
+  EXPECT_FALSE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
+}
+
+TEST(VerifySchedule, RejectsCopyWindowOverload) {
+  // Machine 1 holds 80; moving a 30-shard there with gamma=1 needs a 110
+  // copy window on a 100 machine.
+  const Instance inst = placedInstance(2, 0, {30.0, 80.0}, {0, 1});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 1});
+  s.phases.push_back(p);
+  s.totalBytes = 30.0;
+  const std::vector<MachineId> target{1, 1};
+  const auto problems = verifySchedule(inst, inst.initialAssignment(), target, s);
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST(VerifySchedule, GammaZeroAllowsTightSwapOver) {
+  // With gamma=0 there is no copy cost; only the end state matters.
+  const Instance inst = placedInstance(2, 0, {30.0, 60.0}, {0, 1}, 100.0,
+                                       ResourceVector{0.0, 0.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 1});
+  s.phases.push_back(p);
+  s.totalBytes = 30.0;
+  const std::vector<MachineId> target{1, 1};
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
+}
+
+TEST(VerifySchedule, RejectsShardMovedTwiceInOnePhase) {
+  const Instance inst = uniformInstance(3, 0, {10.0, 10.0, 10.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 1});
+  p.moves.push_back(Move{0, 0, 2});
+  s.phases.push_back(p);
+  s.totalBytes = 20.0;
+  const std::vector<MachineId> target{1, 1, 2};
+  EXPECT_FALSE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
+}
+
+TEST(VerifySchedule, RejectsIncompleteTargetMismatch) {
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;  // empty but claims complete
+  const std::vector<MachineId> target{2, 1};
+  const auto problems = verifySchedule(inst, inst.initialAssignment(), target, s);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(VerifySchedule, AcceptsIncompleteWithUnscheduledListed) {
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;
+  s.complete = false;
+  s.unscheduled.push_back(Move{0, 0, 2});
+  const std::vector<MachineId> target{2, 1};
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
+}
+
+TEST(VerifySchedule, RejectsWrongByteTotal) {
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 2});
+  s.phases.push_back(p);
+  s.totalBytes = 1.0;  // wrong
+  const std::vector<MachineId> target{2, 1};
+  EXPECT_FALSE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
+}
+
+TEST(VerifySchedule, RejectsDegenerateMove) {
+  const Instance inst = uniformInstance(2, 0, {10.0, 10.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 0});
+  s.phases.push_back(p);
+  s.totalBytes = 10.0;
+  const std::vector<MachineId> target{0, 1};
+  EXPECT_FALSE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
+}
+
+}  // namespace
+}  // namespace resex

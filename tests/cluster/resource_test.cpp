@@ -1,0 +1,119 @@
+#include "cluster/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resex {
+namespace {
+
+TEST(ResourceVector, DefaultIsEmpty) {
+  ResourceVector v;
+  EXPECT_EQ(v.dims(), 0u);
+  EXPECT_TRUE(v.isZero());
+}
+
+TEST(ResourceVector, FillConstructor) {
+  ResourceVector v(3, 2.5);
+  EXPECT_EQ(v.dims(), 3u);
+  for (std::size_t d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(v[d], 2.5);
+}
+
+TEST(ResourceVector, InitializerList) {
+  ResourceVector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.dims(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(ResourceVector, Arithmetic) {
+  ResourceVector a{1.0, 2.0};
+  ResourceVector b{0.5, 1.5};
+  const ResourceVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 1.5);
+  EXPECT_DOUBLE_EQ(sum[1], 3.5);
+  const ResourceVector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], 0.5);
+  EXPECT_DOUBLE_EQ(diff[1], 0.5);
+  const ResourceVector scaled = a * 3.0;
+  EXPECT_DOUBLE_EQ(scaled[0], 3.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 6.0);
+}
+
+TEST(ResourceVector, CompoundOps) {
+  ResourceVector a{1.0, 1.0};
+  a += ResourceVector{1.0, 2.0};
+  a -= ResourceVector{0.5, 0.5};
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 5.0);
+}
+
+TEST(ResourceVector, Hadamard) {
+  ResourceVector a{2.0, 3.0};
+  ResourceVector g{0.5, 1.0};
+  const ResourceVector h = a.hadamard(g);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);
+  EXPECT_DOUBLE_EQ(h[1], 3.0);
+}
+
+TEST(ResourceVector, Equality) {
+  EXPECT_EQ((ResourceVector{1.0, 2.0}), (ResourceVector{1.0, 2.0}));
+  EXPECT_NE((ResourceVector{1.0, 2.0}), (ResourceVector{1.0, 3.0}));
+  EXPECT_NE((ResourceVector{1.0}), (ResourceVector{1.0, 0.0}));
+}
+
+TEST(ResourceVector, FitsWithin) {
+  ResourceVector load{5.0, 5.0};
+  EXPECT_TRUE(load.fitsWithin(ResourceVector{5.0, 5.0}));
+  EXPECT_TRUE(load.fitsWithin(ResourceVector{10.0, 10.0}));
+  EXPECT_FALSE(load.fitsWithin(ResourceVector{10.0, 4.0}));
+}
+
+TEST(ResourceVector, FitsWithinTolerance) {
+  ResourceVector load{5.0 + 1e-12, 5.0};
+  EXPECT_TRUE(load.fitsWithin(ResourceVector{5.0, 5.0}));
+}
+
+TEST(ResourceVector, UtilizationAgainstPicksWorstDim) {
+  ResourceVector load{50.0, 90.0};
+  ResourceVector cap{100.0, 100.0};
+  EXPECT_DOUBLE_EQ(load.utilizationAgainst(cap), 0.9);
+}
+
+TEST(ResourceVector, UtilizationZeroCapacityZeroLoad) {
+  ResourceVector load{0.0, 50.0};
+  ResourceVector cap{0.0, 100.0};
+  EXPECT_DOUBLE_EQ(load.utilizationAgainst(cap), 0.5);
+}
+
+TEST(ResourceVector, UtilizationZeroCapacityPositiveLoadIsHuge) {
+  ResourceVector load{1.0};
+  ResourceVector cap{0.0};
+  EXPECT_GT(load.utilizationAgainst(cap), 1e17);
+}
+
+TEST(ResourceVector, MaxComponentAndSum) {
+  ResourceVector v{1.0, 7.0, 3.0};
+  EXPECT_DOUBLE_EQ(v.maxComponent(), 7.0);
+  EXPECT_DOUBLE_EQ(v.sum(), 11.0);
+}
+
+TEST(ResourceVector, ClampNonNegativeOnlyFixesTinyDrift) {
+  ResourceVector v{-1e-12, -5.0};
+  v.clampNonNegative();
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], -5.0);  // a real negative is a bug; don't mask it
+}
+
+TEST(ResourceVector, ToStringFormats) {
+  ResourceVector v{1.0, 2.5};
+  EXPECT_EQ(v.toString(1), "(1.0, 2.5)");
+}
+
+TEST(DemandDistance, EuclideanBasics) {
+  EXPECT_DOUBLE_EQ(demandDistance(ResourceVector{0.0, 0.0}, ResourceVector{3.0, 4.0}),
+                   5.0);
+  EXPECT_DOUBLE_EQ(demandDistance(ResourceVector{1.0}, ResourceVector{1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace resex

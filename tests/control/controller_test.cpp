@@ -1,0 +1,163 @@
+#include "control/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+namespace resex {
+namespace {
+
+Instance skewedInstance(std::uint64_t seed, double load = 0.8) {
+  SyntheticConfig gen;
+  gen.seed = seed;
+  gen.machines = 10;
+  gen.exchangeMachines = 2;
+  gen.shardsPerMachine = 12.0;
+  gen.loadFactor = load;
+  gen.placementSkew = 1.1;
+  gen.skuCount = 1;
+  return generateSynthetic(gen);
+}
+
+ControllerConfig fastController() {
+  ControllerConfig config;
+  config.sra.lns.maxIterations = 1500;
+  return config;
+}
+
+TEST(Trigger, FiresOnHighBottleneck) {
+  RebalanceTrigger trigger(TriggerConfig{});
+  BalanceMetrics hot;
+  hot.bottleneckUtil = 0.95;
+  hot.utilCv = 0.1;
+  EXPECT_TRUE(trigger.shouldRebalance(hot, 0));
+}
+
+TEST(Trigger, FiresOnHighCv) {
+  RebalanceTrigger trigger(TriggerConfig{});
+  BalanceMetrics skewed;
+  skewed.bottleneckUtil = 0.5;
+  skewed.utilCv = 0.5;
+  EXPECT_TRUE(trigger.shouldRebalance(skewed, 0));
+}
+
+TEST(Trigger, QuietClusterDoesNotFire) {
+  RebalanceTrigger trigger(TriggerConfig{});
+  BalanceMetrics calm;
+  calm.bottleneckUtil = 0.6;
+  calm.utilCv = 0.05;
+  EXPECT_FALSE(trigger.shouldRebalance(calm, 0));
+}
+
+TEST(Trigger, InfeasibleStateAlwaysFires) {
+  RebalanceTrigger trigger(TriggerConfig{});
+  BalanceMetrics broken;
+  broken.bottleneckUtil = 0.2;
+  broken.utilCv = 0.0;
+  broken.feasible = false;
+  EXPECT_TRUE(trigger.shouldRebalance(broken, 0));
+}
+
+TEST(Trigger, CooldownSuppressesRefiring) {
+  TriggerConfig config;
+  config.cooldownEpochs = 3;
+  RebalanceTrigger trigger(config);
+  BalanceMetrics hot;
+  hot.bottleneckUtil = 0.99;
+  EXPECT_TRUE(trigger.shouldRebalance(hot, 0));
+  EXPECT_FALSE(trigger.shouldRebalance(hot, 1));
+  EXPECT_FALSE(trigger.shouldRebalance(hot, 2));
+  EXPECT_TRUE(trigger.shouldRebalance(hot, 3));
+}
+
+TEST(Trigger, AlwaysModeIgnoresMetricsButNotCooldown) {
+  TriggerConfig config;
+  config.always = true;
+  config.cooldownEpochs = 2;
+  RebalanceTrigger trigger(config);
+  BalanceMetrics calm;
+  EXPECT_TRUE(trigger.shouldRebalance(calm, 0));
+  EXPECT_FALSE(trigger.shouldRebalance(calm, 1));
+  EXPECT_TRUE(trigger.shouldRebalance(calm, 2));
+}
+
+TEST(Controller, ExecutesWhenTriggered) {
+  const Instance inst = skewedInstance(1);
+  ClusterController controller(fastController());
+  const EpochReport report = controller.step(inst);
+  EXPECT_TRUE(report.triggered);  // skewed start: high cv
+  EXPECT_TRUE(report.executed);
+  EXPECT_LT(report.after.bottleneckUtil, report.before.bottleneckUtil);
+  EXPECT_EQ(controller.rebalancesExecuted(), 1u);
+  EXPECT_GT(controller.cumulativeBytes(), 0.0);
+  EXPECT_EQ(controller.mapping().size(), inst.shardCount());
+}
+
+TEST(Controller, SkipsQuietEpochs) {
+  ControllerConfig config = fastController();
+  config.trigger.bottleneckThreshold = 0.999;
+  config.trigger.cvThreshold = 10.0;  // effectively never
+  ClusterController controller(config);
+  const Instance inst = skewedInstance(2, 0.6);
+  const EpochReport report = controller.step(inst);
+  EXPECT_FALSE(report.triggered);
+  EXPECT_FALSE(report.executed);
+  EXPECT_EQ(controller.mapping(), inst.initialAssignment());
+  EXPECT_EQ(controller.cumulativeBytes(), 0.0);
+}
+
+TEST(Controller, ByteBudgetDiscardsExpensivePlans) {
+  ControllerConfig config = fastController();
+  config.bytesBudgetPerEpoch = 1.0;  // absurdly small
+  ClusterController controller(config);
+  const Instance inst = skewedInstance(3);
+  const EpochReport report = controller.step(inst);
+  EXPECT_TRUE(report.triggered);
+  EXPECT_FALSE(report.executed);
+  EXPECT_GT(report.scheduleBytes, 1.0);  // the plan existed but was discarded
+  EXPECT_EQ(controller.mapping(), inst.initialAssignment());
+  EXPECT_DOUBLE_EQ(controller.cumulativeBytes(), 0.0);
+}
+
+TEST(Controller, HistoryAccumulates) {
+  ControllerConfig config = fastController();
+  config.trigger.cooldownEpochs = 5;  // second epoch suppressed by cooldown
+  ClusterController controller(config);
+  const Instance inst = skewedInstance(4);
+  controller.step(inst);
+  controller.step(inst);
+  ASSERT_EQ(controller.history().size(), 2u);
+  EXPECT_EQ(controller.history()[0].epoch, 0u);
+  EXPECT_EQ(controller.history()[1].epoch, 1u);
+  EXPECT_TRUE(controller.history()[0].triggered);
+  EXPECT_FALSE(controller.history()[1].triggered);
+}
+
+TEST(Controller, DrivesTraceOperationEndToEnd) {
+  const Instance base = tinyTestInstance(999, 8, 96, 2, 0.55);
+  TraceConfig traceConfig;
+  traceConfig.seed = 4;
+  traceConfig.epochs = 5;
+  traceConfig.peakLoadFactor = 0.8;
+  const Trace trace = generateTrace(base, traceConfig);
+
+  ControllerConfig config = fastController();
+  config.trigger.always = true;
+  config.trigger.cooldownEpochs = 0;
+  ClusterController controller(config);
+
+  std::vector<MachineId> mapping = base.initialAssignment();
+  for (std::size_t e = 0; e < trace.epochCount(); ++e) {
+    const Instance inst = trace.instanceForEpoch(e, mapping);
+    const EpochReport report = controller.step(inst);
+    EXPECT_TRUE(report.executed) << "epoch " << e;
+    mapping = controller.mapping();
+    Assignment state(inst, mapping);
+    EXPECT_GE(state.vacantCount(), inst.exchangeCount());
+  }
+  EXPECT_EQ(controller.rebalancesExecuted(), trace.epochCount());
+}
+
+}  // namespace
+}  // namespace resex

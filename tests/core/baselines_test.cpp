@@ -1,0 +1,225 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+using testing::placedInstance;
+
+Instance skewedInstance(std::uint64_t seed = 111) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.machines = 10;
+  config.exchangeMachines = 2;
+  config.shardsPerMachine = 12.0;
+  config.loadFactor = 0.6;
+  config.placementSkew = 1.0;
+  config.skuCount = 1;
+  return generateSynthetic(config);
+}
+
+TEST(Noop, LeavesEverythingInPlace) {
+  const Instance inst = skewedInstance();
+  NoopRebalancer noop;
+  const RebalanceResult r = noop.rebalance(inst);
+  EXPECT_EQ(r.finalMapping, inst.initialAssignment());
+  EXPECT_EQ(r.schedule.moveCount(), 0u);
+  EXPECT_DOUBLE_EQ(r.after.bottleneckUtil, r.before.bottleneckUtil);
+  EXPECT_TRUE(r.scheduleComplete());
+}
+
+TEST(SwapLs, ImprovesBottleneck) {
+  const Instance inst = skewedInstance();
+  SwapLocalSearch ls;
+  const RebalanceResult r = ls.rebalance(inst);
+  EXPECT_LT(r.after.bottleneckUtil, r.before.bottleneckUtil);
+}
+
+TEST(SwapLs, NeverTouchesExchangeMachines) {
+  const Instance inst = skewedInstance();
+  SwapLocalSearch ls;
+  const RebalanceResult r = ls.rebalance(inst);
+  for (ShardId s = 0; s < inst.shardCount(); ++s)
+    EXPECT_LT(r.finalMapping[s], inst.regularCount()) << "shard " << s;
+}
+
+TEST(SwapLs, ScheduleIsValidStepByStep) {
+  const Instance inst = skewedInstance(222);
+  SwapLocalSearch ls;
+  const RebalanceResult r = ls.rebalance(inst);
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), r.finalMapping, r.schedule)
+                  .empty());
+}
+
+TEST(SwapLs, EveryStepIsItsOwnPhase) {
+  const Instance inst = skewedInstance(333);
+  SwapLocalSearch ls;
+  const RebalanceResult r = ls.rebalance(inst);
+  for (const Phase& p : r.schedule.phases) EXPECT_LE(p.moves.size(), 2u);
+}
+
+TEST(SwapLs, StallsOnTightSwapDeadlock) {
+  // Two 70-shards on two 100-machines with a spare exchange machine: the
+  // balanced state requires a swap the baseline cannot execute (no
+  // exchange usage, no staging). It must stop without improvement.
+  const Instance inst = placedInstance(2, 1, {70.0, 70.0}, {0, 1});
+  SwapLocalSearch ls;
+  const RebalanceResult r = ls.rebalance(inst);
+  EXPECT_EQ(r.schedule.moveCount(), 0u);
+  EXPECT_DOUBLE_EQ(r.after.bottleneckUtil, 0.7);
+}
+
+TEST(SwapLs, RespectsStepBudget) {
+  SwapLsConfig config;
+  config.maxSteps = 3;
+  const Instance inst = skewedInstance(444);
+  SwapLocalSearch ls(config);
+  const RebalanceResult r = ls.rebalance(inst);
+  EXPECT_LE(r.schedule.phaseCount(), 3u);
+}
+
+TEST(Greedy, ImprovesSkewedCluster) {
+  const Instance inst = skewedInstance(555);
+  GreedyRebalancer greedy;
+  const RebalanceResult r = greedy.rebalance(inst);
+  EXPECT_LT(r.after.bottleneckUtil, r.before.bottleneckUtil);
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), r.finalMapping, r.schedule)
+                  .empty());
+}
+
+TEST(Greedy, OneMovePerPhase) {
+  const Instance inst = skewedInstance(666);
+  GreedyRebalancer greedy;
+  const RebalanceResult r = greedy.rebalance(inst);
+  for (const Phase& p : r.schedule.phases) EXPECT_EQ(p.moves.size(), 1u);
+}
+
+TEST(Greedy, NeverUsesExchangeMachines) {
+  const Instance inst = skewedInstance(777);
+  GreedyRebalancer greedy;
+  const RebalanceResult r = greedy.rebalance(inst);
+  for (ShardId s = 0; s < inst.shardCount(); ++s)
+    EXPECT_LT(r.finalMapping[s], inst.regularCount());
+}
+
+TEST(Greedy, RespectsMoveBudget) {
+  GreedyConfig config;
+  config.maxMoves = 2;
+  const Instance inst = skewedInstance(888);
+  GreedyRebalancer greedy(config);
+  const RebalanceResult r = greedy.rebalance(inst);
+  EXPECT_LE(r.schedule.moveCount(), 2u);
+}
+
+TEST(FfdRepack, AchievesNearIdealBalance) {
+  const Instance inst = skewedInstance(999);
+  FfdRepack ffd;
+  const RebalanceResult r = ffd.rebalance(inst);
+  // FFD over many small shards lands close to the mean utilization.
+  EXPECT_LT(r.finalScore.bottleneckUtil, r.before.bottleneckUtil);
+  EXPECT_LT(r.finalScore.bottleneckUtil, 0.75);
+}
+
+TEST(FfdRepack, MovesFarMoreBytesThanSwapLs) {
+  const Instance inst = skewedInstance(1010);
+  FfdRepack ffd;
+  SwapLocalSearch ls;
+  const RebalanceResult rFfd = ffd.rebalance(inst);
+  const RebalanceResult rLs = ls.rebalance(inst);
+  EXPECT_GT(rFfd.after.migratedBytes, rLs.after.migratedBytes);
+}
+
+TEST(FfdRepack, TargetsOnlyRegularMachines) {
+  const Instance inst = skewedInstance(1111);
+  FfdRepack ffd;
+  const RebalanceResult r = ffd.rebalance(inst);
+  for (const MachineId m : r.targetMapping) EXPECT_LT(m, inst.regularCount());
+}
+
+TEST(AllBaselines, AfterStateIsCapacityFeasible) {
+  const Instance inst = skewedInstance(1212);
+  NoopRebalancer noop;
+  SwapLocalSearch ls;
+  GreedyRebalancer greedy;
+  for (Rebalancer* r : std::initializer_list<Rebalancer*>{&noop, &ls, &greedy}) {
+    const RebalanceResult result = r->rebalance(inst);
+    Assignment after(inst, result.finalMapping);
+    EXPECT_TRUE(after.validate(/*requireCapacity=*/true).empty()) << r->name();
+  }
+}
+
+TEST(Flow, ImprovesSkewedCluster) {
+  const Instance inst = skewedInstance(1313);
+  FlowRebalancer flow;
+  const RebalanceResult r = flow.rebalance(inst);
+  EXPECT_LT(r.after.bottleneckUtil, r.before.bottleneckUtil);
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), r.finalMapping, r.schedule)
+                  .empty());
+}
+
+TEST(Flow, StopsWithinTolerance) {
+  const Instance inst = skewedInstance(1414);
+  FlowConfig config;
+  config.tolerance = 0.05;
+  FlowRebalancer flow(config);
+  const RebalanceResult r = flow.rebalance(inst);
+  // After convergence, max and min regular-machine utilization are within
+  // ~2*tolerance of each other (or the search got stuck, in which case
+  // the bottleneck must still be no worse than before).
+  EXPECT_LE(r.after.bottleneckUtil, r.before.bottleneckUtil + 1e-9);
+}
+
+TEST(Flow, NeverUsesExchangeMachines) {
+  const Instance inst = skewedInstance(1515);
+  FlowRebalancer flow;
+  const RebalanceResult r = flow.rebalance(inst);
+  for (ShardId s = 0; s < inst.shardCount(); ++s)
+    EXPECT_LT(r.finalMapping[s], inst.regularCount());
+}
+
+TEST(Flow, RespectsMoveBudget) {
+  FlowConfig config;
+  config.maxMoves = 3;
+  const Instance inst = skewedInstance(1616);
+  FlowRebalancer flow(config);
+  const RebalanceResult r = flow.rebalance(inst);
+  EXPECT_LE(r.schedule.moveCount(), 3u);
+}
+
+TEST(Flow, KeepsAntiAffinity) {
+  SyntheticConfig gen;
+  gen.seed = 1717;
+  gen.machines = 10;
+  gen.exchangeMachines = 1;
+  gen.shardsPerMachine = 10.0;
+  gen.replicationFactor = 2;
+  gen.loadFactor = 0.6;
+  gen.placementSkew = 1.0;
+  const Instance inst = generateSynthetic(gen);
+  FlowRebalancer flow;
+  const RebalanceResult r = flow.rebalance(inst);
+  Assignment after(inst, r.finalMapping);
+  const auto problems = after.validate(false);
+  for (const auto& p : problems)
+    EXPECT_EQ(p.find("co-located"), std::string::npos) << p;
+}
+
+TEST(ApplySchedule, ReplaysPhases) {
+  Schedule s;
+  Phase p1;
+  p1.moves.push_back(Move{0, 0, 1});
+  Phase p2;
+  p2.moves.push_back(Move{0, 1, 2});
+  p2.moves.push_back(Move{1, 1, 0});
+  s.phases = {p1, p2};
+  const std::vector<MachineId> start{0, 1};
+  const auto result = applySchedule(start, s);
+  EXPECT_EQ(result, (std::vector<MachineId>{2, 0}));
+}
+
+}  // namespace
+}  // namespace resex

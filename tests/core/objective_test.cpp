@@ -1,0 +1,125 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+
+namespace resex {
+namespace {
+
+using testing::placedInstance;
+using testing::uniformInstance;
+
+TEST(Score, LexicographicOrder) {
+  Score a{0, 0.5, 0.1, 100.0};
+  Score b{0, 0.6, 0.0, 0.0};
+  EXPECT_TRUE(a.betterThan(b));
+  EXPECT_FALSE(b.betterThan(a));
+}
+
+TEST(Score, VacancyDeficitDominatesEverything) {
+  Score feasible{0, 0.99, 9.0, 1e12};
+  Score infeasible{1, 0.1, 0.0, 0.0};
+  EXPECT_TRUE(feasible.betterThan(infeasible));
+  EXPECT_FALSE(infeasible.betterThan(feasible));
+}
+
+TEST(Score, TieOnBottleneckFallsToSpread) {
+  Score a{0, 0.5, 0.1, 50.0};
+  Score b{0, 0.5, 0.2, 10.0};
+  EXPECT_TRUE(a.betterThan(b));
+}
+
+TEST(Score, TieOnSpreadFallsToBytes) {
+  Score a{0, 0.5, 0.1, 10.0};
+  Score b{0, 0.5, 0.1, 50.0};
+  EXPECT_TRUE(a.betterThan(b));
+  EXPECT_FALSE(b.betterThan(a));
+}
+
+TEST(Score, EqualScoresAreNotBetter) {
+  Score a{0, 0.5, 0.1, 10.0};
+  EXPECT_FALSE(a.betterThan(a));
+}
+
+TEST(Score, ToleranceAbsorbsNoise) {
+  Score a{0, 0.5, 0.1, 10.0};
+  Score b{0, 0.5 + 1e-12, 0.1, 10.0};
+  EXPECT_FALSE(a.betterThan(b));
+  EXPECT_FALSE(b.betterThan(a));
+}
+
+TEST(Score, ToStringMentionsFields) {
+  Score s{1, 0.5, 0.2, 3.0};
+  const std::string text = s.toString();
+  EXPECT_NE(text.find("deficit=1"), std::string::npos);
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+}
+
+TEST(Objective, EvaluateInitialState) {
+  const Instance inst = uniformInstance(2, 1, {40.0, 20.0});
+  const Objective obj(inst.exchangeCount());
+  Assignment a(inst);
+  const Score s = obj.evaluate(a);
+  EXPECT_EQ(s.vacancyDeficit, 0u);  // exchange machine is vacant
+  EXPECT_DOUBLE_EQ(s.bottleneckUtil, 0.4);
+  EXPECT_DOUBLE_EQ(s.migratedBytes, 0.0);
+  EXPECT_NEAR(s.meanSqUtil, (0.16 + 0.04) / 3.0, 1e-12);
+}
+
+TEST(Objective, DeficitAppearsWhenVacancyConsumed) {
+  const Instance inst = placedInstance(2, 1, {40.0, 20.0, 10.0}, {0, 1, 0});
+  const Objective obj(inst.exchangeCount());
+  Assignment a(inst);
+  a.moveShard(2, 2);  // occupy the exchange machine; all three machines busy
+  const Score s = obj.evaluate(a);
+  EXPECT_EQ(s.vacancyDeficit, 1u);
+}
+
+TEST(Objective, DeficitClearedByDrainingRegularMachine) {
+  const Instance inst = placedInstance(2, 1, {40.0, 20.0, 10.0}, {0, 1, 0});
+  const Objective obj(inst.exchangeCount());
+  Assignment a(inst);
+  a.moveShard(2, 2);
+  a.moveShard(1, 2);  // machine 1 drained: one vacancy restored
+  const Score s = obj.evaluate(a);
+  EXPECT_EQ(s.vacancyDeficit, 0u);
+}
+
+TEST(Objective, ScalarizePenalizesDeficitHeavily) {
+  const Objective obj(1);
+  Score feasible{0, 0.9, 0.5, 0.0};
+  Score infeasible{1, 0.1, 0.0, 0.0};
+  EXPECT_LT(obj.scalarize(feasible), obj.scalarize(infeasible));
+}
+
+TEST(Objective, ScalarizeMonotoneInBottleneck) {
+  const Objective obj(0);
+  Score lo{0, 0.4, 0.1, 10.0};
+  Score hi{0, 0.6, 0.1, 10.0};
+  EXPECT_LT(obj.scalarize(lo), obj.scalarize(hi));
+}
+
+TEST(Objective, BytesWeightBreaksTiesOnlyGently) {
+  // Normalizer 1e9 total bytes, weight 0.05.
+  const Objective obj(0, 0.1, 0.05, 1e9);
+  Score cheap{0, 0.5, 0.1, 0.0};
+  Score pricey{0, 0.5, 0.1, 1e9};
+  EXPECT_LT(obj.scalarize(cheap), obj.scalarize(pricey));
+  // Moving the whole cluster costs exactly bytesWeight in scalar terms,
+  // so a meaningful bottleneck improvement always dominates.
+  Score better{0, 0.4, 0.1, 1e9};
+  EXPECT_LT(obj.scalarize(better), obj.scalarize(cheap));
+}
+
+TEST(Objective, ZeroNormalizerRemovesBytesFromScalar) {
+  const Objective obj(0);
+  Score cheap{0, 0.5, 0.1, 0.0};
+  Score pricey{0, 0.5, 0.1, 1e12};
+  EXPECT_DOUBLE_EQ(obj.scalarize(cheap), obj.scalarize(pricey));
+  // Lexicographic comparison still prefers fewer bytes.
+  EXPECT_TRUE(cheap.betterThan(pricey));
+}
+
+}  // namespace
+}  // namespace resex

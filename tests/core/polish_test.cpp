@@ -1,0 +1,137 @@
+#include "core/polish.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+using testing::placedInstance;
+
+TEST(Polish, FlattensObviousImbalance) {
+  // Machine 0 holds everything; polish must spread.
+  const Instance inst =
+      placedInstance(4, 0, {20.0, 20.0, 20.0, 20.0}, {0, 0, 0, 0});
+  Assignment a(inst);
+  const Objective obj(0);
+  const PolishStats stats = polishAssignment(a, obj);
+  EXPECT_GT(stats.moves + stats.swaps, 0u);
+  EXPECT_NEAR(a.bottleneckUtilization(), 0.2, 1e-9);
+  EXPECT_TRUE(a.validate(true).empty());
+}
+
+TEST(Polish, NeverIncreasesBottleneck) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Instance inst = tinyTestInstance(seed, 8, 80, 2, 0.7);
+    Assignment a(inst);
+    const Objective obj(inst.exchangeCount());
+    const double before = a.bottleneckUtilization();
+    polishAssignment(a, obj);
+    EXPECT_LE(a.bottleneckUtilization(), before + 1e-9);
+    EXPECT_TRUE(a.validate(true).empty());
+  }
+}
+
+TEST(Polish, RespectsVacancyTarget) {
+  const Instance inst = tinyTestInstance(5, 6, 48, 2, 0.7);
+  Assignment a(inst);
+  const Objective obj(inst.exchangeCount());
+  polishAssignment(a, obj);
+  EXPECT_GE(a.vacantCount(), obj.vacancyTarget());
+}
+
+TEST(Polish, StepBudgetLimitsWork) {
+  const Instance inst =
+      placedInstance(4, 0, {20.0, 20.0, 20.0, 20.0}, {0, 0, 0, 0});
+  Assignment a(inst);
+  const Objective obj(0);
+  const PolishStats stats = polishAssignment(a, obj, /*maxSteps=*/1);
+  EXPECT_EQ(stats.moves + stats.swaps, 1u);
+}
+
+TEST(Polish, AlreadyOptimalIsNoop) {
+  const Instance inst = placedInstance(2, 0, {30.0, 30.0}, {0, 1});
+  Assignment a(inst);
+  const Objective obj(0);
+  const PolishStats stats = polishAssignment(a, obj);
+  EXPECT_EQ(stats.moves + stats.swaps, 0u);
+  EXPECT_EQ(a.mapping(), inst.initialAssignment());
+}
+
+TEST(Polish, UsesSwapsWhenMovesAreCapacityBlocked) {
+  // m0: 70 + 20 (bneck 0.9); m1: 55. Moving 20 to m1 gives 75 vs 70 ->
+  // bottleneck 0.75; swapping 20 <-> 55... polish picks the best option
+  // and must land at most 0.75.
+  const Instance inst = placedInstance(2, 0, {70.0, 20.0, 55.0}, {0, 0, 1});
+  Assignment a(inst);
+  const Objective obj(0);
+  polishAssignment(a, obj);
+  EXPECT_LE(a.bottleneckUtilization(), 0.75 + 1e-9);
+}
+
+TEST(Prune, ReturnsPointlessMoves) {
+  const Instance inst = placedInstance(3, 0, {10.0, 10.0, 10.0}, {0, 1, 2});
+  Assignment a(inst);
+  // Displace shard 0 for no reason.
+  a.moveShard(0, 1);
+  const Objective obj(0);
+  const std::size_t returned = pruneRedundantMoves(a, obj, 0.5);
+  EXPECT_EQ(returned, 1u);
+  EXPECT_EQ(a.machineOf(0), 0u);
+  EXPECT_EQ(a.migratedBytes(), 0.0);
+}
+
+TEST(Prune, KeepsMovesTheBottleneckNeeds) {
+  // m0 held 60+30 (0.9); shard 1 moved to m1 (30). Returning it would
+  // push m0 back to 0.9 > cap 0.7 -> must stay.
+  const Instance inst = placedInstance(2, 0, {60.0, 30.0}, {0, 0});
+  Assignment a(inst);
+  a.moveShard(1, 1);
+  const Objective obj(0);
+  const std::size_t returned = pruneRedundantMoves(a, obj, 0.7);
+  EXPECT_EQ(returned, 0u);
+  EXPECT_EQ(a.machineOf(1), 1u);
+}
+
+TEST(Prune, NeverBreaksVacancyTarget) {
+  // Shard 0 was moved off machine 0, which is now the only vacancy
+  // satisfying the target; returning it would violate compensation.
+  const Instance inst = placedInstance(2, 0, {10.0, 10.0}, {0, 1});
+  Assignment a(inst);
+  a.moveShard(0, 1);  // machine 0 vacant now
+  const Objective obj(/*vacancyTarget=*/1);
+  const std::size_t returned = pruneRedundantMoves(a, obj, 1.0);
+  EXPECT_EQ(returned, 0u);
+  EXPECT_TRUE(a.isVacant(0));
+}
+
+TEST(Prune, RespectsCapAndCapacity) {
+  const Instance inst = placedInstance(2, 0, {60.0, 50.0}, {0, 1});
+  Assignment a(inst);
+  a.moveShard(1, 0);  // m0 now 110: over capacity (allowed by raw move API)
+  const Objective obj(0);
+  // Returning shard 1 home is feasible and below cap -> must happen.
+  const std::size_t returned = pruneRedundantMoves(a, obj, 0.6);
+  EXPECT_EQ(returned, 1u);
+  EXPECT_TRUE(a.validate(true).empty());
+}
+
+TEST(Prune, MultiPassChainsReturns) {
+  // Shard 1's return is blocked until shard 0 returns first.
+  // m0 cap 100: shard0 (60) home m0 but sits on m1; shard1 (50) home m1
+  // but sits on m2. Returning shard1 to m1 first requires shard0 to leave.
+  const Instance inst = placedInstance(3, 0, {60.0, 50.0}, {0, 1});
+  Assignment a(inst);
+  a.moveShard(0, 1);
+  a.moveShard(1, 2);
+  const Objective obj(0);
+  const std::size_t returned = pruneRedundantMoves(a, obj, 0.61);
+  EXPECT_EQ(returned, 2u);
+  EXPECT_EQ(a.machineOf(0), 0u);
+  EXPECT_EQ(a.machineOf(1), 1u);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,76 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sra.hpp"
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+RebalanceResult sampleResult() {
+  const Instance inst = tinyTestInstance(5, 6, 48, 2, 0.7);
+  SraConfig config;
+  config.lns.maxIterations = 800;
+  Sra sra(config);
+  return sra.rebalance(inst);
+}
+
+TEST(Report, TextMentionsKeySections) {
+  const RebalanceResult result = sampleResult();
+  const std::string text = renderReport(result);
+  EXPECT_NE(text.find("algorithm: SRA"), std::string::npos);
+  EXPECT_NE(text.find("before:"), std::string::npos);
+  EXPECT_NE(text.find("after:"), std::string::npos);
+  EXPECT_NE(text.find("schedule:"), std::string::npos);
+  EXPECT_NE(text.find("score:"), std::string::npos);
+}
+
+TEST(Report, JsonIsStructurallySound) {
+  const RebalanceResult result = sampleResult();
+  const std::string json = toJson(result);
+  // No DOM parser in-tree; check bracket balance and key presence.
+  long depth = 0;
+  bool inString = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) inString = !inString;
+    if (inString) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(inString);
+  EXPECT_NE(json.find("\"algorithm\":\"SRA\""), std::string::npos);
+  EXPECT_NE(json.find("\"before\":"), std::string::npos);
+  EXPECT_NE(json.find("\"after\":"), std::string::npos);
+  EXPECT_NE(json.find("\"schedule\":"), std::string::npos);
+  EXPECT_NE(json.find("\"phases\":"), std::string::npos);
+}
+
+TEST(Report, JsonMoveDetailOnlyWhenAsked) {
+  const RebalanceResult result = sampleResult();
+  const std::string lean = toJson(result, /*includeMoves=*/false);
+  const std::string full = toJson(result, /*includeMoves=*/true);
+  EXPECT_EQ(lean.find("\"detail\""), std::string::npos);
+  if (result.schedule.moveCount() > 0) {
+    EXPECT_NE(full.find("\"detail\""), std::string::npos);
+    EXPECT_GT(full.size(), lean.size());
+  }
+}
+
+TEST(Report, JsonPhaseCountMatchesSchedule) {
+  const RebalanceResult result = sampleResult();
+  const std::string json = toJson(result);
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"peak_transient_util\"");
+       pos != std::string::npos;
+       pos = json.find("\"peak_transient_util\"", pos + 1))
+    ++count;
+  // One per phase plus the schedule-level field.
+  EXPECT_EQ(count, result.schedule.phaseCount() + 1);
+}
+
+}  // namespace
+}  // namespace resex

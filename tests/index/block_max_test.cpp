@@ -1,0 +1,134 @@
+#include "index/block_max.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/partition.hpp"
+#include "util/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace resex {
+namespace {
+
+struct Fixture {
+  SyntheticDocConfig config;
+  std::vector<Document> docs;
+  InvertedIndex index;
+  BlockMaxIndex blockIndex;
+
+  explicit Fixture(std::uint64_t seed = 51, std::size_t blockSize = 64)
+      : config{.seed = seed, .docCount = 3000, .termCount = 600, .termExponent = 1.0},
+        docs(generateDocuments(config)),
+        index(config.termCount, docs),
+        blockIndex(index, blockSize) {}
+};
+
+void expectSameTopK(const std::vector<ScoredDoc>& pruned,
+                    const std::vector<ScoredDoc>& exhaustive) {
+  ASSERT_EQ(pruned.size(), exhaustive.size());
+  for (std::size_t i = 0; i < pruned.size(); ++i) {
+    EXPECT_NEAR(pruned[i].score, exhaustive[i].score, 1e-9) << "rank " << i;
+    if (pruned[i].doc != exhaustive[i].doc)
+      EXPECT_LT(std::abs(pruned[i].score - exhaustive[i].score), 1e-9)
+          << "rank " << i << ": different doc without a score tie";
+  }
+}
+
+TEST(BlockMaxIndex, MetadataCoversEveryPosting) {
+  Fixture f;
+  std::vector<DocId> docs;
+  std::vector<std::uint32_t> freqs;
+  for (TermId t = 0; t < f.config.termCount; ++t) {
+    f.index.postings(t).decode(docs, freqs);
+    const auto& blocks = f.blockIndex.blocks(t);
+    const std::size_t expected = (docs.size() + 63) / 64;
+    ASSERT_EQ(blocks.size(), expected) << "term " << t;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const std::size_t begin = b * 64;
+      const std::size_t end = std::min(begin + 64, docs.size());
+      EXPECT_EQ(blocks[b].lastDoc, docs[end - 1]);
+      std::uint32_t maxTf = 0;
+      for (std::size_t i = begin; i < end; ++i) maxTf = std::max(maxTf, freqs[i]);
+      EXPECT_EQ(blocks[b].maxTf, maxTf);
+    }
+  }
+}
+
+TEST(BlockMaxIndex, RejectsZeroBlockSize) {
+  Fixture f;
+  EXPECT_THROW(BlockMaxIndex(f.index, 0), std::invalid_argument);
+}
+
+TEST(BlockMaxWand, ExactlyMatchesExhaustiveTopK) {
+  Fixture f;
+  Rng rng(4);
+  const ZipfSampler termPick(f.config.termCount, 0.9);
+  for (int q = 0; q < 200; ++q) {
+    std::vector<TermId> query;
+    const std::size_t len = 1 + rng.below(4);
+    for (std::size_t i = 0; i < len; ++i)
+      query.push_back(static_cast<TermId>(termPick.sample(rng) - 1));
+    expectSameTopK(topKBlockMaxWand(f.blockIndex, query, 10, Bm25Params{}),
+                   topKDisjunctive(f.index, query, 10, Bm25Params{}));
+  }
+}
+
+TEST(BlockMaxWand, MatchesAcrossKValuesAndBlockSizes) {
+  for (const std::size_t blockSize : {8u, 64u, 1024u}) {
+    Fixture f(51, blockSize);
+    const std::vector<TermId> query{0, 5, 60};
+    for (const std::size_t k : {1u, 10u, 200u})
+      expectSameTopK(topKBlockMaxWand(f.blockIndex, query, k, Bm25Params{}),
+                     topKDisjunctive(f.index, query, k, Bm25Params{}));
+  }
+}
+
+TEST(BlockMaxWand, SkipsBlocksAndBeatsPlainWandOnWork) {
+  Fixture f;
+  const std::vector<TermId> query{0, 1};
+  WandStats plain;
+  topKWand(f.index, query, 10, Bm25Params{}, &plain);
+  BlockMaxStats bmw;
+  topKBlockMaxWand(f.blockIndex, query, 10, Bm25Params{}, &bmw);
+  EXPECT_GT(bmw.blockSkips, 0u);
+  EXPECT_LE(bmw.postingsEvaluated, plain.postingsEvaluated);
+}
+
+TEST(BlockMaxWand, DegenerateInputs) {
+  Fixture f;
+  EXPECT_TRUE(topKBlockMaxWand(f.blockIndex, {}, 10, Bm25Params{}).empty());
+  EXPECT_TRUE(topKBlockMaxWand(f.blockIndex, {0}, 0, Bm25Params{}).empty());
+}
+
+TEST(BlockMaxWand, WorksWithGlobalStatsInPartitionedSearch) {
+  Fixture f;
+  const PartitionedIndex part(f.config.termCount, f.docs, 3);
+  const std::vector<TermId> query{2, 11, 30};
+  std::vector<std::vector<ScoredDoc>> perShard;
+  for (std::size_t i = 0; i < part.shardCount(); ++i) {
+    const BlockMaxIndex shardBlocks(part.shard(i), 64);
+    perShard.push_back(topKBlockMaxWand(shardBlocks, query, 10, Bm25Params{},
+                                        nullptr, &part.globalStats()));
+  }
+  expectSameTopK(mergeTopK(perShard, 10),
+                 topKDisjunctive(f.index, query, 10, Bm25Params{}));
+}
+
+TEST(BlockMaxWand, ManySeedsAgreeWithExhaustive) {
+  for (const std::uint64_t seed : {61ULL, 62ULL, 63ULL}) {
+    Fixture f(seed, 32);
+    Rng rng(seed);
+    const ZipfSampler termPick(f.config.termCount, 1.1);
+    for (int q = 0; q < 40; ++q) {
+      std::vector<TermId> query;
+      for (std::size_t i = 0; i < 3; ++i)
+        query.push_back(static_cast<TermId>(termPick.sample(rng) - 1));
+      expectSameTopK(topKBlockMaxWand(f.blockIndex, query, 7, Bm25Params{}),
+                     topKDisjunctive(f.index, query, 7, Bm25Params{}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,90 @@
+#include "index/varbyte.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace resex {
+namespace {
+
+TEST(Varbyte, SmallValuesAreOneByte) {
+  std::vector<std::uint8_t> out;
+  varbyteEncode(0, out);
+  varbyteEncode(127, out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Varbyte, RoundTripBoundaries) {
+  const std::vector<std::uint64_t> cases{
+      0, 1, 127, 128, 16383, 16384, std::uint64_t{1} << 32,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    std::vector<std::uint8_t> bytes;
+    varbyteEncode(v, bytes);
+    std::size_t offset = 0;
+    EXPECT_EQ(varbyteDecode(bytes, offset), v);
+    EXPECT_EQ(offset, bytes.size());
+  }
+}
+
+TEST(Varbyte, SequenceRoundTrip) {
+  Rng rng(1);
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng() >> static_cast<int>(rng.below(60));
+    values.push_back(v);
+    varbyteEncode(v, bytes);
+  }
+  std::size_t offset = 0;
+  for (const std::uint64_t v : values) EXPECT_EQ(varbyteDecode(bytes, offset), v);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(Varbyte, TruncatedInputThrows) {
+  std::vector<std::uint8_t> bytes;
+  varbyteEncode(1ULL << 20, bytes);
+  bytes.pop_back();
+  std::size_t offset = 0;
+  EXPECT_THROW(varbyteDecode(bytes, offset), std::out_of_range);
+}
+
+TEST(Monotone, RoundTrip) {
+  const std::vector<std::uint32_t> docs{3, 7, 8, 100, 10000, 10001};
+  EXPECT_EQ(decodeMonotone(encodeMonotone(docs)), docs);
+}
+
+TEST(Monotone, EmptyAndSingleton) {
+  EXPECT_TRUE(decodeMonotone(encodeMonotone({})).empty());
+  EXPECT_EQ(decodeMonotone(encodeMonotone({0})), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(decodeMonotone(encodeMonotone({42})), (std::vector<std::uint32_t>{42}));
+}
+
+TEST(Monotone, RejectsNonIncreasing) {
+  EXPECT_THROW(encodeMonotone({5, 5}), std::invalid_argument);
+  EXPECT_THROW(encodeMonotone({5, 3}), std::invalid_argument);
+}
+
+TEST(Monotone, DeltaCompressionBeatsRawForDenseLists) {
+  std::vector<std::uint32_t> dense;
+  for (std::uint32_t i = 1000000; i < 1002000; ++i) dense.push_back(i);
+  const auto bytes = encodeMonotone(dense);
+  // Deltas of 1 encode in 1 byte each (plus the first value).
+  EXPECT_LT(bytes.size(), dense.size() + 8);
+}
+
+TEST(Monotone, LargeRandomRoundTrip) {
+  Rng rng(7);
+  std::vector<std::uint32_t> docs;
+  std::uint32_t current = 0;
+  for (int i = 0; i < 20000; ++i) {
+    current += 1 + static_cast<std::uint32_t>(rng.below(1000));
+    docs.push_back(current);
+  }
+  EXPECT_EQ(decodeMonotone(encodeMonotone(docs)), docs);
+}
+
+}  // namespace
+}  // namespace resex

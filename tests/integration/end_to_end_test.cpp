@@ -1,0 +1,129 @@
+// Cross-module integration: the full pipelines the examples and benches run.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/sra.hpp"
+#include "model/branch_bound.hpp"
+#include "search/builder.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+namespace resex {
+namespace {
+
+TEST(EndToEnd, SyntheticRebalanceAllAlgorithms) {
+  SyntheticConfig gen;
+  gen.seed = 5150;
+  gen.machines = 16;
+  gen.exchangeMachines = 2;
+  gen.shardsPerMachine = 15.0;
+  gen.loadFactor = 0.75;
+  gen.placementSkew = 0.9;
+  const Instance inst = generateSynthetic(gen);
+
+  SraConfig sraConfig;
+  sraConfig.lns.maxIterations = 4000;
+  Sra sra(sraConfig);
+  SwapLocalSearch ls;
+  GreedyRebalancer greedy;
+  NoopRebalancer noop;
+
+  const RebalanceResult rSra = sra.rebalance(inst);
+  const RebalanceResult rLs = ls.rebalance(inst);
+  const RebalanceResult rGreedy = greedy.rebalance(inst);
+  const RebalanceResult rNoop = noop.rebalance(inst);
+
+  // Everyone improves or matches; SRA wins.
+  EXPECT_LE(rLs.after.bottleneckUtil, rNoop.after.bottleneckUtil + 1e-9);
+  EXPECT_LE(rGreedy.after.bottleneckUtil, rNoop.after.bottleneckUtil + 1e-9);
+  EXPECT_LE(rSra.after.bottleneckUtil, rLs.after.bottleneckUtil + 1e-9);
+  EXPECT_LE(rSra.after.bottleneckUtil, rGreedy.after.bottleneckUtil + 1e-9);
+
+  // All results are executable and audited.
+  for (const RebalanceResult* r : {&rSra, &rLs, &rGreedy, &rNoop}) {
+    Assignment after(inst, r->finalMapping);
+    EXPECT_TRUE(after.validate(/*requireCapacity=*/true).empty()) << r->algorithm;
+    EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), r->targetMapping,
+                               r->schedule)
+                    .empty())
+        << r->algorithm;
+  }
+}
+
+TEST(EndToEnd, SraNearOptimalOnExactlySolvableInstance) {
+  const Instance inst = tinyTestInstance(4242, 4, 12, 1, 0.6);
+  const BranchBoundResult exact = BranchBoundSolver().solve(inst);
+  ASSERT_TRUE(exact.optimal);
+
+  SraConfig config;
+  config.lns.maxIterations = 6000;
+  config.lns.seed = 7;
+  Sra sra(config);
+  const RebalanceResult r = sra.rebalance(inst);
+  EXPECT_LE(r.after.bottleneckUtil, exact.bottleneck * 1.05 + 1e-9);
+}
+
+TEST(EndToEnd, MultiEpochTraceOperationSurvives) {
+  const Instance base = tinyTestInstance(31337, 10, 120, 2, 0.55);
+  TraceConfig traceConfig;
+  traceConfig.seed = 9;
+  traceConfig.epochs = 5;
+  traceConfig.peakLoadFactor = 0.75;
+  const Trace trace = generateTrace(base, traceConfig);
+
+  std::vector<MachineId> mapping = base.initialAssignment();
+  for (std::size_t epoch = 0; epoch < trace.epochCount(); ++epoch) {
+    const Instance inst = trace.instanceForEpoch(epoch, mapping);
+    SraConfig config;
+    config.lns.maxIterations = 1500;
+    config.lns.seed = epoch + 1;
+    Sra sra(config);
+    const RebalanceResult r = sra.rebalance(inst);
+    Assignment after(inst, r.finalMapping);
+    EXPECT_GE(after.vacantCount(), inst.exchangeCount()) << "epoch " << epoch;
+    EXPECT_TRUE(after.validate(/*requireCapacity=*/true).empty()) << "epoch " << epoch;
+    mapping = r.finalMapping;
+  }
+}
+
+TEST(EndToEnd, SearchWorkloadRebalanceImprovesTailLatency) {
+  SearchWorkloadConfig config;
+  config.seed = 12;
+  config.corpus.docCount = 100000;
+  config.corpus.termCount = 3000;
+  config.shardCount = 80;
+  config.machines = 10;
+  config.exchangeMachines = 2;
+  config.peakQps = 800.0;
+  config.cpuLoadFactorAtPeak = 0.8;
+  config.placementSkew = 1.2;
+  const SearchWorkload workload(config);
+  const Instance inst = workload.buildInstance(config.peakQps);
+
+  const auto before =
+      workload.simulate(inst.initialAssignment(), config.peakQps, 4000, 99);
+
+  SraConfig sraConfig;
+  sraConfig.lns.maxIterations = 4000;
+  Sra sra(sraConfig);
+  const RebalanceResult r = sra.rebalance(inst);
+  const auto after = workload.simulate(r.finalMapping, config.peakQps, 4000, 99);
+
+  EXPECT_LT(r.after.bottleneckUtil, r.before.bottleneckUtil);
+  EXPECT_LT(after.p99(), before.p99());
+}
+
+TEST(EndToEnd, InstanceRoundTripThenSolve) {
+  const Instance original = tinyTestInstance(555, 6, 60, 2, 0.65);
+  const Instance copy = Instance::deserialize(original.serialize());
+  SraConfig config;
+  config.lns.maxIterations = 1500;
+  Sra sraA(config);
+  Sra sraB(config);
+  const RebalanceResult ra = sraA.rebalance(original);
+  const RebalanceResult rb = sraB.rebalance(copy);
+  EXPECT_EQ(ra.finalMapping, rb.finalMapping);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,180 @@
+// Property-based suites: invariants checked across parameterized sweeps of
+// seeds and instance shapes (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/sra.hpp"
+#include "cluster/scheduler.hpp"
+#include "model/bounds.hpp"
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: for any generated instance, SRA's output satisfies every hard
+// constraint of the problem — capacity, compensation, schedulability — and
+// never regresses the objective.
+// ---------------------------------------------------------------------------
+
+using SraParams = std::tuple<std::uint64_t /*seed*/, std::size_t /*exchange*/,
+                             double /*loadFactor*/>;
+
+class SraInvariants : public ::testing::TestWithParam<SraParams> {};
+
+TEST_P(SraInvariants, HardConstraintsAlwaysHold) {
+  const auto [seed, exchange, loadFactor] = GetParam();
+  SyntheticConfig gen;
+  gen.seed = seed;
+  gen.machines = 10;
+  gen.exchangeMachines = exchange;
+  gen.shardsPerMachine = 10.0;
+  gen.loadFactor = loadFactor;
+  gen.placementSkew = 0.9;
+  const Instance inst = generateSynthetic(gen);
+
+  SraConfig config;
+  config.lns.seed = seed * 31 + 1;
+  config.lns.maxIterations = 1200;
+  Sra sra(config);
+  const RebalanceResult r = sra.rebalance(inst);
+
+  // Capacity.
+  Assignment after(inst, r.finalMapping);
+  EXPECT_TRUE(after.validate(/*requireCapacity=*/true).empty());
+  // Compensation.
+  EXPECT_GE(after.vacantCount(), inst.exchangeCount());
+  // Schedulability: the reported schedule replays cleanly.
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), r.targetMapping,
+                             r.schedule)
+                  .empty());
+  // No regression.
+  EXPECT_LE(r.after.bottleneckUtil, r.before.bottleneckUtil + 1e-9);
+  // Never below the information-theoretic lower bound.
+  EXPECT_GE(r.after.bottleneckUtil, bottleneckLowerBound(inst) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndShapes, SraInvariants,
+    ::testing::Combine(::testing::Values(1ULL, 2ULL, 3ULL, 4ULL),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{3}),
+                       ::testing::Values(0.55, 0.75)),
+    [](const ::testing::TestParamInfo<SraParams>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_load" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: replication never breaks the hard constraints either — across
+// seeds and replication factors, SRA output is capacity-feasible,
+// anti-affine, compensated, and schedulable.
+// ---------------------------------------------------------------------------
+
+using ReplParams = std::tuple<std::uint64_t /*seed*/, std::size_t /*replication*/>;
+
+class ReplicatedSraInvariants : public ::testing::TestWithParam<ReplParams> {};
+
+TEST_P(ReplicatedSraInvariants, HardConstraintsAlwaysHold) {
+  const auto [seed, replication] = GetParam();
+  SyntheticConfig gen;
+  gen.seed = seed;
+  gen.machines = 10;
+  gen.exchangeMachines = 2;
+  gen.shardsPerMachine = 12.0;
+  gen.replicationFactor = replication;
+  gen.loadFactor = 0.7;
+  gen.placementSkew = 0.9;
+  gen.skuCount = 1;
+  const Instance inst = generateSynthetic(gen);
+
+  SraConfig config;
+  config.lns.seed = seed + 5;
+  config.lns.maxIterations = 1200;
+  Sra sra(config);
+  const RebalanceResult r = sra.rebalance(inst);
+
+  Assignment after(inst, r.finalMapping);
+  EXPECT_TRUE(after.validate(/*requireCapacity=*/true).empty());
+  EXPECT_GE(after.vacantCount(), inst.exchangeCount());
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), r.targetMapping,
+                             r.schedule)
+                  .empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFactors, ReplicatedSraInvariants,
+    ::testing::Combine(::testing::Values(5ULL, 6ULL, 7ULL),
+                       ::testing::Values(std::size_t{2}, std::size_t{3})));
+
+// ---------------------------------------------------------------------------
+// Property: any schedule the scheduler builds — complete or not — replays
+// without violating a single transient or capacity constraint, across
+// random target assignments.
+// ---------------------------------------------------------------------------
+
+class SchedulerInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerInvariants, EveryBuiltScheduleVerifies) {
+  const std::uint64_t seed = GetParam();
+  const Instance inst = tinyTestInstance(seed, 8, 80, 2, 0.7);
+  Rng rng(seed * 7 + 5);
+
+  // Random capacity-feasible target: random destination per shard,
+  // accepted only when it fits (end state), repeated for churn.
+  Assignment target(inst);
+  for (int churn = 0; churn < 300; ++churn) {
+    const auto s = static_cast<ShardId>(rng.below(inst.shardCount()));
+    const auto m = static_cast<MachineId>(rng.below(inst.machineCount()));
+    if (target.machineOf(s) != m && target.canPlace(s, m)) target.moveShard(s, m);
+  }
+
+  MigrationScheduler scheduler;
+  const Schedule schedule =
+      scheduler.build(inst, inst.initialAssignment(), target.mapping());
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), target.mapping(), schedule)
+                  .empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerInvariants,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Property: generated instances are always internally consistent and hit
+// their configured load factor, across the generator's parameter space.
+// ---------------------------------------------------------------------------
+
+using GenParams = std::tuple<std::uint64_t, std::size_t /*dims*/, double /*sigma*/,
+                             double /*corr*/>;
+
+class GeneratorInvariants : public ::testing::TestWithParam<GenParams> {};
+
+TEST_P(GeneratorInvariants, FeasibleAndOnTarget) {
+  const auto [seed, dims, sigma, corr] = GetParam();
+  SyntheticConfig gen;
+  gen.seed = seed;
+  gen.machines = 20;
+  gen.exchangeMachines = 2;
+  gen.dims = dims;
+  gen.shardSizeSigma = sigma;
+  gen.dimCorrelation = corr;
+  gen.loadFactor = 0.7;
+  const Instance inst = generateSynthetic(gen);
+  EXPECT_NEAR(inst.loadFactor(), 0.7, 1e-9);
+  Assignment a(inst);
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty());
+  // Serialization is lossless.
+  EXPECT_EQ(Instance::deserialize(inst.serialize()).serialize(), inst.serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, GeneratorInvariants,
+    ::testing::Combine(::testing::Values(11ULL, 22ULL),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}),
+                       ::testing::Values(0.3, 1.0), ::testing::Values(0.0, 1.0)));
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,89 @@
+#include "lns/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resex {
+namespace {
+
+TEST(Adaptive, SelectsWithinRange) {
+  AdaptiveSelector sel(3);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(sel.select(rng), 3u);
+}
+
+TEST(Adaptive, InitialWeightsEqual) {
+  AdaptiveSelector sel(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(sel.weightOf(i), 1.0);
+}
+
+TEST(Adaptive, TracksUses) {
+  AdaptiveSelector sel(2);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) sel.select(rng);
+  EXPECT_EQ(sel.usesOf(0) + sel.usesOf(1), 50u);
+}
+
+TEST(Adaptive, RewardedOperatorGainsWeight) {
+  AdaptiveSelector sel(2, /*uniform=*/false, /*reaction=*/0.5, /*segmentLength=*/10);
+  Rng rng(3);
+  // Operator 0 keeps producing new bests; operator 1 always fails.
+  for (int seg = 0; seg < 20; ++seg) {
+    for (int i = 0; i < 10; ++i) {
+      const std::size_t op = sel.select(rng);
+      sel.reward(op, op == 0 ? OperatorOutcome::NewBest : OperatorOutcome::RepairFailed);
+    }
+  }
+  EXPECT_GT(sel.weightOf(0), sel.weightOf(1) * 2.0);
+}
+
+TEST(Adaptive, UniformModeIgnoresRewards) {
+  AdaptiveSelector sel(2, /*uniform=*/true, 0.5, 10);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t op = sel.select(rng);
+    sel.reward(op, op == 0 ? OperatorOutcome::NewBest : OperatorOutcome::RepairFailed);
+  }
+  EXPECT_DOUBLE_EQ(sel.weightOf(0), 1.0);
+  EXPECT_DOUBLE_EQ(sel.weightOf(1), 1.0);
+}
+
+TEST(Adaptive, WeightsNeverStarve) {
+  AdaptiveSelector sel(2, false, 0.9, 5);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t op = sel.select(rng);
+    sel.reward(op, OperatorOutcome::RepairFailed);
+  }
+  EXPECT_GE(sel.weightOf(0), 0.05);
+  EXPECT_GE(sel.weightOf(1), 0.05);
+}
+
+TEST(Adaptive, BiasedSelectionFollowsWeights) {
+  AdaptiveSelector sel(2, false, 1.0, 4);
+  Rng rng(6);
+  // Push operator 0's weight up hard.
+  for (int i = 0; i < 100; ++i) {
+    sel.select(rng);
+    sel.reward(0, OperatorOutcome::NewBest);
+  }
+  // Now sample: op 0 should dominate.
+  std::size_t zeros = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    if (sel.select(rng) == 0) ++zeros;
+  EXPECT_GT(zeros, static_cast<std::size_t>(n) * 6 / 10);
+}
+
+TEST(Adaptive, OutOfRangeRewardIsIgnored) {
+  AdaptiveSelector sel(2);
+  sel.reward(99, OperatorOutcome::NewBest);  // must not crash
+  EXPECT_DOUBLE_EQ(sel.weightOf(0), 1.0);
+}
+
+TEST(Adaptive, OperatorCount) {
+  AdaptiveSelector sel(5);
+  EXPECT_EQ(sel.operatorCount(), 5u);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,187 @@
+#include "lns/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/test_instances.hpp"
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+using testing::placedInstance;
+using testing::uniformInstance;
+
+TEST(PlacementCost, InfiniteWhenInfeasible) {
+  const Instance inst = uniformInstance(2, 0, {60.0, 70.0});
+  Assignment a(inst);
+  const Objective obj(0);
+  a.remove(0);
+  EXPECT_TRUE(std::isinf(placementCost(a, 0, 1, obj)));  // 70 + 60 > 100
+  EXPECT_LT(placementCost(a, 0, 0, obj), 1.0);
+}
+
+TEST(PlacementCost, PenalizesOpeningNeededVacancy) {
+  // 2 regular + 1 exchange, k = 1: with exactly one vacant machine left,
+  // placing onto it must carry the heavy deficit penalty.
+  const Instance inst = placedInstance(2, 1, {10.0, 10.0, 10.0}, {0, 1, 0});
+  Assignment a(inst);
+  const Objective obj(inst.exchangeCount());
+  a.remove(2);  // machine 0 stays occupied; only the exchange machine is vacant
+  ASSERT_EQ(a.vacantCount(), obj.vacancyTarget());
+  const double ontoOccupied = placementCost(a, 2, 1, obj);
+  const double ontoVacant = placementCost(a, 2, 2, obj);
+  EXPECT_GT(ontoVacant, ontoOccupied + 3.0);
+}
+
+TEST(PlacementCost, MildBiasWhenSpareVacanciesExist) {
+  // Two exchange machines, k = 2... with three vacant machines (one
+  // drained regular), opening one costs only the mild bias.
+  const Instance inst = placedInstance(3, 2, {10.0, 10.0}, {0, 0});
+  Assignment a(inst);
+  const Objective obj(inst.exchangeCount());
+  a.remove(0);
+  // Vacant: machines 1, 2, 3, 4 -> 4 > target 2.
+  const double ontoVacant = placementCost(a, 0, 3, obj);
+  const double ontoOccupied = placementCost(a, 0, 0, obj);
+  EXPECT_LT(ontoVacant, 1.0);
+  EXPECT_GT(ontoVacant, ontoOccupied);  // still biased away
+}
+
+TEST(GreedyRepair, PlacesAllWhenRoomExists) {
+  const Instance inst = tinyTestInstance(23, 6, 36, 2, 0.55);
+  Assignment a(inst);
+  const Objective obj(inst.exchangeCount());
+  Rng rng(1);
+  std::vector<ShardId> removed;
+  for (ShardId s = 0; s < 10; ++s) {
+    a.remove(s);
+    removed.push_back(s);
+  }
+  GreedyRepair repair;
+  EXPECT_TRUE(repair.repair(a, removed, obj, rng));
+  EXPECT_EQ(a.unassignedCount(), 0u);
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty());
+}
+
+TEST(GreedyRepair, FailsWhenNothingFits) {
+  const Instance inst = placedInstance(1, 0, {60.0, 50.0}, {0, 0}, 100.0);
+  // Note: initial state is over capacity (110 on one machine); remove
+  // both, then only one can go back... actually both fit one at a time
+  // but not together.
+  Assignment a(inst);
+  const Objective obj(0);
+  a.remove(0);
+  a.remove(1);
+  GreedyRepair repair;
+  Rng rng(2);
+  const std::vector<ShardId> both{0, 1};
+  EXPECT_FALSE(repair.repair(a, both, obj, rng));
+}
+
+TEST(GreedyRepair, PrefersLowUtilizationMachines) {
+  // Machine 0 loaded to 80, machine 1 to 10: the shard must go to 1.
+  const Instance inst = placedInstance(2, 0, {80.0, 10.0, 5.0}, {0, 1, 1});
+  Assignment a(inst);
+  const Objective obj(0);
+  a.remove(2);
+  GreedyRepair repair;
+  Rng rng(3);
+  const std::vector<ShardId> one{2};
+  ASSERT_TRUE(repair.repair(a, one, obj, rng));
+  EXPECT_EQ(a.machineOf(2), 1u);
+}
+
+TEST(GreedyRepair, NoiseVariantStillFeasible) {
+  const Instance inst = tinyTestInstance(29, 6, 36, 2, 0.6);
+  Assignment a(inst);
+  const Objective obj(inst.exchangeCount());
+  Rng rng(5);
+  std::vector<ShardId> removed;
+  for (ShardId s = 0; s < 12; ++s) {
+    a.remove(s);
+    removed.push_back(s);
+  }
+  GreedyRepair repair(0.3);
+  EXPECT_TRUE(repair.repair(a, removed, obj, rng));
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty());
+}
+
+TEST(RegretRepair, PlacesAllAndStaysFeasible) {
+  const Instance inst = tinyTestInstance(31, 6, 36, 2, 0.6);
+  Assignment a(inst);
+  const Objective obj(inst.exchangeCount());
+  Rng rng(7);
+  std::vector<ShardId> removed;
+  for (ShardId s = 5; s < 20; ++s) {
+    a.remove(s);
+    removed.push_back(s);
+  }
+  RegretRepair repair(2);
+  EXPECT_TRUE(repair.repair(a, removed, obj, rng));
+  EXPECT_EQ(a.unassignedCount(), 0u);
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty());
+}
+
+TEST(RegretRepair, HandlesForcedPlacementFirst) {
+  // Shard 0 (60) fits only machine 2 (empty); shards 1-2 (20) fit
+  // anywhere. Regret must place the forced shard before greedily filling
+  // machine 2 with the small ones.
+  const Instance inst =
+      placedInstance(3, 0, {60.0, 20.0, 20.0, 45.0, 45.0}, {0, 0, 0, 1, 0});
+  Assignment a(inst);
+  const Objective obj(0);
+  Rng rng(9);
+  // State: m0 holds 60+20+20+45 = 145 (over), m1 holds 45, m2 empty.
+  // Remove 0, 1, 2 -> m0 holds 45, m1 45, m2 0.
+  a.remove(0);
+  a.remove(1);
+  a.remove(2);
+  const std::vector<ShardId> removed{1, 2, 0};  // deliberately bad order
+  RegretRepair repair(2);
+  ASSERT_TRUE(repair.repair(a, removed, obj, rng));
+  EXPECT_EQ(a.machineOf(0), 2u);
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty());
+}
+
+TEST(RegretRepair, Regret3AlsoWorks) {
+  const Instance inst = tinyTestInstance(37, 6, 36, 2, 0.55);
+  Assignment a(inst);
+  const Objective obj(inst.exchangeCount());
+  Rng rng(11);
+  std::vector<ShardId> removed;
+  for (ShardId s = 0; s < 8; ++s) {
+    a.remove(s);
+    removed.push_back(s);
+  }
+  RegretRepair repair(3);
+  EXPECT_TRUE(repair.repair(a, removed, obj, rng));
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty());
+}
+
+TEST(RegretRepair, FailsCleanlyWhenImpossible) {
+  const Instance inst = placedInstance(1, 0, {60.0, 50.0}, {0, 0});
+  Assignment a(inst);
+  const Objective obj(0);
+  a.remove(0);
+  a.remove(1);
+  RegretRepair repair(2);
+  Rng rng(13);
+  const std::vector<ShardId> both{0, 1};
+  EXPECT_FALSE(repair.repair(a, both, obj, rng));
+}
+
+TEST(Repair, EmptyShardListSucceedsTrivially) {
+  const Instance inst = uniformInstance(2, 0, {10.0});
+  Assignment a(inst);
+  const Objective obj(0);
+  Rng rng(15);
+  GreedyRepair greedy;
+  RegretRepair regret(2);
+  EXPECT_TRUE(greedy.repair(a, {}, obj, rng));
+  EXPECT_TRUE(regret.repair(a, {}, obj, rng));
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,97 @@
+#include "model/ip_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+using testing::placedInstance;
+using testing::uniformInstance;
+
+TEST(IpModel, VariableIndexingIsDense) {
+  const Instance inst = uniformInstance(3, 1, {10.0, 20.0});
+  const IpModel model(inst);
+  // 2 shards * 4 machines x-vars, 4 y-vars, 1 lambda.
+  EXPECT_EQ(model.variableCount(), 2u * 4u + 4u + 1u);
+  EXPECT_EQ(model.xVar(0, 0), 0u);
+  EXPECT_EQ(model.xVar(1, 3), 7u);
+  EXPECT_EQ(model.yVar(0), 8u);
+  EXPECT_EQ(model.lambdaVar(), 12u);
+  EXPECT_TRUE(model.isBinary(model.xVar(1, 2)));
+  EXPECT_TRUE(model.isBinary(model.yVar(3)));
+  EXPECT_FALSE(model.isBinary(model.lambdaVar()));
+}
+
+TEST(IpModel, ConstraintCountMatchesFormulation) {
+  const Instance inst = uniformInstance(3, 1, {10.0, 20.0});
+  const IpModel model(inst);
+  // n assign + m*d balance + m*d capacity + m link + 1 compensation.
+  const std::size_t expected = 2 + 4 * 2 + 4 * 2 + 4 + 1;
+  EXPECT_EQ(model.constraints().size(), expected);
+}
+
+TEST(IpModel, InitialPlacementSatisfiesModel) {
+  const Instance inst = uniformInstance(3, 1, {10.0, 20.0, 30.0});
+  const IpModel model(inst);
+  EXPECT_TRUE(model.checkMapping(inst.initialAssignment()).empty());
+}
+
+TEST(IpModel, OverCapacityMappingViolatesCapacity) {
+  const Instance inst = uniformInstance(2, 0, {60.0, 70.0});
+  const IpModel model(inst);
+  const auto violations = model.checkMapping({0, 0});
+  bool foundCapacity = false;
+  for (const auto& v : violations)
+    if (v.rfind("capacity_", 0) == 0) foundCapacity = true;
+  EXPECT_TRUE(foundCapacity);
+}
+
+TEST(IpModel, CompensationViolatedWhenAllMachinesUsed) {
+  // 3 machines, 1 exchange: using all three leaves 0 vacant < 1.
+  const Instance inst = placedInstance(2, 1, {10.0, 10.0, 10.0}, {0, 1, 0});
+  const IpModel model(inst);
+  const auto violations = model.checkMapping({0, 1, 2});
+  bool foundCompensation = false;
+  for (const auto& v : violations)
+    if (v == "compensation") foundCompensation = true;
+  EXPECT_TRUE(foundCompensation);
+}
+
+TEST(IpModel, CompensationSatisfiedByDrainingARegularMachine) {
+  const Instance inst = placedInstance(2, 1, {10.0, 10.0, 10.0}, {0, 1, 0});
+  const IpModel model(inst);
+  // Everything onto machines 0 and 2 (the exchange machine) leaves
+  // machine 1 vacant: compensation holds.
+  EXPECT_TRUE(model.checkMapping({0, 2, 0}).empty());
+}
+
+TEST(IpModel, ImpliedLambdaMatchesBottleneck) {
+  const Instance inst = uniformInstance(2, 0, {40.0, 30.0});
+  const IpModel model(inst);
+  EXPECT_DOUBLE_EQ(model.impliedLambda(inst.initialAssignment()), 0.4);
+}
+
+TEST(IpModel, LpFormatContainsAllSections) {
+  const Instance inst = uniformInstance(2, 1, {10.0});
+  const IpModel model(inst);
+  const std::string lp = model.toLpFormat();
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binaries"), std::string::npos);
+  EXPECT_NE(lp.find("compensation"), std::string::npos);
+  EXPECT_NE(lp.find("x_0_0"), std::string::npos);
+  EXPECT_NE(lp.find("y_2"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+}
+
+TEST(IpModel, SyntheticInstanceInitialMappingIsModelFeasible) {
+  const Instance inst = tinyTestInstance(31, 5, 20, 1, 0.5);
+  const IpModel model(inst);
+  EXPECT_TRUE(model.checkMapping(inst.initialAssignment()).empty());
+}
+
+}  // namespace
+}  // namespace resex

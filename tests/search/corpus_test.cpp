@@ -1,0 +1,67 @@
+#include "search/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resex {
+namespace {
+
+CorpusConfig smallConfig() {
+  CorpusConfig config;
+  config.docCount = 10000;
+  config.termCount = 1000;
+  config.avgTermsPerDoc = 50.0;
+  return config;
+}
+
+TEST(Corpus, FrequenciesAreMonotoneDecreasing) {
+  const Corpus corpus(smallConfig());
+  for (TermId t = 1; t < corpus.termCount(); ++t)
+    EXPECT_LE(corpus.documentFrequency(t), corpus.documentFrequency(t - 1));
+}
+
+TEST(Corpus, FrequenciesCappedAtDocCount) {
+  CorpusConfig config = smallConfig();
+  config.avgTermsPerDoc = 500.0;  // forces head terms into the cap
+  const Corpus corpus(config);
+  for (TermId t = 0; t < corpus.termCount(); ++t)
+    EXPECT_LE(corpus.documentFrequency(t),
+              static_cast<double>(config.docCount));
+  EXPECT_DOUBLE_EQ(corpus.documentFrequency(0),
+                   static_cast<double>(config.docCount));
+}
+
+TEST(Corpus, TotalPostingsNearTarget) {
+  const CorpusConfig config = smallConfig();
+  const Corpus corpus(config);
+  const double target = static_cast<double>(config.docCount) * config.avgTermsPerDoc;
+  // The docCount cap can only reduce the total.
+  EXPECT_LE(corpus.totalPostings(), target + 1e-6);
+  EXPECT_GT(corpus.totalPostings(), target * 0.5);
+}
+
+TEST(Corpus, ZipfShapeHolds) {
+  CorpusConfig config = smallConfig();
+  config.dfExponent = 1.0;
+  config.avgTermsPerDoc = 5.0;  // keep everything below the cap
+  const Corpus corpus(config);
+  // df(t) / df(2t) ~ 2 under exponent 1.
+  EXPECT_NEAR(corpus.documentFrequency(9) / corpus.documentFrequency(19), 2.0, 0.05);
+}
+
+TEST(Corpus, RejectsDegenerateConfigs) {
+  CorpusConfig config = smallConfig();
+  config.termCount = 0;
+  EXPECT_THROW(Corpus{config}, std::invalid_argument);
+  config = smallConfig();
+  config.docCount = 0;
+  EXPECT_THROW(Corpus{config}, std::invalid_argument);
+}
+
+TEST(Corpus, AccessorsReflectConfig) {
+  const Corpus corpus(smallConfig());
+  EXPECT_EQ(corpus.docCount(), 10000u);
+  EXPECT_EQ(corpus.termCount(), 1000u);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,144 @@
+#include "search/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+
+namespace resex {
+namespace {
+
+using testing::uniformInstance;
+
+struct Fixture {
+  Corpus corpus;
+  QueryGenerator queries;
+
+  Fixture()
+      : corpus([] {
+          CorpusConfig c;
+          c.docCount = 10000;
+          c.termCount = 300;
+          c.avgTermsPerDoc = 30.0;
+          return c;
+        }()),
+        queries(corpus, QueryModelConfig{}) {}
+};
+
+TEST(Engine, ProducesLatenciesForEveryQuery) {
+  Fixture f;
+  const Instance inst = uniformInstance(4, 0, {10.0, 10.0, 10.0, 10.0});
+  SimulationConfig sim;
+  sim.queryCount = 500;
+  sim.arrivalRate = 50.0;
+  const std::vector<double> fractions{0.25, 0.25, 0.25, 0.25};
+  const SimulationResult r =
+      simulateQueries(inst, inst.initialAssignment(), fractions, f.queries, sim);
+  EXPECT_EQ(r.queries, 500u);
+  EXPECT_EQ(r.latency.totalCount(), 500u);
+  EXPECT_GT(r.p50(), 0.0);
+  EXPECT_GE(r.p99(), r.p50());
+}
+
+TEST(Engine, HigherLoadMeansHigherLatency) {
+  Fixture f;
+  const Instance inst = uniformInstance(4, 0, {10.0, 10.0, 10.0, 10.0});
+  const std::vector<double> fractions{0.25, 0.25, 0.25, 0.25};
+  SimulationConfig light;
+  light.queryCount = 3000;
+  light.arrivalRate = 20.0;
+  SimulationConfig heavy = light;
+  heavy.arrivalRate = 400.0;
+  const auto lightRes =
+      simulateQueries(inst, inst.initialAssignment(), fractions, f.queries, light);
+  const auto heavyRes =
+      simulateQueries(inst, inst.initialAssignment(), fractions, f.queries, heavy);
+  EXPECT_GT(heavyRes.p99(), lightRes.p99());
+}
+
+TEST(Engine, SkewedPlacementHurtsTailLatency) {
+  Fixture f;
+  const Instance inst = uniformInstance(4, 0, {10.0, 10.0, 10.0, 10.0});
+  SimulationConfig sim;
+  sim.queryCount = 4000;
+  sim.arrivalRate = 120.0;
+  // Balanced: one shard per machine. Skewed: all four on machine 0.
+  const std::vector<double> fractions{0.25, 0.25, 0.25, 0.25};
+  const std::vector<MachineId> balanced{0, 1, 2, 3};
+  const std::vector<MachineId> skewed{0, 0, 0, 0};
+  const auto balRes = simulateQueries(inst, balanced, fractions, f.queries, sim);
+  const auto skewRes = simulateQueries(inst, skewed, fractions, f.queries, sim);
+  EXPECT_GT(skewRes.p99(), balRes.p99());
+  EXPECT_GT(skewRes.meanLatency(), balRes.meanLatency());
+}
+
+TEST(Engine, BusyFractionReflectsLoadPlacement) {
+  Fixture f;
+  const Instance inst = uniformInstance(2, 0, {10.0, 10.0});
+  SimulationConfig sim;
+  sim.queryCount = 2000;
+  sim.arrivalRate = 60.0;
+  const std::vector<double> fractions{0.9, 0.1};
+  const std::vector<MachineId> mapping{0, 1};
+  const auto r = simulateQueries(inst, mapping, fractions, f.queries, sim);
+  ASSERT_EQ(r.machineBusyFraction.size(), 2u);
+  EXPECT_GT(r.machineBusyFraction[0], r.machineBusyFraction[1]);
+}
+
+TEST(Engine, FasterMachinesFinishSooner) {
+  Fixture f;
+  // Machine 1 has double the CPU capacity of machine 0.
+  std::vector<Machine> machines(2);
+  machines[0].id = 0;
+  machines[0].capacity = ResourceVector{100.0, 100.0};
+  machines[1].id = 1;
+  machines[1].capacity = ResourceVector{200.0, 100.0};
+  std::vector<Shard> shards(2);
+  shards[0].id = 0;
+  shards[0].demand = ResourceVector{1.0, 1.0};
+  shards[1].id = 1;
+  shards[1].demand = ResourceVector{1.0, 1.0};
+  const Instance inst(2, std::move(machines), std::move(shards), {0, 1}, 0,
+                      ResourceVector{1.0, 1.0});
+  SimulationConfig sim;
+  sim.queryCount = 3000;
+  sim.arrivalRate = 100.0;
+  const std::vector<double> fractions{0.5, 0.5};
+  const auto r =
+      simulateQueries(inst, inst.initialAssignment(), fractions, f.queries, sim);
+  EXPECT_GT(r.machineBusyFraction[0], r.machineBusyFraction[1]);
+}
+
+TEST(Engine, DeterministicForSeed) {
+  Fixture f;
+  const Instance inst = uniformInstance(3, 0, {10.0, 10.0, 10.0});
+  SimulationConfig sim;
+  sim.queryCount = 1000;
+  const std::vector<double> fractions{0.4, 0.3, 0.3};
+  const auto a = simulateQueries(inst, inst.initialAssignment(), fractions, f.queries, sim);
+  const auto b = simulateQueries(inst, inst.initialAssignment(), fractions, f.queries, sim);
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+  EXPECT_DOUBLE_EQ(a.meanLatency(), b.meanLatency());
+}
+
+TEST(Engine, RejectsSizeMismatch) {
+  Fixture f;
+  const Instance inst = uniformInstance(2, 0, {10.0, 10.0});
+  SimulationConfig sim;
+  EXPECT_THROW(
+      simulateQueries(inst, {0}, {0.5, 0.5}, f.queries, sim),
+      std::invalid_argument);
+  EXPECT_THROW(
+      simulateQueries(inst, inst.initialAssignment(), {0.5}, f.queries, sim),
+      std::invalid_argument);
+}
+
+TEST(Engine, RejectsUnassignedShard) {
+  Fixture f;
+  const Instance inst = uniformInstance(2, 0, {10.0, 10.0});
+  SimulationConfig sim;
+  EXPECT_THROW(simulateQueries(inst, {kNoMachine, 0}, {0.5, 0.5}, f.queries, sim),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,100 @@
+#include "search/query.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resex {
+namespace {
+
+Corpus smallCorpus() {
+  CorpusConfig config;
+  config.docCount = 10000;
+  config.termCount = 500;
+  config.avgTermsPerDoc = 40.0;
+  return Corpus(config);
+}
+
+TEST(QueryGenerator, TermCountsWithinRange) {
+  const Corpus corpus = smallCorpus();
+  QueryModelConfig config;
+  config.minTerms = 2;
+  config.maxTerms = 5;
+  const QueryGenerator gen(corpus, config);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Query q = gen.next(rng);
+    EXPECT_GE(q.terms.size(), 2u);
+    EXPECT_LE(q.terms.size(), 5u);
+    for (const TermId t : q.terms) EXPECT_LT(t, corpus.termCount());
+  }
+}
+
+TEST(QueryGenerator, RejectsBadTermRange) {
+  const Corpus corpus = smallCorpus();
+  QueryModelConfig config;
+  config.minTerms = 0;
+  EXPECT_THROW(QueryGenerator(corpus, config), std::invalid_argument);
+  config.minTerms = 5;
+  config.maxTerms = 2;
+  EXPECT_THROW(QueryGenerator(corpus, config), std::invalid_argument);
+}
+
+TEST(QueryGenerator, PopularTermsDominate) {
+  const Corpus corpus = smallCorpus();
+  const QueryGenerator gen(corpus, QueryModelConfig{});
+  Rng rng(3);
+  std::vector<int> counts(corpus.termCount(), 0);
+  for (int i = 0; i < 20000; ++i)
+    for (const TermId t : gen.next(rng).terms) ++counts[t];
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[0], counts[499]);
+}
+
+TEST(QueryGenerator, WorkScalesWithDocFraction) {
+  const Corpus corpus = smallCorpus();
+  const QueryGenerator gen(corpus, QueryModelConfig{});
+  Rng rng(5);
+  const Query q = gen.next(rng);
+  const double small = gen.workOnShard(q, 0.01);
+  const double large = gen.workOnShard(q, 0.10);
+  EXPECT_GT(large, small);
+  // Subtracting the fixed overhead, work is linear in the fraction.
+  const double fixed = gen.config().workPerShardFixed;
+  EXPECT_NEAR((large - fixed) / (small - fixed), 10.0, 1e-6);
+}
+
+TEST(QueryGenerator, WorkIsAtLeastFixedOverhead) {
+  const Corpus corpus = smallCorpus();
+  const QueryGenerator gen(corpus, QueryModelConfig{});
+  Rng rng(7);
+  const Query q = gen.next(rng);
+  EXPECT_GE(gen.workOnShard(q, 0.0), gen.config().workPerShardFixed);
+}
+
+TEST(QueryGenerator, ExpectedWorkMatchesEmpiricalMean) {
+  const Corpus corpus = smallCorpus();
+  const QueryGenerator gen(corpus, QueryModelConfig{});
+  Rng rng(9);
+  const double fraction = 0.05;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += gen.workOnShard(gen.next(rng), fraction);
+  const double empirical = sum / n;
+  const double expected = gen.expectedWorkOnShard(fraction);
+  EXPECT_NEAR(empirical, expected, expected * 0.05);
+}
+
+TEST(QueryGenerator, MoreTermsMeansMoreWorkOnAverage) {
+  const Corpus corpus = smallCorpus();
+  QueryModelConfig one;
+  one.minTerms = 1;
+  one.maxTerms = 1;
+  QueryModelConfig four;
+  four.minTerms = 4;
+  four.maxTerms = 4;
+  const QueryGenerator genOne(corpus, one);
+  const QueryGenerator genFour(corpus, four);
+  EXPECT_GT(genFour.expectedWorkOnShard(0.1), genOne.expectedWorkOnShard(0.1));
+}
+
+}  // namespace
+}  // namespace resex

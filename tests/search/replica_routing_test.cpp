@@ -1,0 +1,122 @@
+// Replicated search serving: replica-aware instances and the
+// power-of-two-choices router.
+#include <gtest/gtest.h>
+
+#include "cluster/assignment.hpp"
+#include "search/builder.hpp"
+
+namespace resex {
+namespace {
+
+SearchWorkloadConfig replicatedConfig() {
+  SearchWorkloadConfig config;
+  config.seed = 21;
+  config.corpus.docCount = 50000;
+  config.corpus.termCount = 2000;
+  config.shardCount = 40;  // logical partitions
+  config.replicationFactor = 2;
+  config.machines = 8;
+  config.exchangeMachines = 2;
+  config.peakQps = 600.0;
+  config.cpuLoadFactorAtPeak = 0.75;
+  return config;
+}
+
+TEST(ReplicatedSearch, BuildsValidReplicatedInstance) {
+  const SearchWorkload workload(replicatedConfig());
+  EXPECT_EQ(workload.physicalShardCount(), 80u);
+  const Instance inst = workload.buildInstance(600.0);
+  EXPECT_TRUE(inst.hasReplication());
+  EXPECT_EQ(inst.shardCount(), 80u);
+  Assignment a(inst);
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty());
+}
+
+TEST(ReplicatedSearch, CpuSplitsAcrossReplicasMemoryDoesNot) {
+  SearchWorkloadConfig one = replicatedConfig();
+  one.replicationFactor = 1;
+  SearchWorkloadConfig two = replicatedConfig();
+  const SearchWorkload w1(one);
+  const SearchWorkload w2(two);
+  // Same partition fractions (same seed), so partition 0's replica demand
+  // must be half the unreplicated CPU demand with equal memory.
+  const ResourceVector d1 = w1.shardDemand(0, 600.0);
+  const ResourceVector d2 = w2.shardDemand(0, 600.0);
+  EXPECT_NEAR(d2[0], d1[0] / 2.0, d1[0] * 1e-9);
+  EXPECT_DOUBLE_EQ(d2[1], d1[1]);
+}
+
+TEST(ReplicatedSearch, PeakCpuLoadFactorStillOnTarget) {
+  const SearchWorkloadConfig config = replicatedConfig();
+  const SearchWorkload workload(config);
+  const Instance inst = workload.buildInstance(config.peakQps);
+  const ResourceVector demand = inst.totalDemand();
+  const ResourceVector cap = inst.totalRegularCapacity();
+  EXPECT_NEAR(demand[0] / cap[0], config.cpuLoadFactorAtPeak, 1e-9);
+}
+
+TEST(ReplicatedSearch, SimulationRunsAndRespondsToLoad) {
+  const SearchWorkloadConfig config = replicatedConfig();
+  const SearchWorkload workload(config);
+  const Instance inst = workload.buildInstance(config.peakQps);
+  const auto busy =
+      workload.simulate(inst.initialAssignment(), config.peakQps, 3000, 5);
+  const auto calm =
+      workload.simulate(inst.initialAssignment(), config.peakQps * 0.25, 3000, 5);
+  EXPECT_EQ(busy.queries, 3000u);
+  EXPECT_GT(busy.p99(), 0.0);
+  EXPECT_LT(calm.p99(), busy.p99());
+}
+
+TEST(ReplicatedSearch, RouterSpreadsLoadAcrossReplicas) {
+  // Two machines, one group with two replicas: power-of-two-choices must
+  // keep the two machines' busy fractions close.
+  std::vector<Machine> machines(2);
+  machines[0] = {0, ResourceVector{100.0, 100.0}, false, 0};
+  machines[1] = {1, ResourceVector{100.0, 100.0}, false, 0};
+  std::vector<Shard> shards(2);
+  shards[0] = {0, ResourceVector{10.0, 10.0}, 1.0};
+  shards[1] = {1, ResourceVector{10.0, 10.0}, 1.0};
+  const Instance inst(2, std::move(machines), std::move(shards), {0, 1}, 0,
+                      ResourceVector{1.0, 1.0}, {0, 0});
+
+  CorpusConfig corpusConfig;
+  corpusConfig.docCount = 20000;
+  corpusConfig.termCount = 500;
+  const Corpus corpus(corpusConfig);
+  const QueryGenerator queries(corpus, QueryModelConfig{});
+
+  SimulationConfig sim;
+  sim.queryCount = 5000;
+  sim.arrivalRate = 100.0;
+  const std::vector<double> fractions{1.0, 1.0};
+  const auto r = simulateQueries(inst, inst.initialAssignment(), fractions, queries, sim);
+  ASSERT_EQ(r.machineBusyFraction.size(), 2u);
+  EXPECT_GT(r.machineBusyFraction[0], 0.0);
+  EXPECT_GT(r.machineBusyFraction[1], 0.0);
+  const double ratio = r.machineBusyFraction[0] /
+                       std::max(1e-12, r.machineBusyFraction[1]);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(ReplicatedSearch, ReplicationRaisesMemoryFootprint) {
+  SearchWorkloadConfig one = replicatedConfig();
+  one.replicationFactor = 1;
+  const SearchWorkload w1(one);
+  const SearchWorkload w2(replicatedConfig());
+  const Instance i1 = w1.buildInstance(600.0);
+  const Instance i2 = w2.buildInstance(600.0);
+  // Same memLoadFactor target, double the index bytes -> machines sized
+  // with twice the memory capacity.
+  EXPECT_NEAR(i2.machine(0).capacity[1] / i1.machine(0).capacity[1], 2.0, 1e-9);
+}
+
+TEST(ReplicatedSearch, RejectsReplicationOverMachines) {
+  SearchWorkloadConfig config = replicatedConfig();
+  config.replicationFactor = 9;  // > 8 machines
+  EXPECT_THROW(SearchWorkload{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resex

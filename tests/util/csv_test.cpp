@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace resex {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "resex_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_);
+    w.writeHeader({"a", "b"});
+    w.writeRow({"1", "2"});
+  }
+  EXPECT_EQ(readFile(path_), "a,b\n1,2\n");
+}
+
+TEST_F(CsvTest, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(CsvEscape, PlainCellUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,113 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace resex {
+namespace {
+
+std::vector<const char*> argvOf(std::initializer_list<const char*> args) {
+  return {args.begin(), args.end()};
+}
+
+TEST(Flags, DefaultsApplyWithoutParse) {
+  Flags f;
+  f.define("count", "7", "a count");
+  EXPECT_EQ(f.integer("count"), 7);
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f;
+  f.define("rate", "1.0", "rate");
+  auto argv = argvOf({"prog", "--rate=2.5"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(f.real("rate"), 2.5);
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f;
+  f.define("name", "x", "name");
+  auto argv = argvOf({"prog", "--name", "hello"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.str("name"), "hello");
+}
+
+TEST(Flags, BareFlagIsBooleanTrue) {
+  Flags f;
+  f.define("verbose", "false", "verbosity");
+  auto argv = argvOf({"prog", "--verbose"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f.boolean("verbose"));
+}
+
+TEST(Flags, BareFlagFollowedByAnotherFlag) {
+  Flags f;
+  f.define("verbose", "false", "verbosity");
+  f.define("n", "1", "count");
+  auto argv = argvOf({"prog", "--verbose", "--n", "3"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f.boolean("verbose"));
+  EXPECT_EQ(f.integer("n"), 3);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags f;
+  f.define("x", "1", "x");
+  auto argv = argvOf({"prog", "--bogus=1"});
+  EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()), std::runtime_error);
+}
+
+TEST(Flags, UndeclaredLookupThrows) {
+  Flags f;
+  EXPECT_THROW(f.str("missing"), std::runtime_error);
+}
+
+TEST(Flags, DuplicateDefineThrows) {
+  Flags f;
+  f.define("x", "1", "x");
+  EXPECT_THROW(f.define("x", "2", "dup"), std::runtime_error);
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  Flags f;
+  f.define("x", "1", "x");
+  auto argv = argvOf({"prog", "input.txt", "--x=5", "more"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, HelpRequested) {
+  Flags f;
+  auto argv = argvOf({"prog", "--help"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f.helpRequested());
+}
+
+TEST(Flags, HelpTextMentionsFlagsAndDefaults) {
+  Flags f;
+  f.define("machines", "100", "number of machines");
+  const std::string text = f.helpText("prog");
+  EXPECT_NE(text.find("--machines"), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+  EXPECT_NE(text.find("number of machines"), std::string::npos);
+}
+
+TEST(Flags, BooleanVariants) {
+  Flags f;
+  f.define("a", "true", "");
+  f.define("b", "yes", "");
+  f.define("c", "on", "");
+  f.define("d", "1", "");
+  f.define("e", "false", "");
+  EXPECT_TRUE(f.boolean("a"));
+  EXPECT_TRUE(f.boolean("b"));
+  EXPECT_TRUE(f.boolean("c"));
+  EXPECT_TRUE(f.boolean("d"));
+  EXPECT_FALSE(f.boolean("e"));
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,119 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace resex {
+namespace {
+
+TEST(LinearHistogram, CountsLandInRightBuckets) {
+  LinearHistogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.9);
+  h.add(9.5);
+  EXPECT_EQ(h.totalCount(), 4u);
+  EXPECT_EQ(h.countAt(0), 1u);
+  EXPECT_EQ(h.countAt(5), 2u);
+  EXPECT_EQ(h.countAt(9), 1u);
+}
+
+TEST(LinearHistogram, OutOfRangeClampsToEdges) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.countAt(0), 1u);
+  EXPECT_EQ(h.countAt(4), 1u);
+}
+
+TEST(LinearHistogram, BucketLowValues) {
+  LinearHistogram h(2.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucketLow(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucketLow(4), 10.0);
+}
+
+TEST(LinearHistogram, RejectsBadArguments) {
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(LinearHistogram, RenderContainsEveryBucket) {
+  LinearHistogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const std::string text = h.render();
+  int lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(LatencyHistogram, EmptyQuantileIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.totalCount(), 0u);
+}
+
+TEST(LatencyHistogram, SingleValueRoundTripsWithinRelativeError) {
+  LatencyHistogram h(1e-6, 16);
+  h.add(0.123);
+  const double q = h.quantile(0.5);
+  EXPECT_NEAR(q, 0.123, 0.123 * 0.06);  // ~ +/- 2^(1/16)
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) h.add(rng.lognormal(-4.0, 1.0));
+  double prev = 0.0;
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogram, QuantileApproximatesExactOrder) {
+  LatencyHistogram h(1e-6, 32);
+  for (int i = 1; i <= 1000; ++i) h.add(i * 0.001);
+  // p50 of 0.001..1.000 is ~0.5.
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.03);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.05);
+}
+
+TEST(LatencyHistogram, TracksMaxAndMean) {
+  LatencyHistogram h;
+  h.add(1.0);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.maxSeen(), 3.0);
+  EXPECT_DOUBLE_EQ(h.meanValue(), 2.0);
+}
+
+TEST(LatencyHistogram, MergeCombinesCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.add(0.1);
+  b.add(10.0);
+  b.add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.totalCount(), 3u);
+  EXPECT_DOUBLE_EQ(a.maxSeen(), 20.0);
+  EXPECT_GT(a.quantile(0.99), 5.0);
+}
+
+TEST(LatencyHistogram, BelowMinClampsToFirstBucket) {
+  LatencyHistogram h(1e-3, 8);
+  h.add(1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 1e-3, 1e-4);
+}
+
+TEST(LatencyHistogram, RejectsBadArguments) {
+  EXPECT_THROW(LatencyHistogram(0.0, 8), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(1e-6, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,93 @@
+#include "util/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace resex {
+namespace {
+
+TEST(Json, EmptyObject) {
+  JsonWriter json;
+  json.beginObject().endObject();
+  EXPECT_EQ(json.str(), "{}");
+}
+
+TEST(Json, EmptyArray) {
+  JsonWriter json;
+  json.beginArray().endArray();
+  EXPECT_EQ(json.str(), "[]");
+}
+
+TEST(Json, FieldsWithCommas) {
+  JsonWriter json;
+  json.beginObject().field("a", 1).field("b", 2.5).field("c", true).endObject();
+  EXPECT_EQ(json.str(), "{\"a\":1,\"b\":2.5,\"c\":true}");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter json;
+  json.beginObject();
+  json.key("list").beginArray().value(1).value(2).endArray();
+  json.key("obj").beginObject().field("x", "y").endObject();
+  json.endObject();
+  EXPECT_EQ(json.str(), "{\"list\":[1,2],\"obj\":{\"x\":\"y\"}}");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonWriter::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.beginArray().value(1.0 / 0.0).value(0.0 / 0.0).endArray();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(Json, NullValue) {
+  JsonWriter json;
+  json.beginObject().key("x").nullValue().endObject();
+  EXPECT_EQ(json.str(), "{\"x\":null}");
+}
+
+TEST(Json, ArrayOfMixedValues) {
+  JsonWriter json;
+  json.beginArray().value("s").value(false).value(std::int64_t{-3}).endArray();
+  EXPECT_EQ(json.str(), "[\"s\",false,-3]");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_THROW(json.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.beginArray();
+    EXPECT_THROW(json.key("x"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_THROW(json.endArray(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_THROW(json.str(), std::logic_error);  // unclosed container
+  }
+}
+
+TEST(Json, TopLevelScalarAllowedOnce) {
+  JsonWriter json;
+  json.value(42);
+  EXPECT_EQ(json.str(), "42");
+  EXPECT_THROW(json.value(43), std::logic_error);
+}
+
+}  // namespace
+}  // namespace resex

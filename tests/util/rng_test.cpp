@@ -1,0 +1,187 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace resex {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a();
+  a();
+  a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr std::uint64_t kBound = 10;
+  std::array<int, kBound> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(kBound)];
+  for (const int c : counts) EXPECT_NEAR(c, n / kBound, n / kBound * 0.1);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(17);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumSq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(41);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.02);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.02);
+  EXPECT_NEAR(counts[2], n * 0.6, n * 0.02);
+}
+
+TEST(Rng, DiscreteEmptyOrZeroWeights) {
+  Rng rng(43);
+  EXPECT_EQ(rng.discrete({}), 0u);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_EQ(rng.discrete(zeros), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(53);
+  const auto picks = rng.sampleIndices(100, 30);
+  EXPECT_EQ(picks.size(), 30u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(Rng, SampleIndicesAllWhenCountExceedsN) {
+  Rng rng(59);
+  const auto picks = rng.sampleIndices(5, 10);
+  EXPECT_EQ(picks.size(), 5u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent() == child()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitMix64KnownValue) {
+  // Reference value from the SplitMix64 definition with seed 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,149 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace resex {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SampleVarianceUsesNMinusOne) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sampleVariance(), 2.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(OnlineStats, CvZeroMean) {
+  OnlineStats s;
+  s.add(0.0);
+  s.add(0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(Quantile, EmptyReturnsZero) { EXPECT_EQ(quantile({}, 0.5), 0.0); }
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0}, 2.0), 2.0);
+}
+
+TEST(Quantile, BatchMatchesSingle) {
+  const std::vector<double> data{5.0, 1.0, 9.0, 3.0, 7.0};
+  const std::vector<double> qs{0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto batch = quantiles(data, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i], quantile(data, qs[i]));
+}
+
+TEST(JainFairness, PerfectlyEvenIsOne) {
+  const std::vector<double> v{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(jainFairness(v), 1.0);
+}
+
+TEST(JainFairness, SingleHotspotIsOneOverN) {
+  const std::vector<double> v{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jainFairness(v), 0.25);
+}
+
+TEST(JainFairness, EmptyAndZeroAreOne) {
+  EXPECT_DOUBLE_EQ(jainFairness({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jainFairness(zeros), 1.0);
+}
+
+TEST(Gini, EvenDistributionIsZero) {
+  EXPECT_NEAR(gini({3.0, 3.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(Gini, ExtremeConcentrationApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v.back() = 1.0;
+  EXPECT_GT(gini(v), 0.95);
+}
+
+TEST(Gini, FewerThanTwoIsZero) {
+  EXPECT_EQ(gini({}), 0.0);
+  EXPECT_EQ(gini({5.0}), 0.0);
+}
+
+TEST(MeanMax, Basics) {
+  const std::vector<double> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(maxOf(v), 6.0);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(maxOf({}), 0.0);
+}
+
+TEST(MaxOf, AllNegative) {
+  const std::vector<double> v{-5.0, -2.0, -9.0};
+  EXPECT_DOUBLE_EQ(maxOf(v), -2.0);
+}
+
+}  // namespace
+}  // namespace resex

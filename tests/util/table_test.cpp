@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace resex {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer-name", "22"});
+  const std::string out = t.render();
+  // Header, separator, two rows.
+  int lines = 0;
+  for (const char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+  // Every line before the newline has the same visible width budget
+  // for the first column: "longer-name" sets it.
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, SeparatorMatchesWidths) {
+  Table t({"ab"});
+  t.addRow({"abcd"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumTrimsTrailingZeros) {
+  EXPECT_EQ(Table::num(1.5, 3), "1.5");
+  EXPECT_EQ(Table::num(2.0, 3), "2");
+  EXPECT_EQ(Table::num(0.125, 3), "0.125");
+}
+
+TEST(Table, NumIntegerOverload) {
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+}
+
+TEST(Table, PctFormats) {
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, PrintToStream) {
+  Table t({"h"});
+  t.addRow({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.render());
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.addRow({"v"});
+  EXPECT_EQ(t.rowCount(), 1u);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,109 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace resex {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitDrainsQueue) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsPicksHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallelFor(hits.size(), [&hits](std::size_t i) { ++hits[i]; }, 64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallelFor(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  int calls = 0;
+  parallelFor(10, [&calls](std::size_t) { ++calls; }, 256);
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallelFor(
+          10000,
+          [](std::size_t i) {
+            if (i == 5000) throw std::runtime_error("boom");
+          },
+          16),
+      std::runtime_error);
+}
+
+TEST(ParallelForBlocked, BlocksCoverRangeWithoutOverlap) {
+  const std::size_t n = 12345;
+  std::vector<std::atomic<int>> hits(n);
+  parallelForBlocked(
+      n,
+      [&hits](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      100);
+  long total = 0;
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+    total += h.load();
+  }
+  EXPECT_EQ(total, static_cast<long>(n));
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  const std::size_t n = 100000;
+  std::atomic<long> sum{0};
+  parallelFor(n, [&sum](std::size_t i) { sum += static_cast<long>(i); }, 1000);
+  EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace resex

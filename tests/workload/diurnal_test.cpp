@@ -1,0 +1,62 @@
+#include "workload/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resex {
+namespace {
+
+TEST(Diurnal, PeakIsAtPeakHour) {
+  DiurnalModel model;
+  model.peakHour = 14.0;
+  const double peak = model.multiplier(14.0);
+  for (double h = 0.0; h < 24.0; h += 0.5)
+    EXPECT_LE(model.multiplier(h), peak + 1e-9) << "hour " << h;
+}
+
+TEST(Diurnal, TroughIsOppositeThePeak) {
+  DiurnalModel model;
+  model.peakHour = 14.0;
+  model.secondHarmonic = 0.0;
+  EXPECT_LT(model.multiplier(2.0), model.multiplier(14.0));
+  // Pure cosine: trough 12h after the peak.
+  double troughValue = model.multiplier(2.0);
+  for (double h = 0.0; h < 24.0; h += 0.5)
+    EXPECT_GE(model.multiplier(h), troughValue - 1e-9);
+}
+
+TEST(Diurnal, FlatWhenAmplitudeZero) {
+  DiurnalModel model;
+  model.amplitude = 0.0;
+  for (double h = 0.0; h < 24.0; h += 1.0)
+    EXPECT_DOUBLE_EQ(model.multiplier(h), model.base);
+}
+
+TEST(Diurnal, MeanIsApproximatelyBase) {
+  DiurnalModel model;
+  double sum = 0.0;
+  const int steps = 2400;
+  for (int i = 0; i < steps; ++i) sum += model.multiplier(24.0 * i / steps);
+  EXPECT_NEAR(sum / steps, model.base, 0.02);
+}
+
+TEST(Diurnal, PhaseShiftMovesThePeak) {
+  DiurnalModel model;
+  model.secondHarmonic = 0.0;
+  // A +3h shift means the entity peaks 3 hours earlier.
+  EXPECT_NEAR(model.multiplier(model.peakHour - 3.0, 3.0),
+              model.multiplier(model.peakHour, 0.0), 1e-9);
+}
+
+TEST(Diurnal, NeverBelowFloor) {
+  DiurnalModel model;
+  model.amplitude = 5.0;  // absurd amplitude would go negative unclamped
+  for (double h = 0.0; h < 24.0; h += 0.25) EXPECT_GE(model.multiplier(h), 0.05);
+}
+
+TEST(Diurnal, PeriodicOver24Hours) {
+  DiurnalModel model;
+  EXPECT_NEAR(model.multiplier(3.0), model.multiplier(27.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace resex

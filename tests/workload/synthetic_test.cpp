@@ -1,0 +1,175 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/assignment.hpp"
+
+namespace resex {
+namespace {
+
+TEST(Synthetic, ProducesRequestedShape) {
+  SyntheticConfig config;
+  config.machines = 20;
+  config.exchangeMachines = 3;
+  config.shardsPerMachine = 10.0;
+  config.dims = 3;
+  const Instance inst = generateSynthetic(config);
+  EXPECT_EQ(inst.regularCount(), 20u);
+  EXPECT_EQ(inst.exchangeCount(), 3u);
+  EXPECT_EQ(inst.machineCount(), 23u);
+  EXPECT_EQ(inst.shardCount(), 200u);
+  EXPECT_EQ(inst.dims(), 3u);
+}
+
+TEST(Synthetic, HitsTargetLoadFactor) {
+  SyntheticConfig config;
+  config.loadFactor = 0.65;
+  config.machines = 40;
+  const Instance inst = generateSynthetic(config);
+  EXPECT_NEAR(inst.loadFactor(), 0.65, 1e-9);
+}
+
+TEST(Synthetic, InitialPlacementIsCapacityFeasible) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    SyntheticConfig config;
+    config.seed = seed;
+    config.loadFactor = 0.8;
+    config.machines = 50;
+    const Instance inst = generateSynthetic(config);
+    Assignment a(inst);
+    EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty()) << "seed " << seed;
+  }
+}
+
+TEST(Synthetic, ExchangeMachinesStartVacant) {
+  SyntheticConfig config;
+  config.exchangeMachines = 4;
+  const Instance inst = generateSynthetic(config);
+  Assignment a(inst);
+  EXPECT_GE(a.vacantCount(), 4u);
+  for (MachineId m = static_cast<MachineId>(inst.regularCount());
+       m < inst.machineCount(); ++m)
+    EXPECT_TRUE(a.isVacant(m));
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.seed = 99;
+  const Instance a = generateSynthetic(config);
+  const Instance b = generateSynthetic(config);
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig a;
+  a.seed = 1;
+  SyntheticConfig b;
+  b.seed = 2;
+  EXPECT_NE(generateSynthetic(a).serialize(), generateSynthetic(b).serialize());
+}
+
+TEST(Synthetic, PlacementSkewCreatesImbalance) {
+  SyntheticConfig skewed;
+  skewed.seed = 7;
+  skewed.placementSkew = 1.2;
+  skewed.loadFactor = 0.6;
+  SyntheticConfig flat = skewed;
+  flat.placementSkew = 0.0;
+  const Instance skewedInst = generateSynthetic(skewed);
+  const Instance flatInst = generateSynthetic(flat);
+  Assignment sa(skewedInst);
+  Assignment fa(flatInst);
+  EXPECT_GT(sa.bottleneckUtilization(), fa.bottleneckUtilization());
+}
+
+TEST(Synthetic, SkuCountProducesHeterogeneousCapacities) {
+  SyntheticConfig config;
+  config.skuCount = 3;
+  config.skuRatio = 2.0;
+  const Instance inst = generateSynthetic(config);
+  double minCap = 1e18;
+  double maxCap = 0.0;
+  for (const Machine& m : inst.machines()) {
+    minCap = std::min(minCap, m.capacity[0]);
+    maxCap = std::max(maxCap, m.capacity[0]);
+  }
+  EXPECT_GT(maxCap, minCap * 1.5);
+}
+
+TEST(Synthetic, DimCorrelationOneMakesDimsProportional) {
+  SyntheticConfig config;
+  config.dimCorrelation = 1.0;
+  config.dims = 2;
+  config.hotspotFraction = 0.0;
+  const Instance inst = generateSynthetic(config);
+  // With rho = 1 every shard's dims have identical shape, so the ratio
+  // dim1/dim0 is the same constant for all shards.
+  const double ratio = inst.shard(0).demand[1] / inst.shard(0).demand[0];
+  for (const Shard& s : inst.shards())
+    EXPECT_NEAR(s.demand[1] / s.demand[0], ratio, 1e-9);
+}
+
+TEST(Synthetic, RejectsBadConfig) {
+  SyntheticConfig config;
+  config.machines = 0;
+  EXPECT_THROW(generateSynthetic(config), std::invalid_argument);
+  config = SyntheticConfig{};
+  config.loadFactor = 1.5;
+  EXPECT_THROW(generateSynthetic(config), std::invalid_argument);
+  config = SyntheticConfig{};
+  config.dims = 0;
+  EXPECT_THROW(generateSynthetic(config), std::invalid_argument);
+}
+
+TEST(Synthetic, MoveBytesArePositive) {
+  const Instance inst = generateSynthetic(SyntheticConfig{});
+  for (const Shard& s : inst.shards()) EXPECT_GT(s.moveBytes, 0.0);
+}
+
+TEST(Synthetic, ShardSizeCapIsRespected) {
+  SyntheticConfig config;
+  config.seed = 42;
+  config.shardSizeSigma = 1.5;  // heavy tail that would mint giants
+  config.hotspotFraction = 0.1;
+  config.hotspotMultiplier = 8.0;
+  config.maxShardFraction = 0.4;
+  config.loadFactor = 0.8;
+  const Instance inst = generateSynthetic(config);
+  double minCap = 1e300;
+  for (std::size_t i = 0; i < inst.regularCount(); ++i)
+    for (std::size_t d = 0; d < inst.dims(); ++d)
+      minCap = std::min(minCap, inst.machine(static_cast<MachineId>(i)).capacity[d]);
+  for (const Shard& s : inst.shards())
+    for (std::size_t d = 0; d < inst.dims(); ++d)
+      EXPECT_LE(s.demand[d], 0.4 * minCap + 1e-9);
+}
+
+TEST(Synthetic, LoadFactorExactEvenWhenCapBinds) {
+  SyntheticConfig config;
+  config.seed = 43;
+  config.shardSizeSigma = 1.5;
+  config.maxShardFraction = 0.35;
+  config.loadFactor = 0.75;
+  const Instance inst = generateSynthetic(config);
+  EXPECT_NEAR(inst.loadFactor(), 0.75, 1e-9);
+}
+
+TEST(Synthetic, UnreachableLoadUnderCapThrows) {
+  SyntheticConfig config;
+  config.machines = 4;
+  config.shardsPerMachine = 1.0;  // 4 shards capped at 0.1 -> max load 0.1
+  config.maxShardFraction = 0.1;
+  config.loadFactor = 0.8;
+  EXPECT_THROW(generateSynthetic(config), std::runtime_error);
+}
+
+TEST(Synthetic, TinyTestInstanceIsFeasibleAndSmall) {
+  const Instance inst = tinyTestInstance();
+  EXPECT_EQ(inst.regularCount(), 6u);
+  EXPECT_EQ(inst.shardCount(), 24u);
+  Assignment a(inst);
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/true).empty());
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,122 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "resex_trace_io_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Instance base_ = tinyTestInstance(77, 6, 30, 1, 0.5);
+
+  Trace makeTrace() {
+    TraceConfig config;
+    config.seed = 3;
+    config.epochs = 4;
+    config.peakLoadFactor = 0.7;
+    return generateTrace(base_, config);
+  }
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesDemands) {
+  const Trace original = makeTrace();
+  saveTraceCsv(original, path_);
+  const Trace loaded = loadTraceCsv(base_, original.config(), path_);
+  ASSERT_EQ(loaded.epochCount(), original.epochCount());
+  ASSERT_EQ(loaded.shardCount(), original.shardCount());
+  for (std::size_t e = 0; e < original.epochCount(); ++e)
+    for (ShardId s = 0; s < original.shardCount(); ++s)
+      for (std::size_t d = 0; d < base_.dims(); ++d)
+        EXPECT_NEAR(loaded.demand(e, s)[d], original.demand(e, s)[d],
+                    original.demand(e, s)[d] * 1e-12);
+}
+
+TEST_F(TraceIoTest, LoadedTraceDrivesInstances) {
+  const Trace original = makeTrace();
+  saveTraceCsv(original, path_);
+  const Trace loaded = loadTraceCsv(base_, TraceConfig{}, path_);
+  const Instance epoch = loaded.instanceForEpoch(2, base_.initialAssignment());
+  EXPECT_EQ(epoch.shardCount(), base_.shardCount());
+  EXPECT_NEAR(loaded.epochLoadFactor(2), original.epochLoadFactor(2), 1e-9);
+}
+
+TEST_F(TraceIoTest, HandwrittenCsvLoads) {
+  // 2-dim base with 30 shards: a 1-epoch handwritten file.
+  std::ofstream out(path_);
+  out << "epoch,shard,demand_0,demand_1\n";
+  for (ShardId s = 0; s < base_.shardCount(); ++s)
+    out << "0," << s << "," << (1.0 + s) << "," << (2.0 + s) << "\n";
+  out.close();
+  const Trace loaded = loadTraceCsv(base_, TraceConfig{}, path_);
+  EXPECT_EQ(loaded.epochCount(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.demand(0, 5)[0], 6.0);
+  EXPECT_DOUBLE_EQ(loaded.demand(0, 5)[1], 7.0);
+}
+
+TEST_F(TraceIoTest, RowsMayArriveOutOfOrder) {
+  std::ofstream out(path_);
+  out << "epoch,shard,demand_0,demand_1\n";
+  for (ShardId s = base_.shardCount(); s-- > 0;) {
+    out << "1," << s << ",1,1\n";
+    out << "0," << s << ",2,2\n";
+  }
+  out.close();
+  const Trace loaded = loadTraceCsv(base_, TraceConfig{}, path_);
+  EXPECT_EQ(loaded.epochCount(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.demand(0, 0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(loaded.demand(1, 0)[0], 1.0);
+}
+
+TEST_F(TraceIoTest, RejectsMissingRows) {
+  std::ofstream out(path_);
+  out << "epoch,shard,demand_0,demand_1\n";
+  out << "0,0,1,1\n";  // 29 shards missing
+  out.close();
+  EXPECT_THROW(loadTraceCsv(base_, TraceConfig{}, path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsDuplicates) {
+  std::ofstream out(path_);
+  out << "epoch,shard,demand_0,demand_1\n";
+  for (ShardId s = 0; s < base_.shardCount(); ++s) out << "0," << s << ",1,1\n";
+  out << "0,0,9,9\n";
+  out.close();
+  EXPECT_THROW(loadTraceCsv(base_, TraceConfig{}, path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsWrongArityHeader) {
+  std::ofstream out(path_);
+  out << "epoch,shard,demand_0\n";  // base has 2 dims
+  out << "0,0,1\n";
+  out.close();
+  EXPECT_THROW(loadTraceCsv(base_, TraceConfig{}, path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsNegativeDemandAndBadShard) {
+  {
+    std::ofstream out(path_);
+    out << "epoch,shard,demand_0,demand_1\n0,0,-1,1\n";
+  }
+  EXPECT_THROW(loadTraceCsv(base_, TraceConfig{}, path_), std::runtime_error);
+  {
+    std::ofstream out(path_);
+    out << "epoch,shard,demand_0,demand_1\n0,999,1,1\n";
+  }
+  EXPECT_THROW(loadTraceCsv(base_, TraceConfig{}, path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(loadTraceCsv(base_, TraceConfig{}, "/nonexistent/trace.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace resex

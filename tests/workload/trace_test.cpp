@@ -1,0 +1,139 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/assignment.hpp"
+#include "workload/synthetic.hpp"
+
+namespace resex {
+namespace {
+
+Instance baseInstance() { return tinyTestInstance(21, 8, 80, 2, 0.5); }
+
+TraceConfig fastConfig() {
+  TraceConfig config;
+  config.seed = 5;
+  config.epochs = 6;
+  config.peakLoadFactor = 0.8;
+  return config;
+}
+
+TEST(Trace, ShapeMatchesConfig) {
+  const Instance base = baseInstance();
+  const Trace trace = generateTrace(base, fastConfig());
+  EXPECT_EQ(trace.epochCount(), 6u);
+  EXPECT_EQ(trace.shardCount(), base.shardCount());
+}
+
+TEST(Trace, WorstEpochHitsPeakLoadFactor) {
+  const Instance base = baseInstance();
+  const Trace trace = generateTrace(base, fastConfig());
+  double worst = 0.0;
+  for (std::size_t e = 0; e < trace.epochCount(); ++e)
+    worst = std::max(worst, trace.epochLoadFactor(e));
+  EXPECT_NEAR(worst, 0.8, 1e-9);
+}
+
+TEST(Trace, DemandsArePositive) {
+  const Instance base = baseInstance();
+  const Trace trace = generateTrace(base, fastConfig());
+  for (std::size_t e = 0; e < trace.epochCount(); ++e)
+    for (ShardId s = 0; s < trace.shardCount(); ++s)
+      for (std::size_t d = 0; d < base.dims(); ++d)
+        EXPECT_GT(trace.demand(e, s)[d], 0.0);
+}
+
+TEST(Trace, DemandsVaryAcrossEpochs) {
+  const Instance base = baseInstance();
+  const Trace trace = generateTrace(base, fastConfig());
+  int changed = 0;
+  for (ShardId s = 0; s < trace.shardCount(); ++s)
+    if (!(trace.demand(0, s) == trace.demand(3, s))) ++changed;
+  EXPECT_GT(changed, static_cast<int>(trace.shardCount() / 2));
+}
+
+TEST(Trace, DeterministicForSeed) {
+  const Instance base = baseInstance();
+  const Trace a = generateTrace(base, fastConfig());
+  const Trace b = generateTrace(base, fastConfig());
+  for (std::size_t e = 0; e < a.epochCount(); ++e)
+    for (ShardId s = 0; s < a.shardCount(); ++s)
+      EXPECT_EQ(a.demand(e, s), b.demand(e, s));
+}
+
+TEST(Trace, InstanceForEpochCarriesMappingOver) {
+  const Instance base = baseInstance();
+  const Trace trace = generateTrace(base, fastConfig());
+  const Instance epoch1 = trace.instanceForEpoch(1, base.initialAssignment());
+  EXPECT_EQ(epoch1.machineCount(), base.machineCount());
+  EXPECT_EQ(epoch1.exchangeCount(), base.exchangeCount());
+  EXPECT_EQ(epoch1.shardCount(), base.shardCount());
+  // Demands come from the epoch, not the base.
+  bool anyDiffer = false;
+  for (ShardId s = 0; s < base.shardCount(); ++s)
+    if (!(epoch1.shard(s).demand == base.shard(s).demand)) anyDiffer = true;
+  EXPECT_TRUE(anyDiffer);
+}
+
+TEST(Trace, InstanceForEpochRelabelsVacantToTail) {
+  const Instance base = baseInstance();
+  const Trace trace = generateTrace(base, fastConfig());
+  // Build a mapping that drains regular machine 0 onto machine 1 and
+  // occupies exchange machine (regularCount) instead.
+  std::vector<MachineId> mapping = base.initialAssignment();
+  const auto firstExchange = static_cast<MachineId>(base.regularCount());
+  for (MachineId& m : mapping)
+    if (m == 0) m = firstExchange;
+  const Instance epoch = trace.instanceForEpoch(2, mapping);
+  // Valid instance (constructor validates: no shard on exchange machines).
+  Assignment a(epoch);
+  EXPECT_TRUE(a.validate(/*requireCapacity=*/false).empty());
+  // Exactly k machines are exchange and they are vacant.
+  for (MachineId m = static_cast<MachineId>(epoch.regularCount());
+       m < epoch.machineCount(); ++m)
+    EXPECT_TRUE(a.isVacant(m));
+}
+
+TEST(Trace, InstanceForEpochRejectsTooFewVacant) {
+  const Instance base = baseInstance();
+  const Trace trace = generateTrace(base, fastConfig());
+  // Occupy every machine including all exchange machines.
+  std::vector<MachineId> mapping = base.initialAssignment();
+  for (MachineId m = 0; m < base.machineCount() && m < mapping.size(); ++m)
+    mapping[m] = m;
+  EXPECT_THROW(trace.instanceForEpoch(0, mapping), std::runtime_error);
+}
+
+TEST(Trace, RejectsBadConfig) {
+  const Instance base = baseInstance();
+  TraceConfig config;
+  config.epochs = 0;
+  EXPECT_THROW(generateTrace(base, config), std::invalid_argument);
+}
+
+TEST(Trace, RejectsMappingSizeMismatch) {
+  const Instance base = baseInstance();
+  const Trace trace = generateTrace(base, fastConfig());
+  EXPECT_THROW(trace.instanceForEpoch(0, {}), std::invalid_argument);
+}
+
+TEST(Trace, HotspotsRaiseSomeShardsSharply) {
+  const Instance base = baseInstance();
+  TraceConfig config = fastConfig();
+  config.epochs = 12;
+  config.hotspotRate = 0.25;
+  config.hotspotMultiplier = 5.0;
+  config.driftSigma = 0.0;
+  config.diurnal.amplitude = 0.0;
+  const Trace trace = generateTrace(base, config);
+  // With flat diurnal and no drift, any large epoch-over-epoch jump is a
+  // hotspot firing; at 25%/epoch over 12 epochs some must fire.
+  int spikes = 0;
+  for (std::size_t e = 1; e < trace.epochCount(); ++e)
+    for (ShardId s = 0; s < trace.shardCount(); ++s)
+      if (trace.demand(e, s)[0] > 2.5 * trace.demand(e - 1, s)[0]) ++spikes;
+  EXPECT_GT(spikes, 0);
+}
+
+}  // namespace
+}  // namespace resex

@@ -1,0 +1,95 @@
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace resex {
+namespace {
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, SingleElementAlwaysOne) {
+  ZipfSampler z(1, 1.2);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 1u);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfSampler z(1000, 1.1);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = z.sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng) - 1];
+  for (const int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchTheory) {
+  const double s = 1.2;
+  ZipfSampler z(50, s);
+  Rng rng(5);
+  std::vector<double> counts(50, 0.0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) counts[z.sample(rng) - 1] += 1.0;
+  // Check the head ranks against the exact probabilities.
+  for (std::uint64_t k = 1; k <= 5; ++k) {
+    const double expected = z.probability(k) * n;
+    EXPECT_NEAR(counts[k - 1], expected, expected * 0.05)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, ExponentOneSpecialCase) {
+  ZipfSampler z(100, 1.0);
+  Rng rng(7);
+  std::vector<double> counts(100, 0.0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[z.sample(rng) - 1] += 1.0;
+  // P(1)/P(2) should be ~2 under s = 1.
+  EXPECT_NEAR(counts[0] / counts[1], 2.0, 0.15);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfSampler z(200, 0.9);
+  double total = 0.0;
+  for (std::uint64_t k = 1; k <= 200; ++k) total += z.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilityOutOfRangeIsZero) {
+  ZipfSampler z(10, 1.0);
+  EXPECT_EQ(z.probability(0), 0.0);
+  EXPECT_EQ(z.probability(11), 0.0);
+}
+
+TEST(Zipf, RankOneIsModalForPositiveExponent) {
+  ZipfSampler z(1000, 0.8);
+  Rng rng(11);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng) - 1];
+  for (std::size_t k = 1; k < 20; ++k) EXPECT_GE(counts[0], counts[k]);
+}
+
+TEST(Zipf, DeterministicGivenSeed) {
+  ZipfSampler z(500, 1.1);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(a), z.sample(b));
+}
+
+}  // namespace
+}  // namespace resex
