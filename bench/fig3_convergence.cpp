@@ -11,10 +11,17 @@
 #include "core/baselines.hpp"
 #include "core/sra.hpp"
 #include "model/bounds.hpp"
+#include "obs/export.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  resex::Flags flags;
+  resex::obs::defineExportFlags(flags);
+  flags.parse(argc, argv);
+  resex::obs::applyExportFlags(flags);
+
   resex::SyntheticConfig gen;
   gen.seed = 42;
   gen.machines = 60;
@@ -66,5 +73,5 @@ int main() {
   std::printf("iterations run: %zu, accepted: %zu, new bests: %zu\n",
               sra.lastSearch().stats.iterations, sra.lastSearch().stats.accepted,
               sra.lastSearch().stats.improvedBest);
-  return 0;
+  return resex::obs::writeExportFlags(flags) ? 0 : 1;
 }

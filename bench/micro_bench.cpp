@@ -2,8 +2,19 @@
 //
 // These are the operations the LNS inner loop performs millions of times;
 // regressions here translate directly into worse solutions per second.
+//
+// Accepts --metrics-out=/--trace-out= (ahead of google-benchmark's own
+// flags) so a bench run leaves the same machine-readable record as the
+// CLI. Passing --trace-out enables tracing, which costs a little — leave
+// it off when measuring.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 #include "cluster/assignment.hpp"
 #include "index/maxscore.hpp"
@@ -236,3 +247,45 @@ BENCHMARK(BM_SyntheticGeneration)->Arg(100)->Arg(400)->Unit(benchmark::kMillisec
 
 }  // namespace
 }  // namespace resex
+
+namespace {
+
+/// Pops `--name=value` / `--name value` from argv; returns true when found.
+bool takeFlag(int& argc, char** argv, const char* name, std::string& out) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    int consumed = 0;
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      out = argv[i] + prefix.size();
+      consumed = 1;
+    } else if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      out = argv[i + 1];
+      consumed = 2;
+    }
+    if (consumed) {
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metricsOut, traceOut;
+  takeFlag(argc, argv, "--metrics-out", metricsOut);
+  takeFlag(argc, argv, "--trace-out", traceOut);
+  if (!traceOut.empty()) resex::obs::Tracer::global().setEnabled(true);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bool ok = true;
+  if (!metricsOut.empty()) ok = resex::obs::writeMetricsFile(metricsOut) && ok;
+  if (!traceOut.empty()) ok = resex::obs::writeTraceFile(traceOut) && ok;
+  return ok ? 0 : 1;
+}

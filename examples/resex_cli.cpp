@@ -1,24 +1,38 @@
 // resex_cli: operate on instance files from the command line.
 //
-//   resex_cli gen    --out inst.txt [--machines N --exchange K --load F ...]
-//   resex_cli solve  inst.txt [--algo sra|swap-ls|greedy|ffd] [--json out.json]
-//   resex_cli verify inst.txt solution.txt
-//   resex_cli info   inst.txt
+//   resex_cli gen        --out inst.txt [--machines N --exchange K --load F ...]
+//   resex_cli solve      inst.txt [--algo sra|swap-ls|greedy|ffd] [--json out.json]
+//   resex_cli verify     inst.txt solution.txt
+//   resex_cli info       inst.txt
+//   resex_cli quickstart [--machines N --load F ...]
 //
 // Solutions are written as one machine id per line (shard order), so they
 // diff and archive cleanly.
+//
+// Every command honors --metrics-out / --trace-out: on exit the process
+// writes a metrics snapshot (JSON or Prometheus text) and a Chrome
+// trace_event array, so each run leaves a machine-readable record.
+// `quickstart` exercises the whole stack — controller epoch (trigger ->
+// LNS -> schedule) plus a mini search-engine query batch — and is the
+// scenario the observability docs reference.
 
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 
+#include "control/controller.hpp"
 #include "core/baselines.hpp"
 #include "core/sra.hpp"
+#include "index/partition.hpp"
+#include "index/wand.hpp"
 #include "metrics/report.hpp"
 #include "model/bounds.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/flags.hpp"
 #include "workload/synthetic.hpp"
+#include "workload/zipf.hpp"
 
 namespace {
 
@@ -120,6 +134,53 @@ int cmdSolve(const Instance& instance, Flags& flags) {
   return problems.empty() ? 0 : 1;
 }
 
+int cmdQuickstart(Flags& flags) {
+  // One controller epoch over a skewed synthetic cluster: trigger -> LNS
+  // solve -> migration schedule -> execution, all instrumented.
+  SyntheticConfig gen;
+  gen.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  gen.machines = static_cast<std::size_t>(flags.integer("machines"));
+  gen.exchangeMachines = static_cast<std::size_t>(flags.integer("exchange"));
+  gen.loadFactor = flags.real("load");
+  gen.placementSkew = 1.0;
+  const Instance instance = generateSynthetic(gen);
+  std::printf("instance:   %zu machines (+%zu exchange), %zu shards, load %.2f\n",
+              instance.regularCount(), instance.exchangeCount(),
+              instance.shardCount(), instance.loadFactor());
+
+  ControllerConfig control;
+  control.trigger.always = true;  // the tour always shows a rebalance
+  control.sra.lns.seed = gen.seed;
+  control.sra.lns.maxIterations = static_cast<std::size_t>(flags.integer("iters"));
+  control.sra.lns.timeBudgetSeconds = flags.real("budget");
+  ClusterController controller(control);
+  const EpochReport report = controller.step(instance);
+  std::printf("rebalance:  %s -> %s (%.2f MB moved, %zu staged hops)\n",
+              report.before.summary().c_str(), report.after.summary().c_str(),
+              report.scheduleBytes / 1e6, report.stagedHops);
+
+  // A mini search-engine query batch so the query-path instruments fire.
+  SyntheticDocConfig docs;
+  docs.seed = gen.seed;
+  docs.docCount = 20000;
+  docs.termCount = 4000;
+  const InvertedIndex index(docs.termCount, generateDocuments(docs));
+  Rng rng(gen.seed);
+  const ZipfSampler termPick(docs.termCount, 0.9);
+  const auto queryCount = static_cast<std::size_t>(flags.integer("queries"));
+  for (std::size_t q = 0; q < queryCount; ++q) {
+    const std::vector<TermId> query{
+        static_cast<TermId>(termPick.sample(rng) - 1),
+        static_cast<TermId>(termPick.sample(rng) - 1)};
+    topKHybrid(index, query, 10, Bm25Params{});
+  }
+  const auto& latency =
+      obs::MetricsRegistry::global().histogram("query.latency_us");
+  std::printf("queries:    %zu executed, latency p50 <= %.0fus, p99 <= %.0fus\n",
+              queryCount, latency.quantile(0.50), latency.quantile(0.99));
+  return 0;
+}
+
 int cmdVerify(const Instance& instance, const std::string& solutionPath) {
   const std::vector<MachineId> mapping =
       readSolution(solutionPath, instance.shardCount());
@@ -157,34 +218,48 @@ int main(int argc, char** argv) {
       .define("budget", "30", "solve: LNS seconds")
       .define("solution", "", "solve: write final mapping here")
       .define("json", "", "solve: write JSON report here")
-      .define("json-moves", "false", "solve: include per-move detail in JSON");
+      .define("json-moves", "false", "solve: include per-move detail in JSON")
+      .define("queries", "2000", "quickstart: search queries to run");
+  resex::obs::defineExportFlags(flags);
 
   try {
     flags.parse(argc, argv);
     if (flags.helpRequested() || flags.positional().empty()) {
-      std::cout << "usage: resex_cli <gen|info|solve|verify> [args] [flags]\n\n"
+      std::cout << "usage: resex_cli <gen|info|solve|verify|quickstart> [args] "
+                   "[flags]\n\n"
                 << flags.helpText("resex_cli");
       return flags.helpRequested() ? 0 : 2;
     }
+    resex::obs::applyExportFlags(flags);
     const std::string command = flags.positional()[0];
-    if (command == "gen") return cmdGen(flags);
-
-    if (flags.positional().size() < 2) {
-      std::fprintf(stderr, "%s requires an instance file\n", command.c_str());
-      return 2;
-    }
-    const Instance instance = Instance::loadFromFile(flags.positional()[1]);
-    if (command == "info") return cmdInfo(instance);
-    if (command == "solve") return cmdSolve(instance, flags);
-    if (command == "verify") {
-      if (flags.positional().size() < 3) {
-        std::fprintf(stderr, "verify requires an instance and a solution file\n");
+    int status = 2;
+    if (command == "gen") {
+      status = cmdGen(flags);
+    } else if (command == "quickstart") {
+      status = cmdQuickstart(flags);
+    } else if (command == "info" || command == "solve" || command == "verify") {
+      if (flags.positional().size() < 2) {
+        std::fprintf(stderr, "%s requires an instance file\n", command.c_str());
         return 2;
       }
-      return cmdVerify(instance, flags.positional()[2]);
+      const Instance instance = Instance::loadFromFile(flags.positional()[1]);
+      if (command == "info") {
+        status = cmdInfo(instance);
+      } else if (command == "solve") {
+        status = cmdSolve(instance, flags);
+      } else {
+        if (flags.positional().size() < 3) {
+          std::fprintf(stderr, "verify requires an instance and a solution file\n");
+          return 2;
+        }
+        status = cmdVerify(instance, flags.positional()[2]);
+      }
+    } else {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      return 2;
     }
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    return 2;
+    if (!resex::obs::writeExportFlags(flags)) return status == 0 ? 1 : status;
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace resex {
+
+void recordScheduleExecution(const Schedule& schedule) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("migration.schedules_executed").add();
+  registry.counter("migration.moves").add(schedule.moveCount());
+  registry.counter("migration.staged_hops").add(schedule.stagedHops);
+  registry.counter("migration.bytes_moved")
+      .add(static_cast<std::uint64_t>(schedule.totalBytes));
+}
 
 std::size_t Schedule::moveCount() const noexcept {
   std::size_t count = 0;
@@ -57,6 +69,7 @@ std::vector<std::string> verifySchedule(const Instance& instance,
                                         const std::vector<MachineId>& start,
                                         const std::vector<MachineId>& target,
                                         const Schedule& schedule) {
+  RESEX_TRACE_SPAN("migration.verify");
   std::vector<std::string> problems;
   auto complain = [&problems](std::string msg) { problems.push_back(std::move(msg)); };
 

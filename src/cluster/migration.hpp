@@ -61,6 +61,12 @@ std::vector<Move> diffMoves(const std::vector<MachineId>& start,
 double estimateScheduleSeconds(const Instance& instance, const Schedule& schedule,
                                double bandwidthBytesPerSec);
 
+/// Records a schedule's execution into the metrics registry
+/// (migration.bytes_moved / moves / staged_hops / schedules_executed).
+/// Call exactly once per schedule actually carried out, at the site that
+/// commits it (the controller, a failure drill, ...).
+void recordScheduleExecution(const Schedule& schedule);
+
 /// Replays `schedule` from `start`, checking every capacity and transient
 /// constraint and that the end state equals `target` for completed
 /// schedules. Returns human-readable problems (empty == valid).

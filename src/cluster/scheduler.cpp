@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace resex {
 namespace {
 
@@ -228,6 +231,7 @@ struct Builder {
 Schedule MigrationScheduler::build(const Instance& instance,
                                    const std::vector<MachineId>& start,
                                    const std::vector<MachineId>& target) const {
+  RESEX_TRACE_SPAN("scheduler.build");
   if (start.size() != instance.shardCount() || target.size() != instance.shardCount())
     throw std::invalid_argument("MigrationScheduler: mapping size mismatch");
 
@@ -285,6 +289,15 @@ Schedule MigrationScheduler::build(const Instance& instance,
     for (const Pending& p : b.pending)
       b.schedule.unscheduled.push_back(Move{p.shard, b.where[p.shard], p.finalTarget});
   }
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("scheduler.builds").add();
+  registry.counter("scheduler.placements").add(b.schedule.moveCount());
+  registry.counter("scheduler.phases").add(b.schedule.phaseCount());
+  registry.counter("scheduler.staged_hops").add(b.schedule.stagedHops);
+  registry.counter("scheduler.bytes_scheduled")
+      .add(static_cast<std::uint64_t>(b.schedule.totalBytes));
+  if (!b.schedule.complete) registry.counter("scheduler.incomplete").add();
   return b.schedule;
 }
 

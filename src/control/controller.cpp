@@ -1,5 +1,8 @@
 #include "control/controller.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace resex {
 
 bool RebalanceTrigger::shouldRebalance(const BalanceMetrics& metrics,
@@ -17,6 +20,10 @@ bool RebalanceTrigger::shouldRebalance(const BalanceMetrics& metrics,
 }
 
 EpochReport ClusterController::step(const Instance& instance) {
+  RESEX_TRACE_SPAN("controller.step");
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("controller.epochs").add();
+
   EpochReport report;
   report.epoch = epoch_;
 
@@ -27,6 +34,7 @@ EpochReport ClusterController::step(const Instance& instance) {
 
   report.triggered = trigger_.shouldRebalance(report.before, epoch_);
   if (report.triggered) {
+    registry.counter("controller.rebalances").add();
     Sra sra(config_.sra);
     RebalanceResult result = sra.rebalance(instance);
     report.scheduleBytes = result.schedule.totalBytes;
@@ -38,11 +46,22 @@ EpochReport ClusterController::step(const Instance& instance) {
     if (!overBudget) {
       report.executed = true;
       report.after = result.after;
+      recordScheduleExecution(result.schedule);
+      registry.counter("controller.executed").add();
       mapping_ = std::move(result.finalMapping);
       cumulativeBytes_ += result.schedule.totalBytes;
       ++executed_;
+    } else {
+      registry.counter("controller.over_budget").add();
     }
   }
+
+  registry.gauge("controller.bottleneck_util").set(report.after.bottleneckUtil);
+  registry.gauge("controller.util_cv").set(report.after.utilCv);
+  registry.gauge("controller.cumulative_bytes").set(cumulativeBytes_);
+  registry.series("controller.epochs_series")
+      .append(static_cast<double>(report.epoch), report.after.bottleneckUtil,
+              report.after.utilCv, report.executed ? 1.0 : 0.0);
 
   ++epoch_;
   history_.push_back(report);

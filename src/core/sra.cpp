@@ -2,11 +2,13 @@
 
 #include "core/polish.hpp"
 #include "lns/portfolio.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace resex {
 
 RebalanceResult Sra::rebalance(const Instance& instance) {
+  RESEX_TRACE_SPAN("sra.rebalance");
   WallTimer timer;
   Objective objective =
       Objective::forInstance(instance, config_.spreadWeight, config_.bytesWeight);
@@ -35,6 +37,7 @@ RebalanceResult Sra::rebalance(const Instance& instance) {
     // pruning (drop migration bytes the final balance never needed).
     Assignment best(instance, lastSearch_.bestMapping);
     if (config_.polish) {
+      RESEX_TRACE_SPAN("sra.polish");
       polishAssignment(best, objective, /*maxSteps=*/10000, config_.polishSeconds);
       pruneRedundantMoves(best, objective, best.bottleneckUtilization());
     }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/trace.hpp"
+
 namespace resex {
 namespace {
 
@@ -33,6 +35,10 @@ std::vector<ScoredDoc> topKMaxScore(const InvertedIndex& index,
                                     const std::vector<TermId>& terms, std::size_t k,
                                     const Bm25Params& params, MaxScoreStats* stats,
                                     const GlobalStats* global) {
+  RESEX_TRACE_SPAN("query.maxscore");
+  static obs::Counter& queries = detail::queryCounter("maxscore");
+  queries.add();
+  obs::ScopedLatencyUs latency(detail::queryLatencyHistogram());
   if (k == 0 || terms.empty()) return {};
   const std::size_t docCount =
       global ? global->documentCount : index.documentCount();

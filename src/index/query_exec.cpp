@@ -4,7 +4,25 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace resex {
+
+namespace detail {
+
+obs::Histogram& queryLatencyHistogram() {
+  static obs::Histogram& hist =
+      obs::MetricsRegistry::global().histogram("query.latency_us");
+  return hist;
+}
+
+obs::Counter& queryCounter(const char* algo) {
+  return obs::MetricsRegistry::global().counter(std::string("query.algo.") + algo);
+}
+
+}  // namespace detail
+
 namespace {
 
 double bm25Term(double idf, double tf, double docLength, double avgDocLength,
@@ -41,6 +59,10 @@ std::vector<ScoredDoc> topKDisjunctive(const InvertedIndex& index,
                                        const std::vector<TermId>& terms,
                                        std::size_t k, const Bm25Params& params,
                                        ExecStats* stats, const GlobalStats* global) {
+  RESEX_TRACE_SPAN("query.disjunctive");
+  static obs::Counter& queries = detail::queryCounter("disjunctive");
+  queries.add();
+  obs::ScopedLatencyUs latency(detail::queryLatencyHistogram());
   const std::size_t docCount =
       global ? global->documentCount : index.documentCount();
   const double avgLen = global ? global->avgDocLength : index.averageDocLength();
@@ -80,6 +102,10 @@ std::vector<ScoredDoc> topKConjunctive(const InvertedIndex& index,
                                        const std::vector<TermId>& terms,
                                        std::size_t k, const Bm25Params& params,
                                        ExecStats* stats, const GlobalStats* global) {
+  RESEX_TRACE_SPAN("query.conjunctive");
+  static obs::Counter& queries = detail::queryCounter("conjunctive");
+  queries.add();
+  obs::ScopedLatencyUs latency(detail::queryLatencyHistogram());
   if (terms.empty()) return {};
   const std::size_t docCount =
       global ? global->documentCount : index.documentCount();

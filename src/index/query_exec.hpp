@@ -6,8 +6,17 @@
 #include <vector>
 
 #include "index/inverted_index.hpp"
+#include "obs/metrics.hpp"
 
 namespace resex {
+
+namespace detail {
+/// Shared query-path instruments: every top-k executor (exhaustive,
+/// MaxScore, WAND) records into the same `query.latency_us` histogram and
+/// a per-algorithm `query.algo.<name>` counter.
+obs::Histogram& queryLatencyHistogram();
+obs::Counter& queryCounter(const char* algo);
+}  // namespace detail
 
 struct Bm25Params {
   double k1 = 1.2;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/trace.hpp"
+
 namespace resex {
 namespace {
 
@@ -31,6 +33,10 @@ std::vector<ScoredDoc> topKWand(const InvertedIndex& index,
                                 const std::vector<TermId>& terms, std::size_t k,
                                 const Bm25Params& params, WandStats* stats,
                                 const GlobalStats* global) {
+  RESEX_TRACE_SPAN("query.wand");
+  static obs::Counter& queries = detail::queryCounter("wand");
+  queries.add();
+  obs::ScopedLatencyUs latency(detail::queryLatencyHistogram());
   if (k == 0 || terms.empty()) return {};
   const std::size_t docCount =
       global ? global->documentCount : index.documentCount();
@@ -186,11 +192,15 @@ std::vector<ScoredDoc> topKHybrid(const InvertedIndex& index,
                                   std::size_t* postingsEvaluated,
                                   const GlobalStats* global) {
   if (chooseStrategy(index, terms, global) == PruningStrategy::Wand) {
+    static obs::Counter& picks = detail::queryCounter("hybrid_picked_wand");
+    picks.add();
     WandStats stats;
     auto results = topKWand(index, terms, k, params, &stats, global);
     if (postingsEvaluated) *postingsEvaluated += stats.postingsEvaluated;
     return results;
   }
+  static obs::Counter& picks = detail::queryCounter("hybrid_picked_maxscore");
+  picks.add();
   MaxScoreStats stats;
   auto results = topKMaxScore(index, terms, k, params, &stats, global);
   if (postingsEvaluated) *postingsEvaluated += stats.postingsEvaluated;

@@ -4,6 +4,8 @@
 
 #include "lns/destroy.hpp"
 #include "lns/repair.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace resex {
@@ -38,9 +40,25 @@ void LnsSolver::installDefaults() {
 }
 
 LnsResult LnsSolver::solve(const Assignment& start) {
+  RESEX_TRACE_SPAN("lns.solve");
   installDefaults();
   Rng rng(config_.seed);
   WallTimer timer;
+
+  // Hot-loop instruments, resolved once: counter adds inside the loop are
+  // single relaxed atomics.
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& mIterations = registry.counter("lns.iterations");
+  obs::Counter& mAccepted = registry.counter("lns.accepted");
+  obs::Counter& mNewBest = registry.counter("lns.new_best");
+  obs::Counter& mRepairFailures = registry.counter("lns.repair_failures");
+  std::vector<obs::Counter*> mDestroyPicks, mRepairPicks;
+  for (const auto& op : destroys_)
+    mDestroyPicks.push_back(
+        &registry.counter("lns.op.destroy." + std::string(op->name())));
+  for (const auto& op : repairs_)
+    mRepairPicks.push_back(
+        &registry.counter("lns.op.repair." + std::string(op->name())));
 
   Assignment current = start;
   Score currentScore = objective_.evaluate(current);
@@ -51,9 +69,11 @@ LnsResult LnsSolver::solve(const Assignment& start) {
   result.bestScore = currentScore;
 
   LnsStats& stats = result.stats;
+  // Trajectory bookkeeping lives in the metrics layer: points are recorded
+  // once into this Series and copied into stats.trajectory at the end.
+  obs::Series trajectory;
   if (config_.recordTrajectory)
-    stats.trajectory.push_back(
-        {0, 0.0, currentScalar, currentScore.bottleneckUtil});
+    trajectory.append(0.0, 0.0, currentScalar, currentScore.bottleneckUtil);
 
   AdaptiveSelector destroySel(destroys_.size(), !config_.adaptiveWeights);
   AdaptiveSelector repairSel(repairs_.size(), !config_.adaptiveWeights);
@@ -85,19 +105,29 @@ LnsResult LnsSolver::solve(const Assignment& start) {
         result.bestScore.bottleneckUtil <= config_.targetBottleneck + 1e-9)
       break;
     ++stats.iterations;
+    mIterations.add();
 
     const std::size_t dOp = destroySel.select(rng);
     const std::size_t rOp = repairSel.select(rng);
+    mDestroyPicks[dOp]->add();
+    mRepairPicks[rOp]->add();
     const std::size_t quota = quotaLo + rng.below(quotaHi - quotaLo + 1);
 
     mappingBefore = current.mapping();
-    const std::vector<ShardId> removed = destroys_[dOp]->destroy(current, quota, rng);
+    std::vector<ShardId> removed;
+    {
+      RESEX_TRACE_SPAN("lns.destroy");
+      removed = destroys_[dOp]->destroy(current, quota, rng);
+    }
     previousHomes.clear();
     for (const ShardId s : removed) previousHomes.push_back(mappingBefore[s]);
 
-    const bool repaired =
-        !removed.empty() &&
-        repairs_[rOp]->repair(current, removed, objective_, rng);
+    bool repaired;
+    {
+      RESEX_TRACE_SPAN("lns.repair");
+      repaired = !removed.empty() &&
+                 repairs_[rOp]->repair(current, removed, objective_, rng);
+    }
 
     auto rollback = [&]() {
       for (std::size_t i = 0; i < removed.size(); ++i) {
@@ -110,6 +140,7 @@ LnsResult LnsSolver::solve(const Assignment& start) {
     if (!repaired) {
       if (!removed.empty()) rollback();
       ++stats.repairFailures;
+      mRepairFailures.add();
       destroySel.reward(dOp, OperatorOutcome::RepairFailed);
       repairSel.reward(rOp, OperatorOutcome::RepairFailed);
       acceptance->onIteration();
@@ -137,13 +168,15 @@ LnsResult LnsSolver::solve(const Assignment& start) {
       currentScore = candidateScore;
       currentScalar = candidateScalar;
       ++stats.accepted;
+      mAccepted.add();
       if (outcome == OperatorOutcome::NewBest) {
         result.bestMapping = current.mapping();
         result.bestScore = candidateScore;
         ++stats.improvedBest;
+        mNewBest.add();
         if (config_.recordTrajectory)
-          stats.trajectory.push_back({iter, timer.seconds(), candidateScalar,
-                                      candidateScore.bottleneckUtil});
+          trajectory.append(static_cast<double>(iter), timer.seconds(),
+                            candidateScalar, candidateScore.bottleneckUtil);
       }
     }
     destroySel.reward(dOp, outcome);
@@ -166,6 +199,14 @@ LnsResult LnsSolver::solve(const Assignment& start) {
     stats.destroyUses[i] = destroySel.usesOf(i);
   for (std::size_t i = 0; i < repairs_.size(); ++i)
     stats.repairUses[i] = repairSel.usesOf(i);
+  if (config_.recordTrajectory) {
+    for (const obs::Series::Point& p : trajectory.points())
+      stats.trajectory.push_back(
+          {static_cast<std::size_t>(p[0]), p[1], p[2], p[3]});
+    registry.series("lns.trajectory").appendAll(trajectory);
+  }
+  registry.gauge("lns.best_bottleneck").set(result.bestScore.bottleneckUtil);
+  registry.gauge("lns.last_solve_seconds").set(stats.seconds);
   RESEX_LOG_DEBUG("LNS done: iters=%zu accepted=%zu best=%s", stats.iterations,
                   stats.accepted, result.bestScore.toString().c_str());
   return result;

@@ -1,0 +1,289 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/json_writer.hpp"
+
+namespace resex::obs {
+namespace {
+
+std::uint64_t nowNanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'.
+std::string promName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string promNumber(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be sorted");
+  for (const double b : bounds_)
+    if (!std::isfinite(b))
+      throw std::invalid_argument("Histogram: bounds must be finite");
+}
+
+void Histogram::observe(double x) noexcept {
+  // First bound >= x (bucket i counts samples <= bounds[i]); samples above
+  // every bound land in the implicit +inf slot at the end.
+  const auto idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+double Histogram::upperBound(std::size_t i) const noexcept {
+  if (i >= bounds_.size()) return std::numeric_limits<double>::infinity();
+  return bounds_[i];
+}
+
+double Histogram::meanValue() const noexcept {
+  const std::uint64_t n = totalCount();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = totalCount();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += countAt(i);
+    if (seen > target)
+      return i < bounds_.size() ? bounds_[i]
+                                : (bounds_.empty() ? 0.0 : bounds_.back());
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::latencyUsBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0)
+    for (const double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  bounds.push_back(1e7);  // 10 s
+  return bounds;
+}
+
+std::vector<double> Histogram::exponentialBounds(double start, double factor,
+                                                 std::size_t n) {
+  if (start <= 0.0 || factor <= 1.0 || n == 0)
+    throw std::invalid_argument("Histogram::exponentialBounds: bad arguments");
+  std::vector<double> bounds(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i, b *= factor) bounds[i] = b;
+  return bounds;
+}
+
+void Series::append(double a, double b, double c, double d) {
+  std::lock_guard lock(mutex_);
+  points_.push_back({a, b, c, d});
+}
+
+void Series::appendAll(const Series& other) {
+  const std::vector<Point> copied = other.points();
+  std::lock_guard lock(mutex_);
+  points_.insert(points_.end(), copied.begin(), copied.end());
+}
+
+std::vector<Series::Point> Series::points() const {
+  std::lock_guard lock(mutex_);
+  return points_;
+}
+
+std::size_t Series::size() const {
+  std::lock_guard lock(mutex_);
+  return points_.size();
+}
+
+void Series::reset() {
+  std::lock_guard lock(mutex_);
+  points_.clear();
+}
+
+ScopedLatencyUs::ScopedLatencyUs(Histogram& hist) noexcept
+    : hist_(&hist), startNs_(nowNanos()) {}
+
+ScopedLatencyUs::~ScopedLatencyUs() {
+  hist_->observe(static_cast<double>(nowNanos() - startNs_) * 1e-3);
+}
+
+std::string MetricsSnapshot::toJson() const {
+  JsonWriter json;
+  json.beginObject();
+  json.key("counters").beginObject();
+  for (const auto& [name, value] : counters) json.field(name, value);
+  json.endObject();
+  json.key("gauges").beginObject();
+  for (const auto& [name, value] : gauges) json.field(name, value);
+  json.endObject();
+  json.key("histograms").beginObject();
+  for (const HistogramData& h : histograms) {
+    json.key(h.name).beginObject();
+    json.field("count", h.total);
+    json.field("sum", h.sum);
+    json.key("buckets").beginArray();
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      json.beginObject();
+      if (i < h.upperBounds.size())
+        json.field("le", h.upperBounds[i]);
+      else
+        json.field("le", "inf");
+      json.field("count", h.counts[i]);
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+  }
+  json.endObject();
+  json.key("series").beginObject();
+  for (const SeriesData& s : series) {
+    json.key(s.name).beginArray();
+    for (const Series::Point& p : s.points) {
+      json.beginArray();
+      for (const double v : p) json.value(v);
+      json.endArray();
+    }
+    json.endArray();
+  }
+  json.endObject();
+  json.endObject();
+  return json.str();
+}
+
+std::string MetricsSnapshot::toPrometheusText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    const std::string n = promName(name);
+    out += "# TYPE " + n + " counter\n";
+    std::snprintf(line, sizeof line, "%s %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string n = promName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + promNumber(value) + "\n";
+  }
+  for (const HistogramData& h : histograms) {
+    const std::string n = promName(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const double le = i < h.upperBounds.size()
+                            ? h.upperBounds[i]
+                            : std::numeric_limits<double>::infinity();
+      std::snprintf(line, sizeof line, "%s_bucket{le=\"%s\"} %llu\n", n.c_str(),
+                    promNumber(le).c_str(),
+                    static_cast<unsigned long long>(cumulative));
+      out += line;
+    }
+    out += n + "_sum " + promNumber(h.sum) + "\n";
+    std::snprintf(line, sizeof line, "%s_count %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.total));
+    out += line;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upperBounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upperBounds));
+  return *slot;
+}
+
+Series& MetricsRegistry::series(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->get());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->get());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    for (std::size_t i = 0; i + 1 < h->bucketCount(); ++i)
+      data.upperBounds.push_back(h->upperBound(i));
+    for (std::size_t i = 0; i < h->bucketCount(); ++i)
+      data.counts.push_back(h->countAt(i));
+    data.total = h->totalCount();
+    data.sum = h->sum();
+    snap.histograms.push_back(std::move(data));
+  }
+  for (const auto& [name, s] : series_) {
+    MetricsSnapshot::SeriesData data;
+    data.name = name;
+    data.points = s->points();
+    snap.series.push_back(std::move(data));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : series_) s->reset();
+}
+
+}  // namespace resex::obs

@@ -1,0 +1,185 @@
+// Process-wide metrics registry: counters, gauges, fixed-bucket histograms,
+// and append-only series.
+//
+// Recording is the hot path and is lock-free: every instrument is a fixed
+// set of relaxed atomics, and the registry hands out references that stay
+// valid for the life of the process (reset() zeroes values, it never
+// deregisters). Name lookup takes a mutex, so call sites cache the
+// reference (`static obs::Counter& c = registry.counter("x")`) or hoist it
+// out of their loop. Snapshots read the same atomics and export through
+// the existing JsonWriter (JSON) or Prometheus text exposition.
+//
+// Naming convention: `subsystem.noun` in lowercase with dots
+// ("lns.iterations", "query.latency_us"); units go in the suffix.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace resex::obs {
+
+/// Monotonic event count. Relaxed atomics: totals are exact once writer
+/// threads are quiescent (joined or synchronized), which is when snapshots
+/// are taken.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written double value (utilization, CV, seconds, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    // fetch_add on atomic<double> compiles to a CAS loop; gauges are not
+    // hot enough for that to matter.
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double get() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Cumulative fixed-bucket histogram (Prometheus semantics): bucket i
+/// counts samples <= bounds[i], plus an implicit +inf overflow bucket.
+/// Bounds are fixed at registration so observe() is a branch-free upper
+/// bound search plus three relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperBounds);
+
+  void observe(double x) noexcept;
+
+  std::size_t bucketCount() const noexcept { return counts_.size(); }
+  /// Upper bound of bucket i; the last bucket returns +inf.
+  double upperBound(std::size_t i) const noexcept;
+  std::uint64_t countAt(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t totalCount() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double meanValue() const noexcept;
+  /// Quantile q in [0,1] from bucket counts; returns the upper bound of
+  /// the containing bucket (the last finite bound for overflow samples).
+  double quantile(double q) const noexcept;
+  void reset() noexcept;
+
+  /// Default bounds for microsecond latencies: 1-2-5 decades from 1us to
+  /// 10s, then overflow.
+  static std::vector<double> latencyUsBounds();
+  /// n exponential bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> exponentialBounds(double start, double factor,
+                                               std::size_t n);
+
+ private:
+  std::vector<double> bounds_;  // sorted, finite; counts_ has one extra slot
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Append-only series of up to four doubles per point — the metrics-layer
+/// home for solver trajectories and other per-run curves. Appends take a
+/// mutex (trajectory points are rare: new bests, epoch marks).
+class Series {
+ public:
+  using Point = std::array<double, 4>;
+
+  void append(double a, double b = 0.0, double c = 0.0, double d = 0.0);
+  void appendAll(const Series& other);
+  std::vector<Point> points() const;
+  std::size_t size() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Point> points_;
+};
+
+/// RAII latency recorder: observes elapsed microseconds into a histogram
+/// at scope exit.
+class ScopedLatencyUs {
+ public:
+  explicit ScopedLatencyUs(Histogram& hist) noexcept;
+  ~ScopedLatencyUs();
+  ScopedLatencyUs(const ScopedLatencyUs&) = delete;
+  ScopedLatencyUs& operator=(const ScopedLatencyUs&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::uint64_t startNs_;
+};
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    std::vector<double> upperBounds;    // finite bounds; +inf implicit
+    std::vector<std::uint64_t> counts;  // upperBounds.size() + 1 entries
+    std::uint64_t total = 0;
+    double sum = 0.0;
+  };
+  struct SeriesData {
+    std::string name;
+    std::vector<Series::Point> points;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramData> histograms;
+  std::vector<SeriesData> series;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "series":{...}}.
+  std::string toJson() const;
+  /// Prometheus text exposition ('.' in names becomes '_').
+  std::string toPrometheusText() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented subsystem records into.
+  static MetricsRegistry& global();
+
+  /// Finds or creates; the returned reference is valid forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bounds apply only on first registration; later callers get the
+  /// existing instrument regardless of the bounds they pass.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upperBounds = Histogram::latencyUsBounds());
+  Series& series(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every instrument in place; previously returned references stay
+  /// valid (tests and benches isolate runs this way).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace resex::obs

@@ -1,0 +1,139 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/json_writer.hpp"
+
+namespace resex::obs {
+namespace {
+
+std::chrono::steady_clock::time_point tracerEpoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::uint32_t tid, std::size_t capacity)
+    : tid_(tid), capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::record(const char* name, std::uint64_t startUs,
+                         std::uint64_t durUs) {
+  std::lock_guard lock(mutex_);
+  const SpanEvent event{name, startUs, durUs, tid_};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    wrapped_ = true;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanEvent> TraceBuffer::events() const {
+  std::lock_guard lock(mutex_);
+  if (!wrapped_) return ring_;
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::atomic<bool>& Tracer::enabledFlag() noexcept {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+void Tracer::setEnabled(bool enabled) noexcept {
+  tracerEpoch();  // pin the epoch no later than the first enable
+  enabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::nowMicros() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - tracerEpoch())
+          .count());
+}
+
+TraceBuffer& Tracer::threadBuffer() {
+  thread_local std::shared_ptr<TraceBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<TraceBuffer>(
+        nextTid_.fetch_add(1, std::memory_order_relaxed),
+        bufferCapacity_.load(std::memory_order_relaxed));
+    std::lock_guard lock(mutex_);
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+std::vector<SpanEvent> Tracer::collect() const {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> all;
+  for (const auto& buffer : buffers) {
+    const auto events = buffer->events();
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.startUs < b.startUs;
+                   });
+  return all;
+}
+
+std::string Tracer::exportChromeTrace() const {
+  JsonWriter json;
+  json.beginArray();
+  for (const SpanEvent& event : collect()) {
+    json.beginObject();
+    json.field("name", event.name);
+    json.field("cat", "resex");
+    json.field("ph", "X");
+    json.field("pid", 1);
+    json.field("tid", event.tid);
+    json.field("ts", event.startUs);
+    json.field("dur", event.durUs);
+    json.endObject();
+  }
+  json.endArray();
+  return json.str();
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) buffer->clear();
+}
+
+void Tracer::setBufferCapacity(std::size_t capacity) noexcept {
+  bufferCapacity_.store(std::max<std::size_t>(1, capacity),
+                        std::memory_order_relaxed);
+}
+
+}  // namespace resex::obs

@@ -1,0 +1,114 @@
+// Scoped tracing: per-thread span ring buffers with Chrome trace export.
+//
+// `RESEX_TRACE_SPAN("lns.repair")` drops an RAII guard into a scope; when
+// tracing is enabled it records {name, start, duration, thread} into the
+// calling thread's ring buffer. When disabled (the default) the guard is a
+// single relaxed atomic load — cheap enough to leave in solver inner
+// loops. Buffers are bounded: a long run keeps the most recent spans per
+// thread rather than growing without limit.
+//
+// `Tracer::global().exportChromeTrace()` renders every collected span as a
+// Chrome `trace_event` JSON array, loadable in about://tracing or Perfetto.
+//
+// Span naming follows the metrics convention: `subsystem.verb`
+// ("scheduler.build", "query.wand").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace resex::obs {
+
+struct SpanEvent {
+  /// Must point at storage outliving the tracer (string literals).
+  const char* name = nullptr;
+  std::uint64_t startUs = 0;  // microseconds since tracer epoch
+  std::uint64_t durUs = 0;
+  std::uint32_t tid = 0;
+};
+
+/// One thread's bounded span history. Writes lock a thread-owned mutex
+/// that is only ever contended by collect()/clear().
+class TraceBuffer {
+ public:
+  TraceBuffer(std::uint32_t tid, std::size_t capacity);
+
+  void record(const char* name, std::uint64_t startUs, std::uint64_t durUs);
+  /// Recorded events in arrival order (oldest first once wrapped).
+  std::vector<SpanEvent> events() const;
+  void clear();
+  std::uint32_t tid() const noexcept { return tid_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint32_t tid_;
+  std::vector<SpanEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void setEnabled(bool enabled) noexcept;
+  static bool enabled() noexcept {
+    return enabledFlag().load(std::memory_order_relaxed);
+  }
+
+  /// The calling thread's buffer, created and registered on first use.
+  TraceBuffer& threadBuffer();
+
+  /// All spans from all threads, sorted by start time.
+  std::vector<SpanEvent> collect() const;
+  /// Chrome trace_event JSON array ("X" complete events, ts/dur in us).
+  std::string exportChromeTrace() const;
+  void clear();
+
+  /// Per-thread ring capacity for buffers created after this call
+  /// (existing buffers keep theirs). Mostly for tests.
+  void setBufferCapacity(std::size_t capacity) noexcept;
+  /// Microseconds since the tracer epoch (first use in the process).
+  static std::uint64_t nowMicros() noexcept;
+
+ private:
+  static std::atomic<bool>& enabledFlag() noexcept;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers_;
+  std::atomic<std::size_t> bufferCapacity_{1 << 16};
+  std::atomic<std::uint32_t> nextTid_{1};
+};
+
+/// RAII span guard; see RESEX_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(Tracer::enabled() ? name : nullptr) {
+    if (name_) startUs_ = Tracer::nowMicros();
+  }
+  ~TraceSpan() {
+    if (name_)
+      Tracer::global().threadBuffer().record(name_, startUs_,
+                                             Tracer::nowMicros() - startUs_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t startUs_ = 0;
+};
+
+#define RESEX_OBS_CONCAT_IMPL(a, b) a##b
+#define RESEX_OBS_CONCAT(a, b) RESEX_OBS_CONCAT_IMPL(a, b)
+/// Records the enclosing scope as a span named `name` (a string literal).
+#define RESEX_TRACE_SPAN(name) \
+  ::resex::obs::TraceSpan RESEX_OBS_CONCAT(resexTraceSpan_, __LINE__)(name)
+
+}  // namespace resex::obs

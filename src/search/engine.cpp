@@ -3,8 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace resex {
 namespace {
+
+/// Simulated end-to-end query latency, shared by both simulation paths.
+obs::Histogram& simLatencyHistogram() {
+  static obs::Histogram& hist =
+      obs::MetricsRegistry::global().histogram("search.sim_latency_us");
+  return hist;
+}
 
 /// Unreplicated fast path: every query fans out to all machines hosting
 /// shards, so per-machine work depends only on the hosted corpus fraction
@@ -44,6 +54,7 @@ SimulationResult simulateUnreplicated(const Instance& instance,
       finish = std::max(finish, lastFinish[mach]);
     }
     result.latency.add(finish - now);
+    simLatencyHistogram().observe((finish - now) * 1e6);
   }
   result.queries = config.queryCount;
   result.durationSeconds = now;
@@ -107,6 +118,7 @@ SimulationResult simulateReplicated(const Instance& instance,
       finish = std::max(finish, lastFinish[chosen]);
     }
     result.latency.add(finish - now);
+    simLatencyHistogram().observe((finish - now) * 1e6);
   }
   result.queries = config.queryCount;
   result.durationSeconds = now;
@@ -123,6 +135,8 @@ SimulationResult simulateQueries(const Instance& instance,
                                  const std::vector<double>& docFraction,
                                  const QueryGenerator& queries,
                                  const SimulationConfig& config) {
+  RESEX_TRACE_SPAN("search.simulate");
+  obs::MetricsRegistry::global().counter("search.sim_queries").add(config.queryCount);
   const std::size_t n = instance.shardCount();
   if (mapping.size() != n || docFraction.size() != n)
     throw std::invalid_argument("simulateQueries: size mismatch");

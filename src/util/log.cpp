@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <memory>
+#include <mutex>
 
 namespace resex {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+std::mutex g_sinkMutex;
+std::shared_ptr<const LogSink> g_sink;  // null = stderr
 
 const char* levelName(LogLevel level) noexcept {
   switch (level) {
@@ -19,16 +26,46 @@ const char* levelName(LogLevel level) noexcept {
   }
 }
 
+/// ISO-8601 UTC with milliseconds, e.g. 2026-08-05T12:34:56.789Z.
+int formatTimestamp(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  return std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                       tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                       tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+}
+
 }  // namespace
 
 void setLogLevel(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel logLevel() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+void setLogSink(LogSink sink) {
+  std::lock_guard lock(g_sinkMutex);
+  g_sink = sink ? std::make_shared<const LogSink>(std::move(sink)) : nullptr;
+}
+
+std::uint32_t logThreadId() noexcept {
+  static std::atomic<std::uint32_t> nextId{1};
+  thread_local const std::uint32_t id =
+      nextId.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void logf(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   char line[2048];
-  const int prefix = std::snprintf(line, sizeof line, "[resex %s] ", levelName(level));
+  char stamp[40];
+  formatTimestamp(stamp, sizeof stamp);
+  const int prefix = std::snprintf(line, sizeof line, "[%s T%u resex %s] ",
+                                   stamp, logThreadId(), levelName(level));
   if (prefix < 0) return;
   va_list args;
   va_start(args, fmt);
@@ -42,6 +79,17 @@ void logf(LogLevel level, const char* fmt, ...) {
   const std::size_t len =
       std::min(static_cast<std::size_t>(prefix) + static_cast<std::size_t>(body),
                sizeof line - 2);
+
+  std::shared_ptr<const LogSink> sink;
+  {
+    std::lock_guard lock(g_sinkMutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    line[len] = '\0';
+    (*sink)(level, std::string(line, len));
+    return;
+  }
   line[len] = '\n';
   line[len + 1] = '\0';
   std::fputs(line, stderr);

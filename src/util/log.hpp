@@ -1,10 +1,18 @@
-// Minimal leveled logger writing to stderr.
+// Minimal leveled logger.
 //
 // The library itself logs sparingly (experiments print their own tables);
-// logging exists for debugging solver behaviour at Debug level.
+// logging exists for debugging solver behaviour at Debug level. Each line
+// carries an ISO-8601 UTC timestamp and a small per-thread id:
+//
+//   [2026-08-05T12:34:56.789Z T1 resex INFO ] message
+//
+// Output goes to stderr unless a sink is installed with setLogSink()
+// (tests capture lines that way).
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 namespace resex {
@@ -14,6 +22,14 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 /// Sets the global threshold; messages below it are dropped.
 void setLogLevel(LogLevel level) noexcept;
 LogLevel logLevel() noexcept;
+
+/// Receives each formatted line (no trailing newline). Thread-safe to
+/// install at any time; pass nullptr to restore the stderr default.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void setLogSink(LogSink sink);
+
+/// Small dense id of the calling thread (1, 2, ... in first-log order).
+std::uint32_t logThreadId() noexcept;
 
 /// printf-style logging. Thread-safe (single atomic write per line).
 void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

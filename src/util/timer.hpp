@@ -1,7 +1,9 @@
 // Wall-clock timing helpers.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 
 namespace resex {
 
@@ -28,8 +30,16 @@ class Deadline {
  public:
   explicit Deadline(double budgetSeconds) noexcept : budget_(budgetSeconds) {}
 
+  /// Never expires; for benches that want deadline plumbing without one.
+  static Deadline unlimited() noexcept {
+    return Deadline(std::numeric_limits<double>::infinity());
+  }
+
   bool expired() const noexcept { return timer_.seconds() >= budget_; }
-  double remaining() const noexcept { return budget_ - timer_.seconds(); }
+  /// Budget left, clamped at 0 so callers never see a negative budget.
+  double remaining() const noexcept {
+    return std::max(0.0, budget_ - timer_.seconds());
+  }
   double budget() const noexcept { return budget_; }
   double elapsed() const noexcept { return timer_.seconds(); }
 

@@ -1,0 +1,154 @@
+// A tiny recursive-descent JSON reader for tests: parses a document and
+// flattens it into path -> scalar-text pairs so assertions can check that
+// exported JSON is well-formed and round-trips the values that went in.
+//
+// Paths join object keys and array indices with '/', e.g.
+//   {"counters":{"lns.iterations":7}}  ->  "counters/lns.iterations" == "7"
+//   [{"ph":"X"}]                       ->  "0/ph" == "X"
+//
+// Not a production parser: no \u escapes beyond pass-through, no
+// tolerance for malformed input (that is the point — malformed export
+// must fail the test).
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace resex::testing {
+
+class MiniJson {
+ public:
+  /// Parses `text`; throws std::runtime_error on any syntax error.
+  static std::map<std::string, std::string> flatten(const std::string& text) {
+    MiniJson parser(text);
+    parser.skipWs();
+    parser.parseValue("");
+    parser.skipWs();
+    if (parser.pos_ != text.size())
+      throw std::runtime_error("trailing characters after JSON document");
+    return parser.out_;
+  }
+
+ private:
+  explicit MiniJson(const std::string& text) : text_(text) {}
+
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end of JSON");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c)
+      throw std::runtime_error(std::string("expected '") + c + "' at offset " +
+                               std::to_string(pos_ - 1));
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            out += "\\u";  // pass through, tests only compare ASCII
+            break;
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  void parseValue(const std::string& path) {
+    skipWs();
+    const char c = peek();
+    if (c == '{') {
+      parseObject(path);
+    } else if (c == '[') {
+      parseArray(path);
+    } else if (c == '"') {
+      out_[path] = parseString();
+    } else {
+      // number / true / false / null
+      std::string token;
+      while (pos_ < text_.size()) {
+        const char t = text_[pos_];
+        if (t == ',' || t == '}' || t == ']' ||
+            std::isspace(static_cast<unsigned char>(t)))
+          break;
+        token += t;
+        ++pos_;
+      }
+      if (token.empty()) throw std::runtime_error("empty JSON scalar");
+      out_[path] = token;
+    }
+  }
+
+  void parseObject(const std::string& path) {
+    expect('{');
+    skipWs();
+    if (peek() == '}') {
+      take();
+      return;
+    }
+    while (true) {
+      skipWs();
+      const std::string key = parseString();
+      skipWs();
+      expect(':');
+      parseValue(path.empty() ? key : path + "/" + key);
+      skipWs();
+      const char c = take();
+      if (c == '}') return;
+      if (c != ',') throw std::runtime_error("expected ',' or '}' in object");
+    }
+  }
+
+  void parseArray(const std::string& path) {
+    expect('[');
+    skipWs();
+    if (peek() == ']') {
+      take();
+      out_[path + "/#size"] = "0";
+      return;
+    }
+    std::size_t index = 0;
+    while (true) {
+      parseValue(path + "/" + std::to_string(index));
+      ++index;
+      skipWs();
+      const char c = take();
+      if (c == ']') {
+        out_[path + "/#size"] = std::to_string(index);
+        return;
+      }
+      if (c != ',') throw std::runtime_error("expected ',' or ']' in array");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::string> out_;
+};
+
+}  // namespace resex::testing

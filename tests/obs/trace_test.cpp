@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/mini_json.hpp"
+
+namespace resex::obs {
+namespace {
+
+using resex::testing::MiniJson;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().setEnabled(false);
+  }
+  void TearDown() override {
+    Tracer::global().setEnabled(false);
+    Tracer::global().clear();
+    Tracer::global().setBufferCapacity(1 << 16);
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    RESEX_TRACE_SPAN("test.disabled");
+  }
+  EXPECT_TRUE(Tracer::global().collect().empty());
+}
+
+TEST_F(TraceTest, EnabledCapturesNameAndDuration) {
+  Tracer::global().setEnabled(true);
+  {
+    RESEX_TRACE_SPAN("test.outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    { RESEX_TRACE_SPAN("test.inner"); }
+  }
+  Tracer::global().setEnabled(false);
+  const auto events = Tracer::global().collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer opened first.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_GE(events[0].durUs, 1000u);
+  EXPECT_LE(events[1].startUs + events[1].durUs,
+            events[0].startUs + events[0].durUs + 1);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  Tracer::global().setEnabled(true);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([] { RESEX_TRACE_SPAN("test.worker"); });
+  }
+  for (auto& t : threads) t.join();
+  Tracer::global().setEnabled(false);
+  const auto events = Tracer::global().collect();
+  ASSERT_EQ(events.size(), 4u);
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 4u);  // buffers survive thread exit
+}
+
+TEST_F(TraceTest, RingKeepsMostRecentSpans) {
+  Tracer::global().setBufferCapacity(8);
+  Tracer::global().setEnabled(true);
+  // A fresh thread so the small capacity applies to a new buffer.
+  std::thread([] {
+    for (int i = 0; i < 20; ++i) {
+      RESEX_TRACE_SPAN("test.wrap");
+    }
+  }).join();
+  Tracer::global().setEnabled(false);
+  const auto events = Tracer::global().collect();
+  EXPECT_EQ(events.size(), 8u);
+  // Oldest-first ordering must survive the wrap: starts are monotone.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].startUs, events[i - 1].startUs);
+}
+
+TEST_F(TraceTest, ChromeExportIsValidTraceEventArray) {
+  Tracer::global().setEnabled(true);
+  { RESEX_TRACE_SPAN("test.export"); }
+  Tracer::global().setEnabled(false);
+  const auto flat = MiniJson::flatten(Tracer::global().exportChromeTrace());
+  EXPECT_EQ(flat.at("/#size"), "1");
+  EXPECT_EQ(flat.at("/0/name"), "test.export");
+  EXPECT_EQ(flat.at("/0/cat"), "resex");
+  EXPECT_EQ(flat.at("/0/ph"), "X");
+  EXPECT_EQ(flat.at("/0/pid"), "1");
+  EXPECT_NO_THROW(std::stod(flat.at("/0/ts")));
+  EXPECT_NO_THROW(std::stod(flat.at("/0/dur")));
+}
+
+TEST_F(TraceTest, EmptyExportIsValidEmptyArray) {
+  const auto flat = MiniJson::flatten(Tracer::global().exportChromeTrace());
+  EXPECT_EQ(flat.at("/#size"), "0");
+}
+
+}  // namespace
+}  // namespace resex::obs

@@ -104,6 +104,48 @@ TEST(LatencyHistogram, MergeCombinesCounts) {
   EXPECT_GT(a.quantile(0.99), 5.0);
 }
 
+TEST(LatencyHistogram, MergeOfEmptyIsIdentity) {
+  LatencyHistogram a;
+  a.add(0.25);
+  a.add(0.75);
+  const double p50 = a.quantile(0.5);
+  LatencyHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.totalCount(), 2u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), p50);
+}
+
+TEST(LatencyHistogram, MergeMatchesPooledSamples) {
+  // Merging two histograms must give the same quantiles as one histogram
+  // fed the pooled sample stream.
+  LatencyHistogram a(1e-6, 16);
+  LatencyHistogram b(1e-6, 16);
+  LatencyHistogram pooled(1e-6, 16);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double xa = rng.lognormal(-3.0, 0.7);
+    const double xb = rng.lognormal(-2.0, 0.7);
+    a.add(xa);
+    b.add(xb);
+    pooled.add(xa);
+    pooled.add(xb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.totalCount(), pooled.totalCount());
+  EXPECT_DOUBLE_EQ(a.maxSeen(), pooled.maxSeen());
+  for (const double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(a.quantile(q), pooled.quantile(q));
+}
+
+TEST(LatencyHistogram, QuantileEndpointsBracketSamples) {
+  LatencyHistogram h(1e-6, 32);
+  for (int i = 1; i <= 100; ++i) h.add(i * 0.01);
+  // q=0 sits at (or below) the smallest sample's bucket; q=1 at the
+  // largest sample's bucket, within one bucket of relative error.
+  EXPECT_LE(h.quantile(0.0), 0.01 * 1.05);
+  EXPECT_NEAR(h.quantile(1.0), 1.0, 0.05);
+}
+
 TEST(LatencyHistogram, BelowMinClampsToFirstBucket) {
   LatencyHistogram h(1e-3, 8);
   h.add(1e-9);

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "cluster/types.hpp"
 #include "util/log.hpp"
@@ -48,6 +52,19 @@ TEST(Deadline, ZeroBudgetExpiresImmediately) {
   EXPECT_TRUE(deadline.expired());
 }
 
+TEST(Deadline, RemainingClampsAtZero) {
+  Deadline deadline(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.remaining(), 0.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  const Deadline deadline = Deadline::unlimited();
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining(), 1e18);
+}
+
 TEST(Log, LevelThresholdIsRespected) {
   const LogLevel saved = logLevel();
   setLogLevel(LogLevel::Error);
@@ -69,6 +86,49 @@ TEST(Log, FormattingTruncatesLongMessagesSafely) {
   // line to stderr; that is the point of the test).
   logf(LogLevel::Error, "%s", huge.c_str());
   setLogLevel(saved);
+}
+
+TEST(Log, SinkCapturesPrefixedLines) {
+  const LogLevel saved = logLevel();
+  setLogLevel(LogLevel::Info);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  std::mutex mutex;
+  setLogSink([&](LogLevel level, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex);
+    captured.emplace_back(level, line);
+  });
+  RESEX_LOG_INFO("hello %d", 42);
+  RESEX_LOG_WARN("careful");
+  RESEX_LOG_DEBUG("below threshold, dropped");
+  setLogSink(nullptr);
+  setLogLevel(saved);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::Info);
+  EXPECT_EQ(captured[1].first, LogLevel::Warn);
+  const std::string& line = captured[0].second;
+  EXPECT_NE(line.find("hello 42"), std::string::npos);
+  EXPECT_NE(line.find("resex INFO"), std::string::npos);
+  // ISO-8601 UTC timestamp: [YYYY-MM-DDTHH:MM:SS.mmmZ ...
+  ASSERT_GE(line.size(), 25u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[20], '.');
+  EXPECT_EQ(line[24], 'Z');
+  // Thread-id prefix "T<n>" follows the timestamp.
+  const std::string tid = "T" + std::to_string(logThreadId());
+  EXPECT_NE(line.find(" " + tid + " "), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Log, ThreadIdsAreSmallAndStable) {
+  const std::uint32_t mine = logThreadId();
+  EXPECT_GE(mine, 1u);
+  EXPECT_EQ(logThreadId(), mine);
+  std::uint32_t other = 0;
+  std::thread([&] { other = logThreadId(); }).join();
+  EXPECT_NE(other, mine);
 }
 
 TEST(DimName, CanonicalLabels) {
