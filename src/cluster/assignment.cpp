@@ -1,5 +1,6 @@
 #include "cluster/assignment.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -27,11 +28,36 @@ Assignment::Assignment(const Instance& instance, std::vector<MachineId> mapping)
     if (to >= m) throw std::invalid_argument("Assignment: machine id out of range");
     attach(s, to);
   }
-  for (MachineId mach = 0; mach < m; ++mach) refreshUtil(mach);
-  // attach() maintained sumSq incrementally but from stale intermediates;
-  // rebuild it exactly once now that loads are final.
+  for (MachineId mach = 0; mach < m; ++mach)
+    utils_[mach] = loads_[mach].utilizationAgainst(instance.machine(mach).capacity);
   sumSqUtil_ = 0.0;
   for (MachineId mach = 0; mach < m; ++mach) sumSqUtil_ += utils_[mach] * utils_[mach];
+  rebuildMaxTree();
+}
+
+void Assignment::rebuildMaxTree() {
+  const std::size_t m = instance_->machineCount();
+  leafBase_ = std::bit_ceil(std::max<std::size_t>(1, m));
+  maxTree_.assign(2 * leafBase_, MaxNode{});
+  for (MachineId mach = 0; mach < m; ++mach)
+    maxTree_[leafBase_ + mach] = MaxNode{utils_[mach], mach};
+  for (std::size_t i = leafBase_ - 1; i >= 1; --i) {
+    const MaxNode& l = maxTree_[2 * i];
+    const MaxNode& r = maxTree_[2 * i + 1];
+    maxTree_[i] = r.util > l.util ? r : l;
+  }
+}
+
+void Assignment::updateMaxTree(MachineId m, double util) noexcept {
+  std::size_t i = leafBase_ + m;
+  maxTree_[i] = MaxNode{util, m};
+  for (i >>= 1; i >= 1; i >>= 1) {
+    const MaxNode& l = maxTree_[2 * i];
+    const MaxNode& r = maxTree_[2 * i + 1];
+    const MaxNode winner = r.util > l.util ? r : l;
+    if (winner.util == maxTree_[i].util && winner.arg == maxTree_[i].arg) break;
+    maxTree_[i] = winner;
+  }
 }
 
 void Assignment::attach(ShardId s, MachineId m) {
@@ -65,6 +91,7 @@ void Assignment::refreshUtil(MachineId m) {
   const double fresh = loads_[m].utilizationAgainst(instance_->machine(m).capacity);
   sumSqUtil_ += fresh * fresh - utils_[m] * utils_[m];
   utils_[m] = fresh;
+  updateMaxTree(m, fresh);
 }
 
 void Assignment::assign(ShardId s, MachineId m) {
@@ -100,22 +127,11 @@ void Assignment::moveShard(ShardId s, MachineId to) {
 }
 
 double Assignment::bottleneckUtilization() const noexcept {
-  double worst = 0.0;
-  for (const double u : utils_)
-    if (u > worst) worst = u;
-  return worst;
+  return utils_.empty() ? 0.0 : maxTree_[1].util;
 }
 
 MachineId Assignment::bottleneckMachine() const noexcept {
-  MachineId arg = 0;
-  double worst = -1.0;
-  for (MachineId m = 0; m < utils_.size(); ++m) {
-    if (utils_[m] > worst) {
-      worst = utils_[m];
-      arg = m;
-    }
-  }
-  return arg;
+  return utils_.empty() ? 0 : maxTree_[1].arg;
 }
 
 bool Assignment::hasReplicaOn(ShardId s, MachineId m) const {
@@ -169,6 +185,7 @@ void Assignment::recomputeCaches() {
     utils_[mach] = loads_[mach].utilizationAgainst(instance_->machine(mach).capacity);
     sumSqUtil_ += utils_[mach] * utils_[mach];
   }
+  rebuildMaxTree();
 }
 
 std::vector<std::string> Assignment::validate(bool requireCapacity) const {
@@ -213,6 +230,20 @@ std::vector<std::string> Assignment::validate(bool requireCapacity) const {
       complain("machine " + std::to_string(mach) + " util cache drifted");
   }
   if (trueVacant != vacantCount_) complain("vacancy counter drifted");
+
+  if (m > 0) {
+    double worst = 0.0;
+    MachineId arg = 0;
+    for (MachineId mach = 0; mach < m; ++mach) {
+      if (utils_[mach] > worst) {
+        worst = utils_[mach];
+        arg = mach;
+      }
+    }
+    if (std::abs(bottleneckUtilization() - worst) > 1e-9)
+      complain("bottleneck max-tree drifted from per-machine utils");
+    if (bottleneckMachine() != arg) complain("bottleneck argmax drifted");
+  }
 
   if (instance_->hasReplication()) {
     for (std::uint32_t g = 0; g < instance_->replicaGroupCount(); ++g) {

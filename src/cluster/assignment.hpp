@@ -41,9 +41,10 @@ class Assignment {
   /// Number of machines (regular + exchange) currently holding no shard.
   std::size_t vacantCount() const noexcept { return vacantCount_; }
 
-  /// Cluster bottleneck: max over machines of utilizationOf. O(machines).
+  /// Cluster bottleneck: max over machines of utilizationOf. O(1) — read
+  /// off the root of the incrementally maintained max-tournament tree.
   double bottleneckUtilization() const noexcept;
-  /// The machine achieving the bottleneck (ties: lowest id). O(machines).
+  /// The machine achieving the bottleneck (ties: lowest id). O(1).
   MachineId bottleneckMachine() const noexcept;
   /// Incrementally maintained sum over machines of utilization^2 —
   /// the balance tie-breaker of the objective.
@@ -104,11 +105,25 @@ class Assignment {
   void attach(ShardId s, MachineId m);
   void detach(ShardId s, MachineId m);
   void refreshUtil(MachineId m);
+  void rebuildMaxTree();
+  void updateMaxTree(MachineId m, double util) noexcept;
+
+  /// One node of the bottleneck max-tournament tree: the winning machine of
+  /// the subtree and its utilization. Ties resolve to the lower machine id.
+  struct MaxNode {
+    double util = -1.0;
+    MachineId arg = 0;
+  };
 
   const Instance* instance_;
   std::vector<MachineId> shardTo_;
   std::vector<ResourceVector> loads_;
   std::vector<double> utils_;
+  /// 1-based flat tournament tree over utils_: leaves at [leafBase_,
+  /// leafBase_ + machineCount), padding leaves hold util = -1 so they never
+  /// win. Updated in O(log m) by refreshUtil; the root is the bottleneck.
+  std::vector<MaxNode> maxTree_;
+  std::size_t leafBase_ = 1;
   std::vector<std::vector<ShardId>> machineShards_;
   /// Position of each shard within machineShards_[machineOf(shard)].
   std::vector<std::size_t> positions_;

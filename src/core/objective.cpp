@@ -1,19 +1,43 @@
 #include "core/objective.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace resex {
 
+namespace {
+
+/// Quantizes a float key to an integer bucket of the given width. Comparing
+/// buckets (instead of `a < b - tol` bands) yields a genuine strict weak
+/// order: values in the same bucket are equivalent everywhere, so chains of
+/// "equal within tolerance" candidates can never cycle or leapfrog — the
+/// tolerance-band scheme this replaces was non-transitive (a ~ b, b ~ c,
+/// yet a < c), which let best-score tracking regress through noise chains.
+long long bucketOf(double value, double width) noexcept {
+  const double scaled = value / width;
+  // Saturate instead of hitting llround's UB: migrated bytes divided by a
+  // fine bucket width can approach the long long range.
+  if (scaled >= 9.2e18) return std::numeric_limits<long long>::max();
+  if (scaled <= -9.2e18) return std::numeric_limits<long long>::min();
+  return std::llround(scaled);
+}
+
+}  // namespace
+
 bool Score::betterThan(const Score& rhs, double tol) const noexcept {
   if (vacancyDeficit != rhs.vacancyDeficit) return vacancyDeficit < rhs.vacancyDeficit;
-  if (bottleneckUtil < rhs.bottleneckUtil - tol) return true;
-  if (bottleneckUtil > rhs.bottleneckUtil + tol) return false;
+  const long long lb = bucketOf(bottleneckUtil, tol);
+  const long long rb = bucketOf(rhs.bottleneckUtil, tol);
+  if (lb != rb) return lb < rb;
   // The spread term is compared coarsely: a microscopic flattening gain
   // must not justify unbounded migration bytes on the next key.
   constexpr double kSpreadTol = 1e-4;
-  if (meanSqUtil < rhs.meanSqUtil - kSpreadTol) return true;
-  if (meanSqUtil > rhs.meanSqUtil + kSpreadTol) return false;
-  return migratedBytes < rhs.migratedBytes - tol;
+  const long long ls = bucketOf(meanSqUtil, kSpreadTol);
+  const long long rs = bucketOf(rhs.meanSqUtil, kSpreadTol);
+  if (ls != rs) return ls < rs;
+  constexpr double kBytesTol = 1e-6;
+  return bucketOf(migratedBytes, kBytesTol) < bucketOf(rhs.migratedBytes, kBytesTol);
 }
 
 std::string Score::toString() const {

@@ -25,8 +25,12 @@ struct Score {
   double meanSqUtil = 0.0;
   double migratedBytes = 0.0;
 
-  /// Lexicographic with small tolerances on the float terms so that noise
-  /// from incremental updates never flips a comparison.
+  /// Epsilon-lexicographic comparison with a single canonical ordering:
+  /// each float key is quantized to integer buckets (width `tol` for the
+  /// bottleneck, 1e-4 for the spread term, 1e-6 for bytes) and the bucket
+  /// tuples compare lexicographically. Quantization — unlike tolerance
+  /// bands — is transitive (a strict weak order), so best-score tracking
+  /// can never regress through a chain of within-tolerance candidates.
   bool betterThan(const Score& rhs, double tol = 1e-9) const noexcept;
 
   std::string toString() const;

@@ -1,4 +1,7 @@
 // Destroy operators: which shards to rip out each LNS iteration.
+//
+// All operators keep internal scratch buffers (see the scratch-buffer
+// contract in operators.hpp) so a steady-state iteration allocates nothing.
 #pragma once
 
 #include "lns/operators.hpp"
@@ -9,8 +12,8 @@ namespace resex {
 class RandomDestroy final : public DestroyOperator {
  public:
   std::string_view name() const noexcept override { return "random"; }
-  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
-                               Rng& rng) override;
+  void destroyInto(Assignment& assignment, std::size_t quota, Rng& rng,
+                   Ruin& out) override;
 };
 
 /// Shards from the most-utilized machines (randomized among the top few):
@@ -20,11 +23,12 @@ class WorstMachineDestroy final : public DestroyOperator {
   /// `topFraction`: sample source machines among the top fraction by util.
   explicit WorstMachineDestroy(double topFraction = 0.15) : topFraction_(topFraction) {}
   std::string_view name() const noexcept override { return "worst-machine"; }
-  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
-                               Rng& rng) override;
+  void destroyInto(Assignment& assignment, std::size_t quota, Rng& rng,
+                   Ruin& out) override;
 
  private:
   double topFraction_;
+  std::vector<MachineId> byUtil_;  // scratch
 };
 
 /// Shaw relatedness removal: a random seed shard plus the shards most
@@ -35,12 +39,18 @@ class ShawDestroy final : public DestroyOperator {
   explicit ShawDestroy(double sameMachineBonus = 0.5, double greediness = 4.0)
       : sameMachineBonus_(sameMachineBonus), greediness_(greediness) {}
   std::string_view name() const noexcept override { return "shaw"; }
-  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
-                               Rng& rng) override;
+  void destroyInto(Assignment& assignment, std::size_t quota, Rng& rng,
+                   Ruin& out) override;
 
  private:
   double sameMachineBonus_;
   double greediness_;
+  struct Scored {
+    ShardId shard;
+    double relatedness;
+  };
+  std::vector<Scored> candidates_;  // scratch
+  std::vector<bool> taken_;         // scratch
 };
 
 /// Drains the least-loaded occupied machines entirely, creating vacancies —
@@ -50,8 +60,12 @@ class ShawDestroy final : public DestroyOperator {
 class VacancyDestroy final : public DestroyOperator {
  public:
   std::string_view name() const noexcept override { return "vacancy-drain"; }
-  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
-                               Rng& rng) override;
+  void destroyInto(Assignment& assignment, std::size_t quota, Rng& rng,
+                   Ruin& out) override;
+
+ private:
+  std::vector<MachineId> occupied_;  // scratch
+  std::vector<ShardId> toRemove_;    // scratch
 };
 
 /// Targets the *binding dimension*: finds the bottleneck machine's worst
@@ -63,8 +77,8 @@ class VacancyDestroy final : public DestroyOperator {
 class BindingDimensionDestroy final : public DestroyOperator {
  public:
   std::string_view name() const noexcept override { return "binding-dim"; }
-  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
-                               Rng& rng) override;
+  void destroyInto(Assignment& assignment, std::size_t quota, Rng& rng,
+                   Ruin& out) override;
 };
 
 }  // namespace resex

@@ -96,8 +96,8 @@ LnsResult LnsSolver::solve(const Assignment& start) {
   const std::size_t quotaHi =
       std::max(quotaLo, std::min(config_.destroyMax, fractionCap));
 
-  std::vector<MachineId> previousHomes;   // rollback info, reused per iteration
-  std::vector<MachineId> mappingBefore;   // pre-destroy snapshot, reused
+  Ruin ruin;  // (shard, previous machine) pairs, reused per iteration —
+              // everything rollback needs without an O(n) mapping snapshot
 
   for (std::size_t iter = 1; iter <= config_.maxIterations; ++iter) {
     if (timer.seconds() >= config_.timeBudgetSeconds) break;
@@ -113,32 +113,28 @@ LnsResult LnsSolver::solve(const Assignment& start) {
     mRepairPicks[rOp]->add();
     const std::size_t quota = quotaLo + rng.below(quotaHi - quotaLo + 1);
 
-    mappingBefore = current.mapping();
-    std::vector<ShardId> removed;
+    ruin.clear();
     {
       RESEX_TRACE_SPAN("lns.destroy");
-      removed = destroys_[dOp]->destroy(current, quota, rng);
+      destroys_[dOp]->destroyInto(current, quota, rng, ruin);
     }
-    previousHomes.clear();
-    for (const ShardId s : removed) previousHomes.push_back(mappingBefore[s]);
 
     bool repaired;
     {
       RESEX_TRACE_SPAN("lns.repair");
-      repaired = !removed.empty() &&
-                 repairs_[rOp]->repair(current, removed, objective_, rng);
+      repaired = !ruin.empty() &&
+                 repairs_[rOp]->repair(current, ruin.shards, objective_, rng);
     }
 
     auto rollback = [&]() {
-      for (std::size_t i = 0; i < removed.size(); ++i) {
-        if (current.isAssigned(removed[i])) current.remove(removed[i]);
-      }
-      for (std::size_t i = 0; i < removed.size(); ++i)
-        current.assign(removed[i], previousHomes[i]);
+      for (const ShardId s : ruin.shards)
+        if (current.isAssigned(s)) current.remove(s);
+      for (std::size_t i = 0; i < ruin.size(); ++i)
+        current.assign(ruin.shards[i], ruin.homes[i]);
     };
 
     if (!repaired) {
-      if (!removed.empty()) rollback();
+      if (!ruin.empty()) rollback();
       ++stats.repairFailures;
       mRepairFailures.add();
       destroySel.reward(dOp, OperatorOutcome::RepairFailed);
@@ -207,6 +203,9 @@ LnsResult LnsSolver::solve(const Assignment& start) {
   }
   registry.gauge("lns.best_bottleneck").set(result.bestScore.bottleneckUtil);
   registry.gauge("lns.last_solve_seconds").set(stats.seconds);
+  registry.gauge("lns.iters_per_sec")
+      .set(stats.seconds > 0.0 ? static_cast<double>(stats.iterations) / stats.seconds
+                               : 0.0);
   RESEX_LOG_DEBUG("LNS done: iters=%zu accepted=%zu best=%s", stats.iterations,
                   stats.accepted, result.bestScore.toString().c_str());
   return result;

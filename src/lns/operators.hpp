@@ -1,12 +1,19 @@
 // Operator interfaces for large neighborhood search.
 //
 // Contract: a destroy operator removes a subset of assigned shards from the
-// assignment (leaving them unassigned) and returns exactly the removed ids;
-// it must not mutate anything else, so the solver can roll an iteration
-// back from (shard, previous machine) pairs alone. A repair operator
-// reinserts the given unassigned shards within hard capacity; returning
-// false signals that some shard had no feasible machine (the solver rolls
-// back; partially placed shards are allowed at that point).
+// assignment (leaving them unassigned) and records exactly the removed ids
+// (with their previous machines) in the caller's Ruin; it must not mutate
+// anything else, so the solver can roll an iteration back from the Ruin
+// alone. A repair operator reinserts the given unassigned shards within
+// hard capacity; returning false signals that some shard had no feasible
+// machine (the solver rolls back; partially placed shards are allowed at
+// that point).
+//
+// Scratch-buffer contract: operators are stateful objects owned by exactly
+// one solver and invoked from one thread at a time; they may (and the
+// built-ins do) keep internal scratch buffers across calls so the hot loop
+// performs no per-iteration heap allocation. Sharing one operator instance
+// across concurrent solvers is NOT safe — give each solver its own.
 #pragma once
 
 #include <span>
@@ -19,13 +26,41 @@
 
 namespace resex {
 
+/// The record of one destroy phase: removed shards plus the machines they
+/// were removed from (index-aligned) — everything rollback needs, captured
+/// without snapshotting the whole mapping. Reused across iterations.
+struct Ruin {
+  std::vector<ShardId> shards;
+  std::vector<MachineId> homes;
+
+  bool empty() const noexcept { return shards.empty(); }
+  std::size_t size() const noexcept { return shards.size(); }
+  void clear() noexcept {
+    shards.clear();
+    homes.clear();
+  }
+  /// Removes `s` from `assignment` and records (shard, previous machine).
+  void take(Assignment& assignment, ShardId s) {
+    homes.push_back(assignment.remove(s));
+    shards.push_back(s);
+  }
+};
+
 class DestroyOperator {
  public:
   virtual ~DestroyOperator() = default;
   virtual std::string_view name() const noexcept = 0;
-  /// Removes up to `quota` shards; returns the removed ids.
-  virtual std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota,
-                                       Rng& rng) = 0;
+  /// Removes up to `quota` shards, appending them to `out` (which the
+  /// caller has cleared). Implementations remove via `out.take(...)`.
+  virtual void destroyInto(Assignment& assignment, std::size_t quota, Rng& rng,
+                           Ruin& out) = 0;
+
+  /// Convenience wrapper (tests, benches): returns the removed ids.
+  std::vector<ShardId> destroy(Assignment& assignment, std::size_t quota, Rng& rng) {
+    Ruin ruin;
+    destroyInto(assignment, quota, rng, ruin);
+    return std::move(ruin.shards);
+  }
 };
 
 class RepairOperator {

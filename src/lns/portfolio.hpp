@@ -1,7 +1,17 @@
-// Parallel multi-start portfolio: independent seeded LNS searches across
-// the thread pool; the best result wins. Deterministic for a fixed seed
-// set and worker count (searches never communicate mid-run).
+// Parallel multi-start portfolio: independent seeded LNS searches, each on
+// its own dedicated thread; the best result wins. Deterministic for a fixed
+// seed set and search count (searches never communicate mid-run, and the
+// winner is picked by a fixed scan order with a lowest-index tie-break).
+//
+// Threading model: portfolio searches deliberately do NOT run on the shared
+// globalPool(). A search may itself fan work out via parallelFor on that
+// pool; if the searches also occupied every pool worker while the caller
+// blocked on their futures, the inner parallelFor tasks could never be
+// scheduled — a deadlock (and, short of that, oversubscription). Dedicated
+// std::threads keep the pool free for nested parallelism.
 #pragma once
+
+#include <functional>
 
 #include "lns/lns.hpp"
 
@@ -10,10 +20,15 @@ namespace resex {
 struct PortfolioConfig {
   /// Number of independent searches (0 = one per hardware thread).
   std::size_t searches = 0;
-  /// Base seed; search i runs with seed mix(baseSeed, i).
+  /// Base seed; search i runs with the i-th draw of a splitmix64 stream
+  /// seeded with baseSeed (decorrelated, reproducible).
   std::uint64_t baseSeed = 1;
   /// Per-search LNS configuration (seed field is overridden).
   LnsConfig lns;
+  /// Optional per-search solver setup hook (register custom operators,
+  /// acceptance, ...). Called once per search, on that search's thread,
+  /// before solve(); must be safe to invoke concurrently.
+  std::function<void(LnsSolver&)> configure;
 };
 
 struct PortfolioResult {

@@ -7,12 +7,27 @@ namespace resex {
 
 double placementCost(const Assignment& assignment, ShardId shard, MachineId machine,
                      const Objective& objective) noexcept {
-  if (!assignment.canPlace(shard, machine))
-    return std::numeric_limits<double>::infinity();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (assignment.hasReplicaOn(shard, machine)) return kInf;
   const Instance& instance = assignment.instance();
-  const ResourceVector after =
-      assignment.loadOf(machine) + instance.shard(shard).demand;
-  double cost = after.utilizationAgainst(instance.machine(machine).capacity);
+  const ResourceVector& load = assignment.loadOf(machine);
+  const ResourceVector& demand = instance.shard(shard).demand;
+  const ResourceVector& capacity = instance.machine(machine).capacity;
+  // Fused feasibility + utilization pass: no ResourceVector temporaries on
+  // the hot path (this runs O(quota * m) times per repair).
+  double cost = 0.0;
+  for (std::size_t d = 0; d < demand.dims(); ++d) {
+    const double after = load[d] + demand[d];
+    const double cap = capacity[d];
+    if (after > cap + 1e-9) return kInf;
+    double u = 0.0;
+    if (cap > 0.0) {
+      u = after / cap;
+    } else if (after > 0.0) {
+      u = 1e18;
+    }
+    if (u > cost) cost = u;
+  }
   if (assignment.isVacant(machine)) {
     // Opening this machine consumes a vacancy. If vacancies are at or below
     // the compensation target, that creates (or deepens) a deficit — allowed
@@ -23,50 +38,17 @@ double placementCost(const Assignment& assignment, ShardId shard, MachineId mach
   return cost;
 }
 
-namespace {
-
-/// Three cheapest placements for one shard (enough for regret-2/3).
-struct BestThree {
-  MachineId best = kNoMachine;
-  double cost1 = std::numeric_limits<double>::infinity();
-  double cost2 = std::numeric_limits<double>::infinity();
-  double cost3 = std::numeric_limits<double>::infinity();
-};
-
-BestThree bestPlacements(const Assignment& assignment, ShardId shard,
-                         const Objective& objective) {
-  BestThree out;
-  const std::size_t m = assignment.instance().machineCount();
-  for (MachineId cand = 0; cand < m; ++cand) {
-    const double cost = placementCost(assignment, shard, cand, objective);
-    if (cost < out.cost1) {
-      out.cost3 = out.cost2;
-      out.cost2 = out.cost1;
-      out.cost1 = cost;
-      out.best = cand;
-    } else if (cost < out.cost2) {
-      out.cost3 = out.cost2;
-      out.cost2 = cost;
-    } else if (cost < out.cost3) {
-      out.cost3 = cost;
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 bool GreedyRepair::repair(Assignment& assignment, std::span<const ShardId> shards,
                           const Objective& objective, Rng& rng) {
   const Instance& instance = assignment.instance();
-  std::vector<ShardId> order(shards.begin(), shards.end());
-  std::sort(order.begin(), order.end(), [&instance](ShardId a, ShardId b) {
+  order_.assign(shards.begin(), shards.end());
+  std::sort(order_.begin(), order_.end(), [&instance](ShardId a, ShardId b) {
     return instance.shard(a).demand.maxComponent() >
            instance.shard(b).demand.maxComponent();
   });
 
   const std::size_t m = instance.machineCount();
-  for (const ShardId s : order) {
+  for (const ShardId s : order_) {
     MachineId best = kNoMachine;
     double bestCost = std::numeric_limits<double>::infinity();
     for (MachineId cand = 0; cand < m; ++cand) {
@@ -86,13 +68,41 @@ bool GreedyRepair::repair(Assignment& assignment, std::span<const ShardId> shard
 
 bool RegretRepair::repair(Assignment& assignment, std::span<const ShardId> shards,
                           const Objective& objective, Rng& /*rng*/) {
-  std::vector<ShardId> remaining(shards.begin(), shards.end());
-  while (!remaining.empty()) {
+  const std::size_t m = assignment.instance().machineCount();
+  const auto scan = [&](ShardId shard) {
+    BestThree out;
+    for (MachineId cand = 0; cand < m; ++cand) {
+      const double cost = placementCost(assignment, shard, cand, objective);
+      if (cost < out.cost1) {
+        out.cost3 = out.cost2;
+        out.third = out.second;
+        out.cost2 = out.cost1;
+        out.second = out.best;
+        out.cost1 = cost;
+        out.best = cand;
+      } else if (cost < out.cost2) {
+        out.cost3 = out.cost2;
+        out.third = out.second;
+        out.cost2 = cost;
+        out.second = cand;
+      } else if (cost < out.cost3) {
+        out.cost3 = cost;
+        out.third = cand;
+      }
+    }
+    return out;
+  };
+
+  remaining_.assign(shards.begin(), shards.end());
+  cache_.resize(remaining_.size());
+  for (std::size_t i = 0; i < remaining_.size(); ++i) cache_[i] = scan(remaining_[i]);
+
+  while (!remaining_.empty()) {
     double bestRegret = -1.0;
     std::size_t bestIdx = 0;
     MachineId bestMachine = kNoMachine;
-    for (std::size_t i = 0; i < remaining.size(); ++i) {
-      const BestThree options = bestPlacements(assignment, remaining[i], objective);
+    for (std::size_t i = 0; i < remaining_.size(); ++i) {
+      const BestThree& options = cache_[i];
       if (options.best == kNoMachine) return false;
       double regret;
       if (options.cost2 == std::numeric_limits<double>::infinity()) {
@@ -110,9 +120,25 @@ bool RegretRepair::repair(Assignment& assignment, std::span<const ShardId> shard
         bestMachine = options.best;
       }
     }
-    assignment.assign(remaining[bestIdx], bestMachine);
-    remaining[bestIdx] = remaining.back();
-    remaining.pop_back();
+    const bool openedVacancy = assignment.isVacant(bestMachine);
+    assignment.assign(remaining_[bestIdx], bestMachine);
+    remaining_[bestIdx] = remaining_.back();
+    remaining_.pop_back();
+    cache_[bestIdx] = cache_.back();
+    cache_.pop_back();
+
+    if (openedVacancy) {
+      // Vacancy count changed -> the vacancy penalty term shifted for every
+      // vacant machine: all cached costs are suspect. Rebuild.
+      for (std::size_t i = 0; i < remaining_.size(); ++i)
+        cache_[i] = scan(remaining_[i]);
+    } else {
+      // Only `bestMachine` gained load, and its cost can only have risen
+      // (or turned infeasible for replica peers). Shards that didn't have
+      // it in their top-3 still don't; the rest rescan.
+      for (std::size_t i = 0; i < remaining_.size(); ++i)
+        if (cache_[i].touches(bestMachine)) cache_[i] = scan(remaining_[i]);
+    }
   }
   return true;
 }

@@ -1,5 +1,10 @@
 // Repair operators: where removed shards go back.
+//
+// Both operators keep internal scratch buffers (see the scratch-buffer
+// contract in operators.hpp) so a steady-state iteration allocates nothing.
 #pragma once
+
+#include <limits>
 
 #include "lns/operators.hpp"
 
@@ -26,11 +31,20 @@ class GreedyRepair final : public RepairOperator {
 
  private:
   double noise_;
+  std::vector<ShardId> order_;  // scratch
 };
 
 /// Regret-k insertion: repeatedly inserts the shard whose best option beats
 /// its k-th best by the most (the shard that will suffer most if deferred).
 /// Slower but markedly stronger on tight instances.
+///
+/// Placement costs are cached per remaining shard (top-3 machines) and only
+/// refreshed when an insertion can actually change them: inserting onto an
+/// occupied machine leaves every other machine's cost untouched and only
+/// *raises* the target's, so a shard needs a rescan only if the target sat
+/// in its cached top-3. Inserting onto a vacant machine shifts the global
+/// vacancy penalty, which invalidates everything — full rebuild. This turns
+/// the old O(r^2 * m) repair into O(r * m) plus cheap touch-ups.
 class RegretRepair final : public RepairOperator {
  public:
   explicit RegretRepair(int k = 2) : k_(k) {}
@@ -39,7 +53,22 @@ class RegretRepair final : public RepairOperator {
               const Objective& objective, Rng& rng) override;
 
  private:
+  /// Three cheapest placements for one shard (enough for regret-2/3).
+  struct BestThree {
+    MachineId best = kNoMachine;
+    MachineId second = kNoMachine;
+    MachineId third = kNoMachine;
+    double cost1 = std::numeric_limits<double>::infinity();
+    double cost2 = std::numeric_limits<double>::infinity();
+    double cost3 = std::numeric_limits<double>::infinity();
+    bool touches(MachineId m) const noexcept {
+      return m == best || m == second || m == third;
+    }
+  };
+
   int k_;
+  std::vector<ShardId> remaining_;  // scratch
+  std::vector<BestThree> cache_;    // scratch, index-aligned with remaining_
 };
 
 }  // namespace resex

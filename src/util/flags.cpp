@@ -63,10 +63,36 @@ const Flags::Spec& Flags::lookup(const std::string& name) const {
 std::string Flags::str(const std::string& name) const { return lookup(name).value; }
 
 std::int64_t Flags::integer(const std::string& name) const {
-  return std::stoll(lookup(name).value);
+  const std::string& v = lookup(name).value;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(v, &pos);
+    if (pos != v.size())
+      throw std::runtime_error("flag --" + name + ": expected integer, got '" + v + "'");
+    return parsed;
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    // std::stoll throws invalid_argument/out_of_range with useless messages;
+    // rethrow with the flag name and offending value.
+    throw std::runtime_error("flag --" + name + ": expected integer, got '" + v + "'");
+  }
 }
 
-double Flags::real(const std::string& name) const { return std::stod(lookup(name).value); }
+double Flags::real(const std::string& name) const {
+  const std::string& v = lookup(name).value;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    if (pos != v.size())
+      throw std::runtime_error("flag --" + name + ": expected number, got '" + v + "'");
+    return parsed;
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + name + ": expected number, got '" + v + "'");
+  }
+}
 
 bool Flags::boolean(const std::string& name) const {
   const std::string& v = lookup(name).value;

@@ -95,6 +95,66 @@ TEST(Flags, HelpTextMentionsFlagsAndDefaults) {
   EXPECT_NE(text.find("number of machines"), std::string::npos);
 }
 
+TEST(Flags, MalformedIntegerReportsFlagAndValue) {
+  Flags f;
+  f.define("time-budget", "10", "budget");
+  auto argv = argvOf({"prog", "--time-budget=abc"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  try {
+    (void)f.integer("time-budget");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--time-budget"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected integer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'abc'"), std::string::npos) << msg;
+  }
+}
+
+TEST(Flags, MalformedRealReportsFlagAndValue) {
+  Flags f;
+  f.define("rate", "1.0", "rate");
+  auto argv = argvOf({"prog", "--rate", "fast"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  try {
+    (void)f.real("rate");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--rate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected number"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'fast'"), std::string::npos) << msg;
+  }
+}
+
+TEST(Flags, TrailingGarbageRejected) {
+  Flags f;
+  f.define("n", "1", "count");
+  f.define("x", "1.0", "x");
+  auto argv = argvOf({"prog", "--n=12abc", "--x=3.5zzz"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW((void)f.integer("n"), std::runtime_error);
+  EXPECT_THROW((void)f.real("x"), std::runtime_error);
+}
+
+TEST(Flags, OutOfRangeIntegerRejectedWithMessage) {
+  Flags f;
+  f.define("big", "1", "big");
+  auto argv = argvOf({"prog", "--big=999999999999999999999999"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW((void)f.integer("big"), std::runtime_error);
+}
+
+TEST(Flags, WellFormedValuesStillParse) {
+  Flags f;
+  f.define("n", "1", "count");
+  f.define("x", "1.0", "x");
+  auto argv = argvOf({"prog", "--n=-42", "--x=2.5e-3"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.integer("n"), -42);
+  EXPECT_DOUBLE_EQ(f.real("x"), 2.5e-3);
+}
+
 TEST(Flags, BooleanVariants) {
   Flags f;
   f.define("a", "true", "");
