@@ -19,6 +19,11 @@ bool RebalanceTrigger::shouldRebalance(const BalanceMetrics& metrics,
   return fire;
 }
 
+RebalanceResult ClusterController::plan(const Instance& instance) {
+  Sra sra(config_.sra);
+  return sra.rebalance(instance);
+}
+
 EpochReport ClusterController::step(const Instance& instance) {
   RESEX_TRACE_SPAN("controller.step");
   auto& registry = obs::MetricsRegistry::global();
@@ -35,24 +40,51 @@ EpochReport ClusterController::step(const Instance& instance) {
   report.triggered = trigger_.shouldRebalance(report.before, epoch_);
   if (report.triggered) {
     registry.counter("controller.rebalances").add();
-    Sra sra(config_.sra);
-    RebalanceResult result = sra.rebalance(instance);
+    RebalanceResult result = plan(instance);
     report.scheduleBytes = result.schedule.totalBytes;
     report.stagedHops = result.schedule.stagedHops;
     report.scheduleComplete = result.scheduleComplete();
+    report.unscheduledMoves = result.schedule.unscheduled.size();
     report.solveSeconds = result.solveSeconds;
     const bool overBudget = config_.bytesBudgetPerEpoch > 0.0 &&
                             result.schedule.totalBytes > config_.bytesBudgetPerEpoch;
-    if (!overBudget) {
+    const bool discardPartial =
+        !result.schedule.complete &&
+        config_.partialPolicy == PartialSchedulePolicy::kDiscard;
+    if (overBudget) {
+      registry.counter("controller.over_budget").add();
+    } else if (discardPartial) {
+      registry.counter("controller.partial_discarded").add();
+    } else if (config_.useExecutor) {
+      const MigrationExecutor executor(config_.executor);
+      ExecutionReport execution =
+          executor.execute(instance, result.schedule, config_.faults);
       report.executed = true;
+      // The executor's leftovers subsume the plan's unscheduled intents
+      // (its target includes them), so they are the honest count here.
+      report.unscheduledMoves = execution.unexecutedMoves.size();
+      report.executedBytes = execution.committedBytes;
+      report.retries = execution.retries;
+      report.abortedMoves = execution.abortedMoves;
+      report.replans = execution.replans;
+      report.crashedMachines = execution.crashedMachines;
+      report.degradedCompletion = execution.degraded;
+      mapping_ = std::move(execution.finalMapping);
+      Assignment achieved(instance, mapping_);
+      report.after = measureBalance(achieved);
+      registry.counter("controller.executed").add();
+      if (execution.degraded) registry.counter("controller.degraded_epochs").add();
+      cumulativeBytes_ += execution.committedBytes;
+      ++executed_;
+    } else {
+      report.executed = true;
+      report.executedBytes = result.schedule.totalBytes;
       report.after = result.after;
       recordScheduleExecution(result.schedule);
       registry.counter("controller.executed").add();
       mapping_ = std::move(result.finalMapping);
       cumulativeBytes_ += result.schedule.totalBytes;
       ++executed_;
-    } else {
-      registry.counter("controller.over_budget").add();
     }
   }
 

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "control/executor.hpp"
 #include "core/sra.hpp"
 
 namespace resex {
@@ -45,37 +46,78 @@ class RebalanceTrigger {
   std::size_t lastFired_ = 0;
 };
 
+/// What the controller does with an *incomplete* schedule (the scheduler
+/// could not place every relocation even with staging).
+enum class PartialSchedulePolicy {
+  /// Execute the phases that were scheduled; the mapping advances to the
+  /// schedule's achieved end state and the leftovers are reported.
+  kExecutePartial,
+  /// Discard the plan entirely: the mapping stays put, the epoch reports
+  /// the unscheduled moves.
+  kDiscard,
+};
+
 struct ControllerConfig {
   TriggerConfig trigger;
   SraConfig sra;
   /// Migration bytes one epoch's rebalance may consume; a plan exceeding
   /// the budget is discarded (reported, not executed). <= 0 disables.
   double bytesBudgetPerEpoch = 0.0;
+  /// Disposition of incomplete schedules (see PartialSchedulePolicy).
+  PartialSchedulePolicy partialPolicy = PartialSchedulePolicy::kExecutePartial;
+  /// Route schedule execution through the fault-tolerant MigrationExecutor
+  /// instead of assuming plans execute perfectly. Faults from `faults` are
+  /// injected (empty plan = clean execution); crashes trigger mid-flight
+  /// replanning per `executor`.
+  bool useExecutor = false;
+  ExecutorConfig executor;
+  FaultPlan faults;
 };
 
 /// What happened in one controller epoch.
 struct EpochReport {
   std::size_t epoch = 0;
   bool triggered = false;
-  /// False when the trigger fired but the plan was discarded over budget.
+  /// False when the trigger fired but the plan was discarded (over budget,
+  /// or incomplete under PartialSchedulePolicy::kDiscard).
   bool executed = false;
   BalanceMetrics before;
   BalanceMetrics after;
   double scheduleBytes = 0.0;
   std::size_t stagedHops = 0;
   bool scheduleComplete = true;
+  /// Relocations that did not happen this epoch: the scheduler could not
+  /// place them or (in executor mode) execution never achieved them.
+  std::size_t unscheduledMoves = 0;
   double solveSeconds = 0.0;
+
+  // -- Executor-mode failure accounting (zero when useExecutor is off) ----
+  /// Bytes actually committed by the executor (scheduleBytes is the plan).
+  double executedBytes = 0.0;
+  std::size_t retries = 0;
+  std::size_t abortedMoves = 0;
+  std::size_t replans = 0;
+  std::vector<MachineId> crashedMachines;
+  /// The executor could not finish: unexecuted moves remain or a crash
+  /// could not be replanned around.
+  bool degradedCompletion = false;
 };
 
 class ClusterController {
  public:
   explicit ClusterController(ControllerConfig config)
       : config_(config), trigger_(config.trigger) {}
+  virtual ~ClusterController() = default;
 
   /// Processes one epoch. The instance's initial assignment must be the
   /// cluster's current mapping (as the caller carried it forward); after
   /// the call, mapping() reflects any executed rebalance.
   EpochReport step(const Instance& instance);
+
+  /// Computes the epoch's rebalance plan (default: one SRA pass). Virtual
+  /// so tests can inject crafted plans — e.g. incomplete schedules — into
+  /// the execution policies.
+  virtual RebalanceResult plan(const Instance& instance);
 
   /// The cluster's current mapping (empty before the first step).
   const std::vector<MachineId>& mapping() const noexcept { return mapping_; }

@@ -1,0 +1,74 @@
+#include "control/faults.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace resex {
+
+namespace detail {
+
+void throwConfigError(const std::string& field, const std::string& requirement,
+                      double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  throw std::invalid_argument(field + ": expected " + requirement + ", got '" +
+                              buf + "'");
+}
+
+}  // namespace detail
+
+void validateFaultPlan(const FaultPlan& plan) {
+  if (plan.copyFailureProbability < 0.0 || plan.copyFailureProbability > 1.0)
+    detail::throwConfigError("FaultPlan.copyFailureProbability", "in [0,1]",
+                             plan.copyFailureProbability);
+  if (plan.clusterBandwidthMultiplier <= 0.0)
+    detail::throwConfigError("FaultPlan.clusterBandwidthMultiplier", "> 0",
+                             plan.clusterBandwidthMultiplier);
+  for (const MachineCrashEvent& crash : plan.crashes)
+    if (crash.fraction < 0.0 || crash.fraction > 1.0)
+      detail::throwConfigError("FaultPlan.crashes.fraction", "in [0,1]",
+                               crash.fraction);
+  for (const StragglerEvent& straggler : plan.stragglers)
+    if (straggler.bandwidthMultiplier <= 0.0)
+      detail::throwConfigError("FaultPlan.stragglers.bandwidthMultiplier", "> 0",
+                               straggler.bandwidthMultiplier);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  validateFaultPlan(plan_);
+}
+
+bool FaultInjector::copyAttemptFails(std::size_t phase, ShardId shard,
+                                     std::size_t attempt) const noexcept {
+  if (plan_.copyFailureProbability <= 0.0) return false;
+  if (plan_.copyFailureProbability >= 1.0) return true;
+  // Stateless splitmix64 chain over (seed, phase, shard, attempt): the draw
+  // is independent of executor iteration order.
+  std::uint64_t state = plan_.seed ^ 0x6a09e667f3bcc909ULL;
+  splitmix64(state);
+  state ^= static_cast<std::uint64_t>(phase) + 1;
+  splitmix64(state);
+  state ^= static_cast<std::uint64_t>(shard) + 1;
+  splitmix64(state);
+  state ^= static_cast<std::uint64_t>(attempt) + 1;
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return u < plan_.copyFailureProbability;
+}
+
+std::optional<MachineCrashEvent> FaultInjector::crashInPhase(
+    std::size_t phase) const noexcept {
+  for (const MachineCrashEvent& crash : plan_.crashes)
+    if (crash.phase == phase) return crash;
+  return std::nullopt;
+}
+
+double FaultInjector::bandwidthMultiplier(MachineId machine) const noexcept {
+  double mult = plan_.clusterBandwidthMultiplier;
+  for (const StragglerEvent& straggler : plan_.stragglers)
+    if (straggler.machine == machine) mult *= straggler.bandwidthMultiplier;
+  return mult;
+}
+
+}  // namespace resex

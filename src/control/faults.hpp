@@ -1,0 +1,95 @@
+// Deterministic fault injection for migration execution drills.
+//
+// A FaultPlan is a declarative description of everything that goes wrong
+// while a schedule executes: per-copy failure probability, machines that
+// crash at a given (phase, fraction) point, and bandwidth degradation
+// (cluster-wide or per-machine stragglers). The FaultInjector answers
+// queries off the plan with *stateless* seeded draws — the outcome of any
+// (phase, shard, attempt) triple depends only on the seed, never on the
+// order the executor asks — so every drill is reproducible bit-for-bit
+// and resilient to refactorings of the execution loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/types.hpp"
+
+namespace resex {
+
+/// A machine dies while a schedule runs. `phase` counts *executed* phases
+/// globally across the whole run (replanned schedules keep incrementing the
+/// counter, so cascades can target the recovery itself). `fraction` is how
+/// far through the phase's copy window the crash hits: moves ordered before
+/// floor(fraction * phaseMoves) have completed their copies, the rest are
+/// in flight.
+struct MachineCrashEvent {
+  MachineId machine = 0;
+  std::size_t phase = 0;
+  double fraction = 0.5;
+};
+
+/// A machine whose NIC is degraded for the whole run (multiplier < 1 is a
+/// straggler; > 1 models an uncontended fast path).
+struct StragglerEvent {
+  MachineId machine = 0;
+  double bandwidthMultiplier = 1.0;
+};
+
+struct FaultPlan {
+  /// Seed of every probabilistic draw (copy failures).
+  std::uint64_t seed = 0;
+  /// Probability any single copy attempt fails (retried by the executor).
+  double copyFailureProbability = 0.0;
+  /// Cluster-wide bandwidth multiplier (fabric degradation).
+  double clusterBandwidthMultiplier = 1.0;
+  std::vector<MachineCrashEvent> crashes;
+  std::vector<StragglerEvent> stragglers;
+
+  bool empty() const noexcept {
+    return copyFailureProbability == 0.0 && clusterBandwidthMultiplier == 1.0 &&
+           crashes.empty() && stragglers.empty();
+  }
+};
+
+/// Throws std::invalid_argument naming the offending field and value
+/// (matching the Flags::integer/real message convention) when the plan is
+/// malformed: probability outside [0,1], fraction outside [0,1], or a
+/// non-positive bandwidth multiplier.
+void validateFaultPlan(const FaultPlan& plan);
+
+namespace detail {
+/// "Config.field: expected <requirement>, got '<value>'" — the flag-style
+/// error convention for config validation across the control layer.
+[[noreturn]] void throwConfigError(const std::string& field,
+                                   const std::string& requirement, double value);
+}  // namespace detail
+
+/// Stateless oracle over a validated FaultPlan.
+class FaultInjector {
+ public:
+  /// Validates the plan (see validateFaultPlan).
+  explicit FaultInjector(FaultPlan plan);
+
+  /// True when attempt `attempt` (0-based) at copying `shard` during global
+  /// phase `phase` fails. Depends only on (seed, phase, shard, attempt).
+  bool copyAttemptFails(std::size_t phase, ShardId shard,
+                        std::size_t attempt) const noexcept;
+
+  /// The crash event registered for global phase `phase`, if any. Events
+  /// naming a machine that already crashed are the caller's to skip.
+  std::optional<MachineCrashEvent> crashInPhase(std::size_t phase) const noexcept;
+
+  /// Effective bandwidth multiplier of a machine: cluster-wide degradation
+  /// times its straggler multiplier (1.0 when unlisted).
+  double bandwidthMultiplier(MachineId machine) const noexcept;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace resex

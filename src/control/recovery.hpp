@@ -12,6 +12,8 @@
 // not masquerade as one of the k returned exchange machines.
 #pragma once
 
+#include <span>
+
 #include "core/sra.hpp"
 
 namespace resex {
@@ -40,14 +42,29 @@ struct RecoveryResult {
   double estimatedSeconds = 0.0;
 };
 
+/// Throws std::invalid_argument with a flag-style message naming the
+/// offending field and value when a parameter is out of range
+/// (epsilonCapacity <= 0, migrationBandwidth <= 0).
+void validateRecoveryConfig(const RecoveryConfig& config);
+
 /// Builds the failure-modelling instance: identical to `instance` but with
 /// machine `failed`'s capacity collapsed to epsilon in every dimension.
+/// Compose calls for cascading failures — collapsing an already-collapsed
+/// machine is a no-op.
 Instance withFailedMachine(const Instance& instance, MachineId failed,
                            double epsilonCapacity = 1e-6);
 
 /// Plans and schedules the evacuation of `failed` plus the rebalancing of
 /// the survivors, using the exchange machines for headroom.
 RecoveryResult recoverFromFailure(const Instance& instance, MachineId failed,
+                                  const RecoveryConfig& config = {});
+
+/// Cascading variant: every machine in `failed` is collapsed at once and
+/// the compensation target rises to k + failed.size(), so none of the
+/// corpses masquerades as a returned exchange machine. shardsToEvacuate /
+/// evacuated / survivorBottleneck aggregate over all failed machines.
+RecoveryResult recoverFromFailure(const Instance& instance,
+                                  std::span<const MachineId> failed,
                                   const RecoveryConfig& config = {});
 
 }  // namespace resex

@@ -138,6 +138,70 @@ TEST(VerifySchedule, RejectsWrongByteTotal) {
   EXPECT_FALSE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
 }
 
+TEST(VerifySchedule, AcceptsIncompleteMidStagingHop) {
+  // Shard 0 made its first staging hop onto the exchange machine but the
+  // final hop to machine 1 was never scheduled: valid as long as the shard's
+  // true position and remaining intent are reported.
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 2});
+  s.phases.push_back(p);
+  s.totalBytes = 40.0;
+  s.complete = false;
+  s.unscheduled.push_back(Move{0, 2, 1});
+  const std::vector<MachineId> target{1, 1};
+  EXPECT_TRUE(verifySchedule(inst, inst.initialAssignment(), target, s).empty());
+}
+
+TEST(VerifySchedule, RejectsIncompleteWithOffTargetShardUnlisted) {
+  // Same mid-staging state, but the leftover hop is not reported: shard 0
+  // is neither at its target nor listed unscheduled.
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 2});
+  s.phases.push_back(p);
+  s.totalBytes = 40.0;
+  s.complete = false;
+  const std::vector<MachineId> target{1, 1};
+  const auto problems = verifySchedule(inst, inst.initialAssignment(), target, s);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unscheduled"), std::string::npos) << problems[0];
+}
+
+TEST(EstimateSchedule, IncompleteScheduleCountsOnlyExecutedPhases) {
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;
+  Phase p;
+  p.moves.push_back(Move{0, 0, 2});
+  s.phases.push_back(p);
+  s.totalBytes = 40.0;
+  s.complete = false;
+  s.unscheduled.push_back(Move{1, 1, 0});  // never executes, costs no time
+  EXPECT_DOUBLE_EQ(estimateScheduleSeconds(inst, s, 10.0), 4.0);
+  // An all-unscheduled plan costs nothing.
+  Schedule empty;
+  empty.complete = false;
+  empty.unscheduled.push_back(Move{0, 0, 2});
+  EXPECT_DOUBLE_EQ(estimateScheduleSeconds(inst, empty, 10.0), 0.0);
+}
+
+TEST(EstimateSchedule, StagedHopsPayPerHop) {
+  // Shard 0 stages through the exchange machine: two phases, each moving
+  // its 40 bytes, so the clock pays twice even though the shard is one.
+  const Instance inst = uniformInstance(2, 1, {40.0, 30.0});
+  Schedule s;
+  Phase hop1;
+  hop1.moves.push_back(Move{0, 0, 2});
+  Phase hop2;
+  hop2.moves.push_back(Move{0, 2, 1});
+  s.phases = {hop1, hop2};
+  s.stagedHops = 1;
+  s.totalBytes = 80.0;
+  EXPECT_DOUBLE_EQ(estimateScheduleSeconds(inst, s, 10.0), 8.0);
+}
+
 TEST(VerifySchedule, RejectsDegenerateMove) {
   const Instance inst = uniformInstance(2, 0, {10.0, 10.0});
   Schedule s;

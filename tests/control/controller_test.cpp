@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/test_instances.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/trace.hpp"
 
@@ -132,6 +133,112 @@ TEST(Controller, HistoryAccumulates) {
   EXPECT_EQ(controller.history()[1].epoch, 1u);
   EXPECT_TRUE(controller.history()[0].triggered);
   EXPECT_FALSE(controller.history()[1].triggered);
+}
+
+// Returns a fixed plan instead of running SRA, so the execution policies
+// can be exercised with a crafted incomplete schedule.
+class CraftedPlanController : public ClusterController {
+ public:
+  CraftedPlanController(ControllerConfig config, RebalanceResult crafted)
+      : ClusterController(config), crafted_(std::move(crafted)) {}
+
+  RebalanceResult plan(const Instance&) override { return crafted_; }
+
+ private:
+  RebalanceResult crafted_;
+};
+
+// Three machines, shards {60, 60} on machines 0 and 1. The "plan" wants
+// shard 0 on machine 2 and shard 1 on machine 0, but only shard 0's move
+// got scheduled; shard 1's relocation is reported unscheduled.
+Instance partialInstance() {
+  return testing::placedInstance(3, 0, {60.0, 60.0}, {0, 1});
+}
+
+RebalanceResult partialPlan(const Instance& inst) {
+  RebalanceResult crafted;
+  crafted.algorithm = "crafted";
+  crafted.targetMapping = {2, 0};
+  Phase phase;
+  phase.moves.push_back(Move{0, 0, 2});
+  crafted.schedule.phases.push_back(phase);
+  crafted.schedule.totalBytes = 60.0;
+  crafted.schedule.complete = false;
+  crafted.schedule.unscheduled.push_back(Move{1, 1, 0});
+  crafted.finalMapping = applySchedule(inst.initialAssignment(), crafted.schedule);
+  return crafted;
+}
+
+ControllerConfig alwaysFire() {
+  ControllerConfig config;
+  config.trigger.always = true;
+  return config;
+}
+
+TEST(Controller, ExecutePartialAdvancesTheScheduledMoves) {
+  const Instance inst = partialInstance();
+  ControllerConfig config = alwaysFire();
+  config.partialPolicy = PartialSchedulePolicy::kExecutePartial;
+  CraftedPlanController controller(config, partialPlan(inst));
+  const EpochReport report = controller.step(inst);
+  EXPECT_TRUE(report.triggered);
+  EXPECT_TRUE(report.executed);
+  EXPECT_FALSE(report.scheduleComplete);
+  EXPECT_EQ(report.unscheduledMoves, 1u);
+  EXPECT_EQ(controller.mapping(), (std::vector<MachineId>{2, 1}));
+  EXPECT_DOUBLE_EQ(report.executedBytes, 60.0);
+  EXPECT_DOUBLE_EQ(controller.cumulativeBytes(), 60.0);
+}
+
+TEST(Controller, DiscardPolicyKeepsTheMappingPut) {
+  const Instance inst = partialInstance();
+  ControllerConfig config = alwaysFire();
+  config.partialPolicy = PartialSchedulePolicy::kDiscard;
+  CraftedPlanController controller(config, partialPlan(inst));
+  const EpochReport report = controller.step(inst);
+  EXPECT_TRUE(report.triggered);
+  EXPECT_FALSE(report.executed);
+  EXPECT_FALSE(report.scheduleComplete);
+  EXPECT_EQ(report.unscheduledMoves, 1u);  // surfaced, not silently dropped
+  EXPECT_EQ(controller.mapping(), inst.initialAssignment());
+  EXPECT_DOUBLE_EQ(controller.cumulativeBytes(), 0.0);
+}
+
+TEST(Controller, ExecutorModeCleanRunMatchesLegacyAccounting) {
+  const Instance inst = skewedInstance(21);
+  ControllerConfig config = fastController();
+  config.useExecutor = true;
+  config.executor.sra = config.sra;
+  config.executor.sra.polish = false;
+  ClusterController controller(config);
+  const EpochReport report = controller.step(inst);
+  EXPECT_TRUE(report.executed);
+  EXPECT_LT(report.after.bottleneckUtil, report.before.bottleneckUtil);
+  EXPECT_FALSE(report.degradedCompletion);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.abortedMoves, 0u);
+  EXPECT_EQ(report.replans, 0u);
+  EXPECT_TRUE(report.crashedMachines.empty());
+  EXPECT_DOUBLE_EQ(report.executedBytes, report.scheduleBytes);
+  EXPECT_DOUBLE_EQ(controller.cumulativeBytes(), report.executedBytes);
+}
+
+TEST(Controller, ExecutorModeSurfacesDegradation) {
+  const Instance inst = skewedInstance(22);
+  ControllerConfig config = fastController();
+  config.useExecutor = true;
+  config.executor.sra = config.sra;
+  config.executor.sra.polish = false;
+  config.executor.maxRetries = 0;
+  config.faults.copyFailureProbability = 1.0;  // every copy attempt fails
+  ClusterController controller(config);
+  const EpochReport report = controller.step(inst);
+  EXPECT_TRUE(report.executed);
+  EXPECT_TRUE(report.degradedCompletion);
+  EXPECT_GT(report.abortedMoves, 0u);
+  EXPECT_GT(report.unscheduledMoves, 0u);
+  EXPECT_DOUBLE_EQ(report.executedBytes, 0.0);
+  EXPECT_EQ(controller.mapping(), inst.initialAssignment());  // nothing moved
 }
 
 TEST(Controller, DrivesTraceOperationEndToEnd) {

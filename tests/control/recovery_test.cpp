@@ -107,6 +107,95 @@ TEST(Recovery, ExchangeMachinesMakeTightRecoveryPossible) {
   EXPECT_GE(withExchange, 3);
 }
 
+TEST(RecoveryConfigValidation, RejectsBadParametersNamingTheField) {
+  RecoveryConfig config;
+  config.epsilonCapacity = 0.0;
+  try {
+    validateRecoveryConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("RecoveryConfig.epsilonCapacity"), std::string::npos) << what;
+    EXPECT_NE(what.find("'0'"), std::string::npos) << what;
+  }
+  config = {};
+  config.migrationBandwidth = -5.0;
+  try {
+    validateRecoveryConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("RecoveryConfig.migrationBandwidth"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("'-5'"), std::string::npos) << what;
+  }
+  EXPECT_NO_THROW(validateRecoveryConfig(RecoveryConfig{}));
+  // recoverFromFailure validates at entry.
+  const Instance inst = cluster(20, 1);
+  RecoveryConfig bad;
+  bad.epsilonCapacity = -1.0;
+  EXPECT_THROW(recoverFromFailure(inst, 0, bad), std::invalid_argument);
+}
+
+TEST(FailedMachine, ComposesForCascadingCrashes) {
+  const Instance inst = cluster(21, 2);
+  const Instance twice = withFailedMachine(withFailedMachine(inst, 3), 7);
+  for (std::size_t d = 0; d < inst.dims(); ++d) {
+    EXPECT_DOUBLE_EQ(twice.machine(3).capacity[d], 1e-6);
+    EXPECT_DOUBLE_EQ(twice.machine(7).capacity[d], 1e-6);
+  }
+  EXPECT_EQ(twice.machine(0).capacity, inst.machine(0).capacity);
+  // Collapsing an already-collapsed machine is a no-op.
+  const Instance thrice = withFailedMachine(twice, 3);
+  EXPECT_DOUBLE_EQ(thrice.machine(3).capacity[0], 1e-6);
+}
+
+TEST(Recovery, MultiFailureEvacuatesEveryCorpse) {
+  const Instance inst = cluster(22, 2, 0.6);
+  const MachineId failed[] = {2, 5};
+  const RecoveryResult r =
+      recoverFromFailure(inst, std::span<const MachineId>(failed), fastRecovery());
+  EXPECT_GT(r.shardsToEvacuate, 0u);
+  if (r.evacuated) {
+    for (ShardId s = 0; s < inst.shardCount(); ++s) {
+      EXPECT_NE(r.rebalance.finalMapping[s], 2u);
+      EXPECT_NE(r.rebalance.finalMapping[s], 5u);
+    }
+    EXPECT_LE(r.survivorBottleneck, 1.0 + 1e-9);
+  } else {
+    // Degradation is allowed at this load, but must be reported coherently:
+    // some shard still sits on a corpse.
+    bool onCorpse = false;
+    for (ShardId s = 0; s < inst.shardCount(); ++s)
+      onCorpse |= r.rebalance.finalMapping[s] == 2u ||
+                  r.rebalance.finalMapping[s] == 5u;
+    EXPECT_TRUE(onCorpse);
+  }
+}
+
+TEST(Recovery, MultiFailureRaisesTheCompensationTarget) {
+  const Instance inst = cluster(23, 2, 0.55);
+  const MachineId failed[] = {1, 4};
+  const RecoveryResult r =
+      recoverFromFailure(inst, std::span<const MachineId>(failed), fastRecovery());
+  ASSERT_TRUE(r.evacuated);
+  // Corpses must not masquerade as returned exchange machines: at least k
+  // vacant machines besides the two dead ones.
+  std::vector<bool> occupied(inst.machineCount(), false);
+  for (const MachineId m : r.rebalance.finalMapping) occupied[m] = true;
+  std::size_t vacantSurvivors = 0;
+  for (MachineId m = 0; m < inst.machineCount(); ++m)
+    if (!occupied[m] && m != 1u && m != 4u) ++vacantSurvivors;
+  EXPECT_GE(vacantSurvivors, inst.exchangeCount());
+}
+
+TEST(Recovery, MultiFailureRejectsEmptyList) {
+  const Instance inst = cluster(24, 1);
+  EXPECT_THROW(
+      recoverFromFailure(inst, std::span<const MachineId>{}, fastRecovery()),
+      std::invalid_argument);
+}
+
 TEST(Recovery, ReplicatedClusterKeepsAntiAffinityThroughRecovery) {
   SyntheticConfig gen;
   gen.seed = 31;
