@@ -6,15 +6,106 @@
 // shard's corpus share — the fact the load-balancing layer builds on.
 //
 //   ./mini_search [--docs N] [--terms V] [--shards S]
+//
+// With --serve the partitions are additionally hosted on a small simulated
+// cluster behind the concurrent QueryBroker (src/serve/): client threads
+// fire the same queries at it, shard tasks route by power-of-two-choices
+// over live queue depths, results come back through the sharded LRU cache,
+// and the run ends with per-machine utilization and client-side latency
+// percentiles.
+//
+//   ./mini_search --serve [--machines M] [--clients C] [--cache N]
 
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
+#include "cluster/instance.hpp"
 #include "index/partition.hpp"
+#include "serve/broker.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "workload/zipf.hpp"
+
+namespace {
+
+/// Hosts the partitions on `machineCount` machines (round-robin, uniform
+/// capacity) and replays the trace from `clientCount` concurrent client
+/// threads. Prints what the broker observed.
+void serveDemo(const resex::PartitionedIndex& index,
+               const std::vector<std::vector<resex::TermId>>& trace,
+               std::size_t machineCount, std::size_t clientCount,
+               std::size_t cacheEntries, double deadlineMs, std::uint64_t seed) {
+  using namespace resex;
+  const std::size_t partitions = index.shardCount();
+  machineCount = std::min(machineCount, partitions);
+
+  std::vector<Shard> shards(partitions);
+  std::vector<MachineId> mapping(partitions);
+  double totalBytes = 0.0;
+  for (ShardId s = 0; s < partitions; ++s) {
+    shards[s].id = s;
+    const double bytes = static_cast<double>(index.shard(s).indexBytes());
+    shards[s].demand = ResourceVector{index.docFraction(s), bytes};
+    shards[s].moveBytes = bytes;
+    totalBytes += bytes;
+    mapping[s] = static_cast<MachineId>(s % machineCount);
+  }
+  std::vector<Machine> machines(machineCount);
+  for (std::size_t m = 0; m < machineCount; ++m) {
+    machines[m].id = static_cast<MachineId>(m);
+    machines[m].capacity = ResourceVector{1.0, totalBytes};
+  }
+  const Instance instance(2, machines, shards, mapping, 0, ResourceVector{0.5, 1.0});
+
+  serve::ServeConfig config;
+  config.topK = 10;
+  config.deadlineSeconds = deadlineMs * 1e-3;
+  config.cacheCapacity = cacheEntries;
+  config.seed = seed;
+  serve::QueryBroker broker(instance, mapping, index, config);
+
+  std::printf("\n-- serve mode: %zu partitions on %zu machines, %zu clients, "
+              "%.0f ms deadline, cache %zu --\n",
+              partitions, machineCount, clientCount, deadlineMs, cacheEntries);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::uint64_t> complete{0};
+  std::vector<std::thread> clients;
+  clients.reserve(clientCount);
+  for (std::size_t c = 0; c < clientCount; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= trace.size()) break;
+        if (broker.execute(trace[i]).complete)
+          complete.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const serve::ObservedLoad load = broker.takeObservedLoad();
+
+  Table table({"machine", "workers", "tasks", "busy-fraction", "queue-depth"});
+  for (std::size_t m = 0; m < broker.machineCount(); ++m) {
+    table.addRow({Table::num(m), Table::num(broker.workerCount(m)),
+                  Table::num(load.machineTasks[m]),
+                  Table::num(load.machineBusyFraction(m, broker.workerCount(m)), 3),
+                  Table::num(load.machineQueueDepth[m])});
+  }
+  table.print();
+  const serve::CacheStats cache = broker.cacheStats();
+  std::printf("served %llu queries (%llu complete) at %.0f qps | "
+              "latency ms p50 %.2f p95 %.2f p99 %.2f | cache hits %llu / "
+              "lookups %llu\n",
+              static_cast<unsigned long long>(load.queries),
+              static_cast<unsigned long long>(complete.load()),
+              load.throughputQps(), load.p50 * 1e3, load.p95 * 1e3, load.p99 * 1e3,
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.hits + cache.misses));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   resex::Flags flags;
@@ -22,6 +113,11 @@ int main(int argc, char** argv) {
       .define("terms", "5000", "vocabulary size")
       .define("shards", "6", "index partitions")
       .define("queries", "200", "queries to run")
+      .define("serve", "false", "also serve the trace through the QueryBroker")
+      .define("machines", "3", "serve mode: simulated machines")
+      .define("clients", "4", "serve mode: concurrent client threads")
+      .define("cache", "256", "serve mode: result cache entries (0 = off)")
+      .define("deadline-ms", "50", "serve mode: per-query deadline")
       .define("seed", "42", "random seed");
   flags.parse(argc, argv);
   if (flags.helpRequested()) {
@@ -45,7 +141,7 @@ int main(int argc, char** argv) {
               static_cast<double>(whole.indexBytes()) / 1e6, timer.seconds());
 
   // A couple of demo queries with visible results.
-  for (const std::vector<resex::TermId> query :
+  for (const std::vector<resex::TermId>& query :
        {std::vector<resex::TermId>{0, 7}, {25, 3, 110}}) {
     const auto results = resex::topKDisjunctive(whole, query, 5, resex::Bm25Params{});
     std::printf("top-5 for query {");
@@ -63,8 +159,9 @@ int main(int argc, char** argv) {
   std::vector<resex::ExecStats> shardStats(shardCount);
   std::size_t agree = 0;
   const auto queryCount = static_cast<std::size_t>(flags.integer("queries"));
+  std::vector<std::vector<resex::TermId>> trace(queryCount);
   for (std::size_t q = 0; q < queryCount; ++q) {
-    std::vector<resex::TermId> query;
+    std::vector<resex::TermId>& query = trace[q];
     const std::size_t len = 1 + rng.below(3);
     for (std::size_t i = 0; i < len; ++i)
       query.push_back(static_cast<resex::TermId>(termPick.sample(rng) - 1));
@@ -92,5 +189,12 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\n(scanned/fraction ~ 1.0 everywhere: per-shard query work is "
               "proportional to corpus share, the premise of the cost model)\n");
+
+  if (flags.boolean("serve")) {
+    serveDemo(part, trace, static_cast<std::size_t>(flags.integer("machines")),
+              static_cast<std::size_t>(flags.integer("clients")),
+              static_cast<std::size_t>(flags.integer("cache")),
+              flags.real("deadline-ms"), config.seed);
+  }
   return 0;
 }

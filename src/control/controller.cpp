@@ -1,9 +1,29 @@
 #include "control/controller.hpp"
 
+#include <stdexcept>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace resex {
+
+Instance withObservedCpuDemand(const Instance& base,
+                               const std::vector<double>& observedCpu) {
+  if (observedCpu.size() != base.shardCount())
+    throw std::invalid_argument("withObservedCpuDemand: one value per shard required");
+  std::vector<Shard> shards = base.shards();
+  for (ShardId s = 0; s < shards.size(); ++s) {
+    const double demand = observedCpu[s];
+    if (!(demand >= 0.0))
+      throw std::invalid_argument("withObservedCpuDemand: demand must be >= 0");
+    shards[s].demand[0] = demand;
+  }
+  std::vector<std::uint32_t> groups(base.shardCount());
+  for (ShardId s = 0; s < base.shardCount(); ++s) groups[s] = base.replicaGroupOf(s);
+  return Instance(base.dims(), base.machines(), std::move(shards),
+                  base.initialAssignment(), base.exchangeCount(),
+                  base.transientGamma(), std::move(groups));
+}
 
 bool RebalanceTrigger::shouldRebalance(const BalanceMetrics& metrics,
                                        std::size_t epoch) {

@@ -103,6 +103,16 @@ struct EpochReport {
   bool degradedCompletion = false;
 };
 
+/// Rebuilds `base` with each shard's CPU demand (dimension 0) replaced by
+/// a *measured* value — the bridge from the serving layer's ObservedLoad
+/// to the control loop. `observedCpu` has one entry per shard, in the
+/// same work-units/second as machine capacity[0]; every other instance
+/// field (capacities, memory demands, move bytes, placement, replica
+/// groups, gamma) is carried over unchanged. The controller then plans on
+/// what the cluster actually did instead of what the model predicted.
+Instance withObservedCpuDemand(const Instance& base,
+                               const std::vector<double>& observedCpu);
+
 class ClusterController {
  public:
   explicit ClusterController(ControllerConfig config)

@@ -50,6 +50,14 @@ class Gauge {
     // hot enough for that to matter.
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  /// Monotone high-water update: keeps the larger of the current value and
+  /// `v` (peak queue depth, worst backlog, ...). Lock-free CAS loop.
+  void max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   double get() const noexcept { return value_.load(std::memory_order_relaxed); }
   void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 

@@ -103,11 +103,15 @@ SimulationResult simulateReplicated(const Instance& instance,
     const Query query = queries.next(rng);
     double finish = now;
     for (const Group& group : groups) {
-      // Power of two choices: the less-backlogged of two random replicas.
+      // Power of two choices: the less-backlogged of two *distinct* random
+      // replicas (with replacement the draws collide and the policy decays
+      // toward plain random routing).
       const std::size_t count = group.machines.size();
-      MachineId chosen = group.machines[rng.below(count)];
+      MachineId chosen = group.machines[0];
       if (count > 1) {
-        const MachineId other = group.machines[rng.below(count)];
+        const auto [a, b] = rng.twoDistinct(count);
+        chosen = group.machines[a];
+        const MachineId other = group.machines[b];
         if (lastFinish[other] < lastFinish[chosen]) chosen = other;
       }
       const double work = queries.workOnShard(query, group.fraction);

@@ -1,0 +1,396 @@
+#include "serve/broker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace resex::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsBetween(Clock::time_point from, Clock::time_point to) noexcept {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Per-client-thread routing RNG. Routing decisions are the only
+/// randomness in the serving path; a per-thread stream avoids a shared
+/// lock without giving every thread the same choice sequence.
+Rng& clientRng() {
+  static std::atomic<std::uint64_t> nextStream{1};
+  thread_local Rng rng(0x2545f4914f6cdd1dULL ^
+                       (nextStream.fetch_add(1, std::memory_order_relaxed) *
+                        0x9e3779b97f4a7c15ULL));
+  return rng;
+}
+
+obs::Counter& queriesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("serve.queries");
+  return c;
+}
+obs::Counter& cacheHitCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("serve.cache_hits");
+  return c;
+}
+obs::Counter& expiredCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("serve.expired_queries");
+  return c;
+}
+obs::Counter& shedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("serve.shed_tasks");
+  return c;
+}
+obs::Counter& remapCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("serve.remaps");
+  return c;
+}
+obs::Histogram& latencyHistogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("serve.query_latency_us");
+  return h;
+}
+obs::Gauge& peakDepthGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("serve.queue_depth_peak");
+  return g;
+}
+
+}  // namespace
+
+/// Shared state of one in-flight query. Lifetime is managed by shared_ptr:
+/// the client holds one reference, every queued task another, so a client
+/// that gives up at its deadline never invalidates a worker's view.
+struct QueryBroker::PendingQuery {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<TermId> terms;
+  std::uint32_t k = 0;
+  bool hasDeadline = false;
+  Clock::time_point deadline{};
+  /// Guarded by `mutex`.
+  std::vector<std::vector<ScoredDoc>> partials;
+  std::uint32_t answered = 0;
+  std::size_t remaining = 0;
+  /// Set (under `mutex`) when the client stopped waiting; workers read it
+  /// relaxed before executing as a load-shedding hint and re-check under
+  /// the mutex before delivering.
+  std::atomic<bool> expired{false};
+};
+
+struct QueryBroker::MachineStats {
+  std::mutex mutex;
+  std::uint64_t tasks = 0;
+  double busySeconds = 0.0;
+};
+
+QueryBroker::QueryBroker(const Instance& instance, std::vector<MachineId> mapping,
+                         const PartitionedIndex& index, ServeConfig config)
+    : index_(index), config_(config),
+      cache_(config.cacheCapacity, config.cacheShards) {
+  const std::size_t n = instance.shardCount();
+  const std::size_t m = instance.machineCount();
+  if (mapping.size() != n)
+    throw std::invalid_argument("QueryBroker: mapping size != shard count");
+  partitionCount_ = index.shardCount();
+  if (instance.replicaGroupCount() != partitionCount_)
+    throw std::invalid_argument(
+        "QueryBroker: replica groups must match index partitions");
+  groupOf_.resize(n);
+  for (ShardId s = 0; s < n; ++s) {
+    groupOf_[s] = instance.replicaGroupOf(s);
+    if (groupOf_[s] >= partitionCount_)
+      throw std::invalid_argument("QueryBroker: replica group out of range");
+    if (mapping[s] >= m)
+      throw std::invalid_argument("QueryBroker: mapping machine out of range");
+  }
+
+  queues_.reserve(m);
+  machineStats_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    queues_.push_back(std::make_unique<MpmcQueue<Task>>(config_.queueCapacity));
+    machineStats_.push_back(std::make_unique<MachineStats>());
+  }
+  shardTasks_ = std::vector<std::atomic<std::uint64_t>>(n);
+  shardPostings_ = std::vector<std::atomic<std::uint64_t>>(n);
+  shardBusyNanos_ = std::vector<std::atomic<std::uint64_t>>(n);
+
+  mapping_ = std::move(mapping);
+  rebuildHosts(mapping_);
+
+  // Worker pools scaled by CPU capacity: the largest machine gets
+  // `workersPerMachine`, the rest proportionally fewer (min 1).
+  double maxCapacity = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    maxCapacity = std::max(maxCapacity, instance.machine(i).capacity[0]);
+  workersPerMachine_.resize(m);
+  const auto base = static_cast<double>(std::max<std::size_t>(1, config_.workersPerMachine));
+  for (std::size_t i = 0; i < m; ++i) {
+    const double scale =
+        maxCapacity > 0.0 ? instance.machine(i).capacity[0] / maxCapacity : 1.0;
+    workersPerMachine_[i] =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(base * scale)));
+  }
+
+  windowStart_ = Clock::now();
+  accepting_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t w = 0; w < workersPerMachine_[i]; ++w)
+      workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+QueryBroker::~QueryBroker() { shutdown(); }
+
+void QueryBroker::rebuildHosts(const std::vector<MachineId>& mapping) {
+  hosts_.assign(partitionCount_, {});
+  for (ShardId s = 0; s < mapping.size(); ++s)
+    hosts_[groupOf_[s]].emplace_back(mapping[s], s);
+  for (std::uint32_t g = 0; g < partitionCount_; ++g)
+    if (hosts_[g].empty())
+      throw std::invalid_argument("QueryBroker: partition with no replica host");
+}
+
+void QueryBroker::applyMapping(const std::vector<MachineId>& newMapping) {
+  if (newMapping.size() != groupOf_.size())
+    throw std::invalid_argument("QueryBroker: remap size mismatch");
+  for (const MachineId mach : newMapping)
+    if (mach >= queues_.size())
+      throw std::invalid_argument("QueryBroker: remap machine out of range");
+  {
+    std::unique_lock lock(mappingMutex_);
+    mapping_ = newMapping;
+    rebuildHosts(mapping_);
+  }
+  // Conservative coherence: a migration may change what a shard serves, so
+  // drop every cached result rather than track per-shard dependencies.
+  cache_.clear();
+  remapCounter().add();
+}
+
+QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
+  const auto t0 = Clock::now();
+  QueryResult result;
+  result.partitionsTotal = static_cast<std::uint32_t>(partitionCount_);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    result.cancelled = true;
+    return result;
+  }
+  RESEX_TRACE_SPAN("serve.query");
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  queriesCounter().add();
+
+  const ResultKey key{terms, config_.topK};
+  if (cache_.get(key, result.docs)) {
+    result.complete = true;
+    result.cacheHit = true;
+    result.partitionsAnswered = result.partitionsTotal;
+    result.latencySeconds = secondsBetween(t0, Clock::now());
+    cacheHits_.fetch_add(1, std::memory_order_relaxed);
+    cacheHitCounter().add();
+    {
+      std::lock_guard lock(latencyMutex_);
+      latency_.add(result.latencySeconds);
+    }
+    latencyHistogram().observe(result.latencySeconds * 1e6);
+    return result;
+  }
+
+  auto pending = std::make_shared<PendingQuery>();
+  pending->terms = terms;
+  pending->k = config_.topK;
+  pending->hasDeadline = config_.deadlineSeconds > 0.0;
+  if (pending->hasDeadline)
+    pending->deadline =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(config_.deadlineSeconds));
+  pending->partials.resize(partitionCount_);
+  pending->remaining = partitionCount_;
+
+  // Route and enqueue one task per partition. Failed pushes (deadline hit
+  // while backpressured, or shutdown closed the queue) count the partition
+  // as missed immediately.
+  std::size_t missedPushes = 0;
+  {
+    std::shared_lock lock(mappingMutex_);
+    Rng& rng = clientRng();
+    std::vector<std::size_t> depths;
+    for (std::uint32_t g = 0; g < partitionCount_; ++g) {
+      const auto& hosts = hosts_[g];
+      depths.clear();
+      for (const auto& [mach, shard] : hosts) depths.push_back(queues_[mach]->size());
+      const std::size_t pick =
+          chooseReplica(config_.routing, std::span<const std::size_t>(depths), rng);
+      peakDepthGauge().max(static_cast<double>(depths[pick]));
+      const auto [mach, shard] = hosts[pick];
+      Task task{pending, g, shard};
+      const bool ok = pending->hasDeadline
+                          ? queues_[mach]->pushUntil(std::move(task), pending->deadline)
+                          : queues_[mach]->push(std::move(task));
+      if (!ok) ++missedPushes;
+    }
+  }
+  if (missedPushes > 0) {
+    std::lock_guard lock(pending->mutex);
+    pending->remaining -= missedPushes;
+    if (pending->remaining == 0) pending->cv.notify_all();
+  }
+
+  {
+    std::unique_lock lock(pending->mutex);
+    const auto done = [&] { return pending->remaining == 0; };
+    if (pending->hasDeadline) {
+      if (!pending->cv.wait_until(lock, pending->deadline, done))
+        pending->expired.store(true, std::memory_order_relaxed);
+    } else {
+      pending->cv.wait(lock, done);
+    }
+    result.partitionsAnswered = pending->answered;
+    result.complete = pending->answered == partitionCount_;
+    result.docs = mergeTopK(pending->partials, config_.topK);
+  }
+
+  result.latencySeconds = secondsBetween(t0, Clock::now());
+  if (!result.complete) {
+    expiredQueries_.fetch_add(1, std::memory_order_relaxed);
+    expiredCounter().add();
+  } else {
+    cache_.put(key, result.docs);
+  }
+  {
+    std::lock_guard lock(latencyMutex_);
+    latency_.add(result.latencySeconds);
+  }
+  latencyHistogram().observe(result.latencySeconds * 1e6);
+  return result;
+}
+
+void QueryBroker::workerLoop(std::size_t machine) {
+  MpmcQueue<Task>& queue = *queues_[machine];
+  MachineStats& stats = *machineStats_[machine];
+  // Pacing bookkeeping: per-task sleeps overshoot by a scheduler quantum,
+  // which would silently shrink the machine's emulated capacity, so the
+  // worker accumulates owed service time and sleeps it off in batches,
+  // measuring each sleep and carrying the (signed) error forward. The
+  // long-run service rate is then exact even though individual tasks
+  // complete in small bursts.
+  constexpr double kPaceQuantum = 2e-3;
+  double paceDebt = 0.0;
+  while (auto popped = queue.pop()) {
+    Task& task = *popped;
+    PendingQuery& pending = *task.pending;
+    const auto start = Clock::now();
+    // Load shedding: skip work whose query already gave up (expired) or
+    // whose deadline passed while the task sat in the queue.
+    bool run = !pending.expired.load(std::memory_order_relaxed);
+    if (run && pending.hasDeadline && start >= pending.deadline) run = false;
+
+    std::vector<ScoredDoc> partial;
+    ExecStats exec;
+    double busy = 0.0;
+    if (run) {
+      partial = topKDisjunctive(index_.shard(task.partition), pending.terms,
+                                pending.k, config_.bm25, &exec,
+                                &index_.globalStats());
+      const double realExec = secondsBetween(start, Clock::now());
+      const double paced =
+          config_.serviceFixedSeconds +
+          static_cast<double>(exec.postingsScanned) * config_.servicePerPostingSeconds;
+      busy = std::max(realExec, paced);
+      if (paced > realExec) paceDebt += paced - realExec;
+      if (paceDebt > kPaceQuantum) {
+        const auto sleepStart = Clock::now();
+        std::this_thread::sleep_for(std::chrono::duration<double>(paceDebt));
+        paceDebt -= secondsBetween(sleepStart, Clock::now());
+      }
+    } else {
+      shedTasks_.fetch_add(1, std::memory_order_relaxed);
+      shedCounter().add();
+      busy = secondsBetween(start, Clock::now());
+    }
+    if (run) {
+      // Execution is charged to the shard whether or not the result is
+      // still wanted by delivery time — the work happened there either way.
+      shardTasks_[task.physicalShard].fetch_add(1, std::memory_order_relaxed);
+      shardPostings_[task.physicalShard].fetch_add(exec.postingsScanned,
+                                                   std::memory_order_relaxed);
+      shardBusyNanos_[task.physicalShard].fetch_add(
+          static_cast<std::uint64_t>(busy * 1e9), std::memory_order_relaxed);
+    }
+
+    // Stats land before delivery so a client observing its result's
+    // completion also observes the work accounted (snapshot consistency
+    // for sequential callers).
+    {
+      std::lock_guard lock(stats.mutex);
+      ++stats.tasks;
+      stats.busySeconds += busy;
+    }
+    {
+      std::lock_guard lock(pending.mutex);
+      if (run && !pending.expired.load(std::memory_order_relaxed)) {
+        pending.partials[task.partition] = std::move(partial);
+        ++pending.answered;
+      }
+      if (pending.remaining > 0) --pending.remaining;
+      if (pending.remaining == 0) pending.cv.notify_all();
+    }
+  }
+}
+
+ObservedLoad QueryBroker::takeObservedLoad() {
+  const std::size_t m = queues_.size();
+  const std::size_t n = groupOf_.size();
+  ObservedLoad out;
+  out.machineTasks.resize(m);
+  out.machineBusySeconds.resize(m);
+  out.machineQueueDepth.resize(m);
+  out.shardTasks.resize(n);
+  out.shardPostings.resize(n);
+  out.shardBusySeconds.resize(n);
+  {
+    std::lock_guard lock(latencyMutex_);
+    const auto now = Clock::now();
+    out.windowSeconds = secondsBetween(windowStart_, now);
+    windowStart_ = now;
+    out.p50 = latency_.quantile(0.50);
+    out.p95 = latency_.quantile(0.95);
+    out.p99 = latency_.quantile(0.99);
+    out.meanLatency = latency_.meanValue();
+    latency_ = LatencyHistogram{1e-6, 12};
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    MachineStats& stats = *machineStats_[i];
+    std::lock_guard lock(stats.mutex);
+    out.machineTasks[i] = stats.tasks;
+    out.machineBusySeconds[i] = stats.busySeconds;
+    stats.tasks = 0;
+    stats.busySeconds = 0.0;
+    out.machineQueueDepth[i] = queues_[i]->size();
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    out.shardTasks[s] = shardTasks_[s].exchange(0, std::memory_order_relaxed);
+    out.shardPostings[s] = shardPostings_[s].exchange(0, std::memory_order_relaxed);
+    out.shardBusySeconds[s] =
+        static_cast<double>(shardBusyNanos_[s].exchange(0, std::memory_order_relaxed)) *
+        1e-9;
+  }
+  out.queries = queries_.exchange(0, std::memory_order_relaxed);
+  out.cacheHits = cacheHits_.exchange(0, std::memory_order_relaxed);
+  out.expiredQueries = expiredQueries_.exchange(0, std::memory_order_relaxed);
+  out.shedTasks = shedTasks_.exchange(0, std::memory_order_relaxed);
+  return out;
+}
+
+void QueryBroker::shutdown() {
+  accepting_.store(false, std::memory_order_release);
+  std::call_once(shutdownOnce_, [this] {
+    for (const auto& queue : queues_) queue->close();
+    for (std::thread& worker : workers_) worker.join();
+  });
+}
+
+}  // namespace resex::serve

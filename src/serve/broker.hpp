@@ -1,0 +1,228 @@
+// QueryBroker: the concurrent query-serving layer.
+//
+// This is where the paper's claim is actually exercised: a shard mapping
+// is only "better" if real queries, served by real threads against real
+// per-shard indexes, see better tail latency under it. The broker models
+// one machine as one bounded work queue plus a worker pool sized by the
+// machine's CPU capacity; a query scatter-gathers over every logical
+// partition, each partition task routed to one hosting replica by live
+// queue depth (see router.hpp), and completes when all partitions answer —
+// or when its deadline expires, in which case the client gets the merged
+// partial from whatever partitions made it (degraded, never blocked).
+//
+// Life of a query (execute() is called concurrently by client threads):
+//   1. result-cache probe (sharded LRU; complete results only);
+//   2. route: per partition, pick a hosting machine from live queue
+//      depths; enqueue a task (bounded push — backpressure; with a
+//      deadline the push itself gives up at the deadline);
+//   3. workers pop tasks, skip ones whose query already expired (load
+//      shedding), otherwise run BM25 top-k over the partition's inverted
+//      index with global statistics and deliver the partial;
+//   4. the client thread waits on the query's condition variable until
+//      all partitions answered or the deadline passed; merges partials.
+//
+// Shutdown: queues reject new work but drain what was accepted, so every
+// in-flight query's remaining-count reaches zero — clean join, no orphan
+// waiters. applyMapping() swaps the routing table and invalidates the
+// result cache; tasks already queued finish on their old machines (the
+// way a live migration drains).
+//
+// Observability: aggregate counters/histograms go to the obs:: registry
+// (serve.queries, serve.query_latency_us, ...); per-machine and per-shard
+// measurements accumulate in the broker and are harvested as ObservedLoad
+// windows — the measured-load snapshot the controller can rebalance on
+// instead of predicted demand.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/instance.hpp"
+#include "index/partition.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/mpmc_queue.hpp"
+#include "serve/router.hpp"
+#include "util/histogram.hpp"
+
+namespace resex::serve {
+
+struct ServeConfig {
+  /// Results per query.
+  std::uint32_t topK = 10;
+  /// Per-query deadline; <= 0 serves without one.
+  double deadlineSeconds = 0.0;
+  /// Per-machine work queue capacity (backpressure bound).
+  std::size_t queueCapacity = 1024;
+  /// Worker threads on the *largest* machine; other machines scale by
+  /// capacity[0] relative to the largest (min 1). Homogeneous clusters get
+  /// exactly this many workers per machine.
+  std::size_t workersPerMachine = 1;
+  RoutingPolicy routing = RoutingPolicy::kPowerOfTwo;
+  /// Emulated service pacing: when either is > 0, a worker holds its
+  /// machine busy until `serviceFixedSeconds +
+  /// postingsScanned * servicePerPostingSeconds` have elapsed since it
+  /// started the task (sleeping off whatever real execution left over).
+  /// This gives every machine a deterministic service capacity independent
+  /// of how many physical cores back the worker pool — the way the serving
+  /// benchmark realizes the instance's per-machine CPU capacity on a host
+  /// with fewer cores than machines. Shed tasks are not paced (shedding is
+  /// supposed to be cheap). Zero disables pacing.
+  double serviceFixedSeconds = 0.0;
+  double servicePerPostingSeconds = 0.0;
+  /// Total result-cache entries (0 disables) and its lock shards.
+  std::size_t cacheCapacity = 0;
+  std::size_t cacheShards = 8;
+  Bm25Params bm25;
+  std::uint64_t seed = 1;
+};
+
+/// What the client gets back.
+struct QueryResult {
+  std::vector<ScoredDoc> docs;
+  /// Every partition answered before the deadline (cache hits are complete
+  /// by construction).
+  bool complete = false;
+  bool cacheHit = false;
+  /// The broker was shutting down; no work was attempted.
+  bool cancelled = false;
+  std::uint32_t partitionsAnswered = 0;
+  std::uint32_t partitionsTotal = 0;
+  double latencySeconds = 0.0;
+};
+
+/// Measured load over one observation window (since the previous
+/// snapshot). This is what replaces *predicted* demand in the control
+/// loop: per-shard work is counted where it actually ran.
+struct ObservedLoad {
+  double windowSeconds = 0.0;
+  std::uint64_t queries = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t expiredQueries = 0;
+  std::uint64_t shedTasks = 0;
+  /// Per machine: tasks executed, seconds spent executing, and the queue
+  /// depth at snapshot time.
+  std::vector<std::uint64_t> machineTasks;
+  std::vector<double> machineBusySeconds;
+  std::vector<std::size_t> machineQueueDepth;
+  /// Per physical shard: tasks *executed* there (shed tasks excluded),
+  /// postings actually scanned, and wall seconds workers spent executing
+  /// them — the measured work behind machineBusySeconds, attributed to
+  /// where it ran. shardBusySeconds / shardTasks is the mean observed
+  /// service time per task, the most direct per-shard CPU demand a
+  /// controller can plan on (robust to load shedding, which suppresses
+  /// task counts and busy time together).
+  std::vector<std::uint64_t> shardTasks;
+  std::vector<std::uint64_t> shardPostings;
+  std::vector<double> shardBusySeconds;
+  /// Client-visible latency over the window.
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, meanLatency = 0.0;
+
+  double throughputQps() const noexcept {
+    return windowSeconds > 0.0 ? static_cast<double>(queries) / windowSeconds : 0.0;
+  }
+  /// Fraction of the window machine `m`'s workers spent executing,
+  /// normalized by its worker count.
+  double machineBusyFraction(std::size_t m, std::size_t workers) const noexcept {
+    const double denom = windowSeconds * static_cast<double>(workers ? workers : 1);
+    return denom > 0.0 ? machineBusySeconds[m] / denom : 0.0;
+  }
+};
+
+class QueryBroker {
+ public:
+  /// Serves `index` (one entry per logical partition) on the cluster
+  /// described by `instance`: physical shard s of replica group g is a
+  /// copy of partition g hosted on mapping[s]. Requires
+  /// instance.replicaGroupCount() == index.shardCount() and a complete
+  /// mapping. Spawns the worker pools; ready on return.
+  QueryBroker(const Instance& instance, std::vector<MachineId> mapping,
+              const PartitionedIndex& index, ServeConfig config);
+  ~QueryBroker();
+
+  QueryBroker(const QueryBroker&) = delete;
+  QueryBroker& operator=(const QueryBroker&) = delete;
+
+  /// Serves one query; thread-safe, blocking (bounded by the deadline when
+  /// one is configured). After shutdown() returns cancelled results.
+  QueryResult execute(const std::vector<TermId>& terms);
+
+  /// Atomically swaps the shard -> machine mapping (a rebalance landing)
+  /// and invalidates the result cache. Tasks already queued complete on
+  /// their previous machines.
+  void applyMapping(const std::vector<MachineId>& newMapping);
+
+  /// Harvests the measurement window that started at construction or at
+  /// the previous snapshot, and begins a new one.
+  ObservedLoad takeObservedLoad();
+
+  /// Stops accepting queries, drains accepted work, joins all workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  const std::vector<MachineId>& mapping() const noexcept { return mapping_; }
+  std::size_t machineCount() const noexcept { return queues_.size(); }
+  std::size_t workerCount(std::size_t machine) const {
+    return workersPerMachine_.at(machine);
+  }
+  std::size_t queueDepth(std::size_t machine) const {
+    return queues_.at(machine)->size();
+  }
+  CacheStats cacheStats() const { return cache_.stats(); }
+
+ private:
+  struct PendingQuery;
+  struct Task {
+    std::shared_ptr<PendingQuery> pending;
+    std::uint32_t partition = 0;
+    ShardId physicalShard = 0;
+  };
+  struct MachineStats;
+
+  void workerLoop(std::size_t machine);
+  void rebuildHosts(const std::vector<MachineId>& mapping);
+
+  const PartitionedIndex& index_;
+  ServeConfig config_;
+  std::size_t partitionCount_ = 0;
+  /// Replica group (== logical partition) of each physical shard, copied
+  /// from the instance so remaps can rebuild the routing table.
+  std::vector<std::uint32_t> groupOf_;
+
+  // Routing state, swapped wholesale by applyMapping under mappingMutex_.
+  mutable std::shared_mutex mappingMutex_;
+  std::vector<MachineId> mapping_;
+  /// hosts_[g] = (machine, physical shard) per replica of partition g.
+  std::vector<std::vector<std::pair<MachineId, ShardId>>> hosts_;
+
+  std::vector<std::unique_ptr<MpmcQueue<Task>>> queues_;
+  std::vector<std::size_t> workersPerMachine_;
+  std::vector<std::thread> workers_;
+
+  ShardedLruCache cache_;
+
+  // Window accumulators (see takeObservedLoad).
+  std::vector<std::unique_ptr<MachineStats>> machineStats_;
+  std::vector<std::atomic<std::uint64_t>> shardTasks_;
+  std::vector<std::atomic<std::uint64_t>> shardPostings_;
+  /// Nanoseconds, so the hot path stays a relaxed integer add.
+  std::vector<std::atomic<std::uint64_t>> shardBusyNanos_;
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> cacheHits_{0};
+  std::atomic<std::uint64_t> expiredQueries_{0};
+  std::atomic<std::uint64_t> shedTasks_{0};
+  std::mutex latencyMutex_;
+  LatencyHistogram latency_{1e-6, 12};
+  std::chrono::steady_clock::time_point windowStart_;
+
+  std::atomic<bool> accepting_{false};
+  std::once_flag shutdownOnce_;
+};
+
+}  // namespace resex::serve

@@ -1,0 +1,96 @@
+#include "serve/lru_cache.hpp"
+
+#include <algorithm>
+
+namespace resex::serve {
+
+std::size_t ResultKeyHash::operator()(const ResultKey& key) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(key.k);
+  for (const TermId t : key.terms) mix(t);
+  return static_cast<std::size_t>(h);
+}
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards) {
+  const std::size_t shardCount = std::max<std::size_t>(1, shards);
+  if (capacity > 0) {
+    perShardCapacity_ = std::max<std::size_t>(1, capacity / shardCount);
+    shards_.reserve(shardCount);
+    for (std::size_t i = 0; i < shardCount; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::shardFor(const ResultKey& key) {
+  return *shards_[ResultKeyHash{}(key) % shards_.size()];
+}
+
+bool ShardedLruCache::get(const ResultKey& key, std::vector<ScoredDoc>& out) {
+  if (!enabled()) return false;
+  Shard& shard = shardFor(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  out = it->second->docs;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedLruCache::put(const ResultKey& key, std::vector<ScoredDoc> docs) {
+  if (!enabled()) return;
+  Shard& shard = shardFor(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->docs = std::move(docs);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= perShardCapacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, std::move(docs)});
+  shard.map.emplace(shard.lru.front().key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedLruCache::clear() {
+  if (!enabled()) return;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t ShardedLruCache::entryCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+CacheStats ShardedLruCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace resex::serve

@@ -1,0 +1,93 @@
+// Sharded LRU cache for merged query results.
+//
+// Keyed by (terms, k). Sharding by key hash keeps lock hold times short
+// under concurrent clients; each shard is an intrusive LRU (doubly linked
+// list + hash map). Only *complete* results are cached — a partial,
+// deadline-degraded answer must not be replayed to later clients.
+//
+// Invalidation is whole-cache: a remap means shards moved (and, in a live
+// engine, index content may have changed under migration), so applyMapping
+// clears everything rather than tracking per-shard dependencies.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "index/query_exec.hpp"
+
+namespace resex::serve {
+
+/// Identity of a cacheable query: the exact term sequence plus result size.
+struct ResultKey {
+  std::vector<TermId> terms;
+  std::uint32_t k = 0;
+
+  bool operator==(const ResultKey& other) const noexcept {
+    return k == other.k && terms == other.terms;
+  }
+};
+
+/// FNV-1a over the term sequence and k.
+struct ResultKeyHash {
+  std::size_t operator()(const ResultKey& key) const noexcept;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // clear() calls
+};
+
+class ShardedLruCache {
+ public:
+  /// `capacity` entries total, spread over `shards` independent LRUs.
+  /// capacity == 0 disables the cache (get always misses, put drops).
+  ShardedLruCache(std::size_t capacity, std::size_t shards = 8);
+
+  bool enabled() const noexcept { return perShardCapacity_ > 0; }
+
+  /// Copies the cached result into `out` on hit and refreshes recency.
+  bool get(const ResultKey& key, std::vector<ScoredDoc>& out);
+
+  /// Inserts or refreshes; evicts the least-recently-used entry of the
+  /// key's shard when that shard is full.
+  void put(const ResultKey& key, std::vector<ScoredDoc> docs);
+
+  /// Drops every entry (remap invalidation).
+  void clear();
+
+  std::size_t entryCount() const;
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    ResultKey key;
+    std::vector<ScoredDoc> docs;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<ResultKey, std::list<Entry>::iterator, ResultKeyHash> map;
+  };
+
+  Shard& shardFor(const ResultKey& key);
+
+  std::size_t perShardCapacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Stats are whole-cache, relaxed-atomic (exact once writers quiesce).
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace resex::serve

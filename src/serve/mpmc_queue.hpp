@@ -1,0 +1,108 @@
+// Bounded multi-producer / multi-consumer queue — the per-machine work
+// queue of the serving layer.
+//
+// Deliberately a mutex + two condition variables rather than a lock-free
+// ring: queue operations bracket a *real index scan* (microseconds to
+// milliseconds), so lock cost is noise, and the blocking semantics we need
+// — bounded capacity as backpressure, deadline-bounded push, drain-on-close
+// shutdown — are easy to get provably right this way.
+//
+// Close semantics: after close() producers fail fast, but consumers keep
+// draining whatever was queued and only then see std::nullopt. That drain
+// guarantee is what lets the broker shut down with queries in flight:
+// every accepted task is eventually popped, so every pending query's
+// remaining-shard count reaches zero.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace resex::serve {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while full; returns false if the queue is (or becomes) closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    notFull_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Like push but gives up at `deadline`; returns false on timeout or close.
+  bool pushUntil(T item, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    if (!notFull_.wait_until(lock, deadline, [this] {
+          return items_.size() < capacity_ || closed_;
+        }))
+      return false;
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; after close() drains remaining items, then
+  /// returns std::nullopt.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    notEmpty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    notFull_.notify_one();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes every waiter; queued items remain
+  /// poppable (drain-on-close).
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  /// Instantaneous depth — the routing signal. Exact under the lock, but
+  /// of course stale the moment it returns; that staleness is precisely
+  /// what power-of-two-choices is robust to.
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace resex::serve

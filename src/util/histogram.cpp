@@ -7,14 +7,25 @@
 
 namespace resex {
 
-LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), hi_(hi), bucketWidth_((hi - lo) / static_cast<double>(buckets)),
-      counts_(buckets, 0) {
+namespace {
+
+/// Validates the LinearHistogram bounds *before* any member is computed
+/// from them (a zero bucket count or inverted range must never reach the
+/// width division or size counts_).
+double checkedBucketWidth(double lo, double hi, std::size_t buckets) {
   if (buckets == 0) throw std::invalid_argument("LinearHistogram: zero buckets");
   if (!(hi > lo)) throw std::invalid_argument("LinearHistogram: hi must exceed lo");
+  return (hi - lo) / static_cast<double>(buckets);
 }
 
+}  // namespace
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucketWidth_(checkedBucketWidth(lo, hi, buckets)),
+      counts_(buckets, 0) {}
+
 void LinearHistogram::add(double x) noexcept {
+  if (std::isnan(x)) return;  // casting NaN to an index is UB; drop it
   auto idx = static_cast<std::ptrdiff_t>((x - lo_) / bucketWidth_);
   idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
@@ -80,11 +91,14 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
 double LatencyHistogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return maxSeen_;
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     seen += counts_[b];
-    if (seen > target) return bucketValue(b);
+    // The geometric midpoint of the last occupied bucket can exceed the
+    // largest sample actually observed; never report beyond maxSeen_.
+    if (seen > target) return std::min(bucketValue(b), maxSeen_);
   }
   return maxSeen_;
 }

@@ -12,8 +12,11 @@ namespace resex {
 /// first/last bucket. Used for quick text visualisation of distributions.
 class LinearHistogram {
  public:
+  /// Throws std::invalid_argument on zero buckets or hi <= lo (validated
+  /// before any derived member is computed).
   LinearHistogram(double lo, double hi, std::size_t buckets);
 
+  /// NaN samples are ignored (not counted).
   void add(double x) noexcept;
   std::size_t totalCount() const noexcept { return total_; }
   std::size_t bucketCount() const noexcept { return counts_.size(); }
@@ -41,7 +44,9 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& other);
   std::size_t totalCount() const noexcept { return total_; }
   /// Quantile q in [0,1]; returns the representative value of the bucket
-  /// containing the q-th sample. Empty histogram returns 0.
+  /// containing the q-th sample, clamped to maxSeen() so a reported
+  /// quantile never exceeds the largest observed sample; q == 1 returns
+  /// maxSeen() exactly. Empty histogram returns 0.
   double quantile(double q) const noexcept;
   double maxSeen() const noexcept { return maxSeen_; }
   double sum() const noexcept { return sum_; }

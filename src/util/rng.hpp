@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace resex {
@@ -64,6 +65,17 @@ class Rng {
 
   /// Uniform integer in [0, bound). bound == 0 returns 0.
   std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Two *distinct* uniform indices in [0, bound); requires bound >= 2.
+  /// This is the power-of-two-choices draw: sampling the second index with
+  /// replacement silently degrades to a single random choice whenever the
+  /// draws collide.
+  std::pair<std::uint64_t, std::uint64_t> twoDistinct(std::uint64_t bound) noexcept {
+    const std::uint64_t first = below(bound);
+    std::uint64_t second = below(bound - 1);
+    if (second >= first) ++second;
+    return {first, second};
+  }
 
   /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
   std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {

@@ -10,7 +10,11 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double exponent) : n_(n), s_(exponent)
   if (exponent < 0.0) throw std::invalid_argument("ZipfSampler: exponent must be >= 0");
   hX1_ = h(1.5) - 1.0;
   hN_ = h(static_cast<double>(n_) + 0.5);
+  // Eager normalizer so probability() is a pure read — a lazy computation
+  // here raced when const samplers were shared across serving threads.
   norm_ = 0.0;
+  for (std::uint64_t k = 1; k <= n_; ++k)
+    norm_ += std::pow(static_cast<double>(k), -s_);
 }
 
 // h(x) = integral of x^-s: (x^(1-s) - 1)/(1-s), with the s == 1 limit ln(x).
@@ -41,12 +45,6 @@ std::uint64_t ZipfSampler::sample(Rng& rng) const {
 
 double ZipfSampler::probability(std::uint64_t rank) const {
   if (rank < 1 || rank > n_) return 0.0;
-  if (!normComputed_) {
-    double total = 0.0;
-    for (std::uint64_t k = 1; k <= n_; ++k) total += std::pow(static_cast<double>(k), -s_);
-    const_cast<ZipfSampler*>(this)->norm_ = total;
-    normComputed_ = true;
-  }
   return std::pow(static_cast<double>(rank), -s_) / norm_;
 }
 

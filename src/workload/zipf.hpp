@@ -2,6 +2,8 @@
 //
 // Uses Hörmann's rejection-inversion method: O(1) draws with no O(n) table,
 // so it scales to vocabulary-sized domains (search-term popularity).
+// Construction makes one O(n) pass to fix the probability() normalizer;
+// after that every method is const and safe to call concurrently.
 #pragma once
 
 #include <cstdint>
@@ -32,8 +34,7 @@ class ZipfSampler {
   double s_;
   double hX1_;
   double hN_;
-  double norm_;  // sum_{k=1..n} k^-s (computed lazily only for probability())
-  mutable bool normComputed_ = false;
+  double norm_;  // sum_{k=1..n} k^-s, computed once in the constructor
 };
 
 }  // namespace resex

@@ -266,5 +266,49 @@ TEST(Controller, DrivesTraceOperationEndToEnd) {
   EXPECT_EQ(controller.rebalancesExecuted(), trace.epochCount());
 }
 
+TEST(Controller, ObservedCpuDemandReplacesDimensionZeroOnly) {
+  const Instance base = skewedInstance(5);
+  std::vector<double> observed(base.shardCount());
+  for (ShardId s = 0; s < base.shardCount(); ++s)
+    observed[s] = 0.25 + 0.01 * static_cast<double>(s);
+  const Instance updated = withObservedCpuDemand(base, observed);
+  ASSERT_EQ(updated.shardCount(), base.shardCount());
+  EXPECT_EQ(updated.machineCount(), base.machineCount());
+  EXPECT_EQ(updated.exchangeCount(), base.exchangeCount());
+  EXPECT_EQ(updated.initialAssignment(), base.initialAssignment());
+  for (ShardId s = 0; s < base.shardCount(); ++s) {
+    EXPECT_DOUBLE_EQ(updated.shard(s).demand[0], observed[s]);
+    EXPECT_DOUBLE_EQ(updated.shard(s).demand[1], base.shard(s).demand[1]);
+    EXPECT_EQ(updated.replicaGroupOf(s), base.replicaGroupOf(s));
+  }
+}
+
+TEST(Controller, ObservedCpuDemandRejectsBadInput) {
+  const Instance base = skewedInstance(6);
+  EXPECT_THROW(withObservedCpuDemand(base, std::vector<double>(3, 0.1)),
+               std::invalid_argument);
+  std::vector<double> negative(base.shardCount(), 0.1);
+  negative[0] = -1.0;
+  EXPECT_THROW(withObservedCpuDemand(base, negative), std::invalid_argument);
+}
+
+TEST(Controller, StepsOnObservedDemandAndImprovesBalance) {
+  // The serving loop's contract: measure per-shard service time, rewrite
+  // CPU demand with it, and a controller step still plans and lands a
+  // better-balanced mapping for the instance it was measured on.
+  const Instance base = skewedInstance(7);
+  std::vector<double> observed(base.shardCount());
+  for (ShardId s = 0; s < base.shardCount(); ++s)
+    observed[s] = base.shard(s).demand[0] * 1.07;  // measured, slightly off model
+  const Instance measured = withObservedCpuDemand(base, observed);
+  ControllerConfig config = fastController();
+  config.trigger.always = true;
+  ClusterController controller(config);
+  const EpochReport report = controller.step(measured);
+  EXPECT_TRUE(report.triggered);
+  EXPECT_TRUE(report.executed);
+  EXPECT_LE(report.after.bottleneckUtil, report.before.bottleneckUtil + 1e-9);
+}
+
 }  // namespace
 }  // namespace resex

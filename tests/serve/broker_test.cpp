@@ -1,0 +1,220 @@
+#include "serve/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "index/partition.hpp"
+
+namespace resex::serve {
+namespace {
+
+PartitionedIndex smallIndex(std::size_t partitions, std::uint64_t seed = 17) {
+  SyntheticDocConfig config;
+  config.seed = seed;
+  config.docCount = 4000;
+  config.termCount = 600;
+  return PartitionedIndex(config.termCount, generateDocuments(config), partitions);
+}
+
+/// `partitions * replication` physical shards on `machines` machines:
+/// replica r of partition g is shard g * replication + r, placed on
+/// machine (g + r) % machines (distinct per group when replication <=
+/// machines).
+Instance hostingInstance(std::size_t partitions, std::size_t machines,
+                         std::size_t replication = 1) {
+  std::vector<Machine> ms(machines);
+  for (std::size_t m = 0; m < machines; ++m)
+    ms[m] = {static_cast<MachineId>(m), ResourceVector{1.0, 100.0}, false, 0};
+  const std::size_t n = partitions * replication;
+  std::vector<Shard> shards(n);
+  std::vector<MachineId> initial(n);
+  std::vector<std::uint32_t> groups(n);
+  for (std::size_t g = 0; g < partitions; ++g) {
+    for (std::size_t r = 0; r < replication; ++r) {
+      const std::size_t s = g * replication + r;
+      shards[s] = {static_cast<ShardId>(s), ResourceVector{0.01, 1.0}, 1.0};
+      initial[s] = static_cast<MachineId>((g + r) % machines);
+      groups[s] = static_cast<std::uint32_t>(g);
+    }
+  }
+  return Instance(2, std::move(ms), std::move(shards), std::move(initial),
+                  0, ResourceVector{1.0, 1.0}, std::move(groups));
+}
+
+std::vector<TermId> query(std::initializer_list<TermId> terms) { return terms; }
+
+TEST(QueryBroker, CompleteResultsMatchPartitionedSearch) {
+  const PartitionedIndex index = smallIndex(4);
+  const Instance instance = hostingInstance(4, 2);
+  ServeConfig config;
+  config.topK = 10;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  for (const auto& q :
+       {query({0, 7}), query({25, 3, 110}), query({599}), query({42, 42})}) {
+    const QueryResult result = broker.execute(q);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.partitionsAnswered, 4u);
+    const auto reference = index.searchTopK(q, config.topK, config.bm25);
+    ASSERT_EQ(result.docs.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(result.docs[i].doc, reference[i].doc);
+      EXPECT_NEAR(result.docs[i].score, reference[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(QueryBroker, DeadlineExpiryDegradesToPartialResult) {
+  const PartitionedIndex index = smallIndex(4);
+  const Instance instance = hostingInstance(4, 1);  // all partitions serialized
+  ServeConfig config;
+  config.deadlineSeconds = 0.05;
+  config.serviceFixedSeconds = 0.03;  // 4 tasks want 120 ms > the deadline
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  const QueryResult result = broker.execute(query({1, 2}));
+  EXPECT_FALSE(result.complete);
+  EXPECT_LT(result.partitionsAnswered, 4u);
+  EXPECT_GE(result.latencySeconds, 0.04);
+  // The client came back at its deadline; the shed tail may still be
+  // draining, so accumulate snapshots until all four tasks account.
+  std::uint64_t executed = 0, shed = 0, expired = 0;
+  for (int spins = 0; executed + shed < 4 && spins < 200; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const ObservedLoad load = broker.takeObservedLoad();
+    shed += load.shedTasks;
+    expired += load.expiredQueries;
+    for (const auto t : load.shardTasks) executed += t;
+  }
+  EXPECT_EQ(expired, 1u);
+  // The tail tasks were shed, not executed: work attribution stays honest.
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(executed + shed, 4u);
+}
+
+TEST(QueryBroker, CacheHitsUntilRemapInvalidates) {
+  const PartitionedIndex index = smallIndex(2);
+  const Instance instance = hostingInstance(2, 2);
+  ServeConfig config;
+  config.cacheCapacity = 64;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  const auto q = query({5, 9});
+  EXPECT_FALSE(broker.execute(q).cacheHit);
+  const QueryResult hit = broker.execute(q);
+  EXPECT_TRUE(hit.cacheHit);
+  EXPECT_TRUE(hit.complete);
+
+  std::vector<MachineId> swapped = instance.initialAssignment();
+  for (MachineId& m : swapped) m = static_cast<MachineId>(1 - m);
+  broker.applyMapping(swapped);
+  EXPECT_EQ(broker.mapping(), swapped);
+  // Remap dropped the cache; the same query misses, then caches again.
+  EXPECT_FALSE(broker.execute(q).cacheHit);
+  EXPECT_TRUE(broker.execute(q).cacheHit);
+  EXPECT_EQ(broker.cacheStats().invalidations, 1u);
+}
+
+TEST(QueryBroker, IncompleteResultsAreNeverCached) {
+  const PartitionedIndex index = smallIndex(4);
+  const Instance instance = hostingInstance(4, 1);
+  ServeConfig config;
+  config.cacheCapacity = 64;
+  config.deadlineSeconds = 0.05;
+  config.serviceFixedSeconds = 0.03;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  EXPECT_FALSE(broker.execute(query({3})).complete);
+  // A later, unhurried identical query must recompute, not replay the
+  // degraded answer.
+  EXPECT_FALSE(broker.execute(query({3})).cacheHit);
+}
+
+TEST(QueryBroker, DepthRoutingUsesBothReplicas) {
+  // One partition, two replicas on two machines. Routing reads live queue
+  // depths, so concurrent paced traffic must spill onto the second replica
+  // instead of serializing behind the tie-break favourite.
+  const PartitionedIndex index = smallIndex(1);
+  const Instance instance = hostingInstance(1, 2, /*replication=*/2);
+  ServeConfig config;
+  config.serviceFixedSeconds = 0.002;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c)
+    clients.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) broker.execute(query({static_cast<TermId>(i)}));
+    });
+  for (std::thread& t : clients) t.join();
+  const ObservedLoad load = broker.takeObservedLoad();
+  const std::uint64_t total = load.shardTasks[0] + load.shardTasks[1];
+  EXPECT_EQ(total, 200u);
+  EXPECT_GT(load.shardTasks[0], total / 5);
+  EXPECT_GT(load.shardTasks[1], total / 5);
+}
+
+TEST(QueryBroker, ObservedLoadWindowsResetBetweenSnapshots) {
+  const PartitionedIndex index = smallIndex(2);
+  const Instance instance = hostingInstance(2, 1);
+  QueryBroker broker(instance, instance.initialAssignment(), index, {});
+  for (int i = 0; i < 10; ++i) broker.execute(query({static_cast<TermId>(i)}));
+  const ObservedLoad first = broker.takeObservedLoad();
+  EXPECT_EQ(first.queries, 10u);
+  EXPECT_EQ(first.machineTasks[0], 20u);
+  EXPECT_EQ(first.shardTasks[0] + first.shardTasks[1], 20u);
+  EXPECT_GT(first.windowSeconds, 0.0);
+  EXPECT_GT(first.p50, 0.0);
+  const ObservedLoad second = broker.takeObservedLoad();
+  EXPECT_EQ(second.queries, 0u);
+  EXPECT_EQ(second.machineTasks[0], 0u);
+  EXPECT_EQ(second.shardTasks[0], 0u);
+}
+
+TEST(QueryBroker, PacingChargesConfiguredServiceTime) {
+  const PartitionedIndex index = smallIndex(1);
+  const Instance instance = hostingInstance(1, 1);
+  ServeConfig config;
+  config.serviceFixedSeconds = 0.005;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 20; ++i) broker.execute(query({static_cast<TermId>(i)}));
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  const ObservedLoad load = broker.takeObservedLoad();
+  // 20 paced tasks at 5 ms each: the machine was held busy ~100 ms, and the
+  // serialized wall clock cannot beat the emulated service rate.
+  EXPECT_GE(load.machineBusySeconds[0], 0.095);
+  EXPECT_LT(load.machineBusySeconds[0], 0.5);
+  EXPECT_GE(wall.count(), 0.09);
+  EXPECT_NEAR(load.shardBusySeconds[0], load.machineBusySeconds[0], 1e-6);
+}
+
+TEST(QueryBroker, CleanShutdownWithQueriesInFlight) {
+  const PartitionedIndex index = smallIndex(4);
+  const Instance instance = hostingInstance(4, 2);
+  ServeConfig config;
+  config.serviceFixedSeconds = 0.004;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  std::atomic<int> cancelled{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c)
+    clients.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        const QueryResult result = broker.execute(query({static_cast<TermId>(i)}));
+        if (result.cancelled) {
+          cancelled.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Accepted queries always resolve: every routed task is either
+          // drained by a worker or refused at push, so no client hangs.
+          EXPECT_EQ(result.partitionsTotal, 4u);
+        }
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  broker.shutdown();
+  for (std::thread& t : clients) t.join();
+  EXPECT_GT(cancelled.load(), 0);
+  EXPECT_TRUE(broker.execute(query({1})).cancelled);
+}
+
+}  // namespace
+}  // namespace resex::serve

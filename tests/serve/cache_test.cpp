@@ -1,0 +1,103 @@
+#include "serve/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace resex::serve {
+namespace {
+
+ResultKey key(std::vector<TermId> terms, std::uint32_t k = 10) {
+  return ResultKey{std::move(terms), k};
+}
+
+std::vector<ScoredDoc> docs(DocId id) { return {{id, 1.0}}; }
+
+TEST(ShardedLruCache, MissThenHitRoundTrip) {
+  ShardedLruCache cache(16, 2);
+  std::vector<ScoredDoc> out;
+  EXPECT_FALSE(cache.get(key({1, 2}), out));
+  cache.put(key({1, 2}), docs(7));
+  ASSERT_TRUE(cache.get(key({1, 2}), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].doc, 7u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ShardedLruCache, KeyIncludesKNotJustTerms) {
+  ShardedLruCache cache(16, 2);
+  cache.put(key({1, 2}, 10), docs(1));
+  std::vector<ScoredDoc> out;
+  EXPECT_FALSE(cache.get(key({1, 2}, 5), out));
+  EXPECT_TRUE(cache.get(key({1, 2}, 10), out));
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and deterministic.
+  ShardedLruCache cache(2, 1);
+  cache.put(key({1}), docs(1));
+  cache.put(key({2}), docs(2));
+  std::vector<ScoredDoc> out;
+  EXPECT_TRUE(cache.get(key({1}), out));  // refresh {1}; {2} is now LRU
+  cache.put(key({3}), docs(3));           // evicts {2}
+  EXPECT_TRUE(cache.get(key({1}), out));
+  EXPECT_FALSE(cache.get(key({2}), out));
+  EXPECT_TRUE(cache.get(key({3}), out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLruCache, ClearDropsEverythingAndCountsInvalidation) {
+  ShardedLruCache cache(16, 4);
+  cache.put(key({1}), docs(1));
+  cache.put(key({2}), docs(2));
+  EXPECT_EQ(cache.entryCount(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.entryCount(), 0u);
+  std::vector<ScoredDoc> out;
+  EXPECT_FALSE(cache.get(key({1}), out));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ShardedLruCache, ZeroCapacityDisablesCaching) {
+  ShardedLruCache cache(0, 4);
+  EXPECT_FALSE(cache.enabled());
+  cache.put(key({1}), docs(1));
+  std::vector<ScoredDoc> out;
+  EXPECT_FALSE(cache.get(key({1}), out));
+  EXPECT_EQ(cache.entryCount(), 0u);
+}
+
+TEST(ShardedLruCache, PutRefreshesExistingEntry) {
+  ShardedLruCache cache(4, 1);
+  cache.put(key({1}), docs(1));
+  cache.put(key({1}), docs(9));
+  std::vector<ScoredDoc> out;
+  ASSERT_TRUE(cache.get(key({1}), out));
+  EXPECT_EQ(out[0].doc, 9u);
+  EXPECT_EQ(cache.entryCount(), 1u);
+}
+
+TEST(ShardedLruCache, ConcurrentMixedTrafficStaysConsistent) {
+  ShardedLruCache cache(64, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&, t] {
+      std::vector<ScoredDoc> out;
+      for (int i = 0; i < 2000; ++i) {
+        const auto k = key({static_cast<TermId>(i % 100), static_cast<TermId>(t)});
+        if (!cache.get(k, out)) cache.put(k, docs(static_cast<DocId>(i % 100)));
+        if (i % 500 == 0) cache.clear();
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 2000u);
+  EXPECT_LE(cache.entryCount(), 64u);
+}
+
+}  // namespace
+}  // namespace resex::serve

@@ -1,0 +1,105 @@
+#include "serve/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace resex::serve {
+namespace {
+
+TEST(MpmcQueue, FifoOrderSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpmcQueue, ZeroCapacityIsBumpedToOne) {
+  MpmcQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.push(7));
+  EXPECT_EQ(q.pop(), 7);
+}
+
+TEST(MpmcQueue, PushBlocksWhenFullUntilPop) {
+  MpmcQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // backpressured on the full queue
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(MpmcQueue, PushUntilTimesOutWhenFull) {
+  MpmcQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  EXPECT_FALSE(q.pushUntil(2, deadline));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(MpmcQueue, CloseRejectsProducersButDrainsConsumers) {
+  MpmcQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));
+  EXPECT_FALSE(q.pushUntil(3, std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(5)));
+  // Drain-on-close: accepted items still come out, then nullopt.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumer) {
+  MpmcQueue<int> q(4);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  MpmcQueue<int> q(16);
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      while (auto item = q.pop()) {
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        received.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+    });
+  for (std::size_t t = kConsumers; t < threads.size(); ++t) threads[t].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[c].join();
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace resex::serve

@@ -1,0 +1,68 @@
+#include "serve/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace resex::serve {
+namespace {
+
+TEST(Router, SingleCandidateAlwaysChosen) {
+  Rng rng(1);
+  const std::vector<std::size_t> depths{42};
+  for (const RoutingPolicy policy :
+       {RoutingPolicy::kRandom, RoutingPolicy::kPowerOfTwo,
+        RoutingPolicy::kLeastLoaded}) {
+    for (int i = 0; i < 20; ++i)
+      EXPECT_EQ(chooseReplica(policy, depths, rng), 0u);
+  }
+}
+
+TEST(Router, LeastLoadedPicksMinimumTieBreakingLow) {
+  Rng rng(2);
+  const std::vector<std::size_t> depths{5, 3, 3, 9};
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(chooseReplica(RoutingPolicy::kLeastLoaded, depths, rng), 1u);
+}
+
+TEST(Router, RandomCoversAllReplicas) {
+  Rng rng(3);
+  const std::vector<std::size_t> depths{0, 0, 0, 0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 400; ++i)
+    seen.insert(chooseReplica(RoutingPolicy::kRandom, depths, rng));
+  EXPECT_EQ(seen.size(), depths.size());
+}
+
+// Regression: power-of-two-choices must sample two *distinct* replicas.
+// With replacement, the two draws collide with probability 1/2 here and the
+// overloaded machine would be chosen regularly; with distinct draws the
+// idle replica of a two-replica group wins every single time.
+TEST(Router, PowerOfTwoOnTwoReplicasAlwaysPicksIdle) {
+  Rng rng(4);
+  const std::vector<std::size_t> depths{7, 0};
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(chooseReplica(RoutingPolicy::kPowerOfTwo, depths, rng), 1u);
+}
+
+TEST(Router, PowerOfTwoNeverPicksWorstOfThree) {
+  // Distinct draws mean the unique maximum can only win against a copy of
+  // itself, which distinct sampling rules out whenever it is drawn with a
+  // strictly shorter peer.
+  Rng rng(5);
+  const std::vector<std::size_t> depths{2, 8, 2};
+  int worst = 0;
+  for (int i = 0; i < 500; ++i)
+    worst += chooseReplica(RoutingPolicy::kPowerOfTwo, depths, rng) == 1u;
+  EXPECT_EQ(worst, 0);
+}
+
+TEST(Router, PolicyNamesAreStable) {
+  EXPECT_STREQ(routingPolicyName(RoutingPolicy::kRandom), "random");
+  EXPECT_STREQ(routingPolicyName(RoutingPolicy::kPowerOfTwo), "p2c");
+  EXPECT_STREQ(routingPolicyName(RoutingPolicy::kLeastLoaded), "least-loaded");
+}
+
+}  // namespace
+}  // namespace resex::serve

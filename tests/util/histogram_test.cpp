@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -51,10 +52,41 @@ TEST(LinearHistogram, RenderContainsEveryBucket) {
   EXPECT_EQ(lines, 4);
 }
 
+TEST(LinearHistogram, NanSamplesAreIgnored) {
+  // Regression: a NaN sample fails every bucket comparison; it used to be
+  // counted into an arbitrary bucket instead of being dropped.
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.totalCount(), 0u);
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.totalCount(), 1u);
+  EXPECT_EQ(h.countAt(2), 1u);
+}
+
 TEST(LatencyHistogram, EmptyQuantileIsZero) {
   LatencyHistogram h;
   EXPECT_EQ(h.quantile(0.5), 0.0);
   EXPECT_EQ(h.totalCount(), 0u);
+}
+
+TEST(LatencyHistogram, QuantileNeverExceedsMaxSeen) {
+  // Regression: log buckets overshoot — the representative value of the
+  // top bucket can exceed the largest sample, reporting a p99 above any
+  // latency that occurred. Quantiles clamp to maxSeen() now.
+  LatencyHistogram h(1e-6, 4);  // coarse buckets make the overshoot large
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) h.add(rng.lognormal(-4.0, 1.5));
+  for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_LE(h.quantile(q), h.maxSeen());
+}
+
+TEST(LatencyHistogram, FullQuantileIsExactlyMaxSeen) {
+  LatencyHistogram h;
+  h.add(0.004);
+  h.add(0.017);
+  h.add(0.0291);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0291);
 }
 
 TEST(LatencyHistogram, SingleValueRoundTripsWithinRelativeError) {
@@ -147,9 +179,15 @@ TEST(LatencyHistogram, QuantileEndpointsBracketSamples) {
 }
 
 TEST(LatencyHistogram, BelowMinClampsToFirstBucket) {
+  // Counted in the first bucket, but reported quantiles clamp to the
+  // actual maximum sample rather than the bucket's representative value.
   LatencyHistogram h(1e-3, 8);
   h.add(1e-9);
-  EXPECT_NEAR(h.quantile(0.5), 1e-3, 1e-4);
+  EXPECT_EQ(h.totalCount(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e-9);
+  // A second sample above min lands normally and dominates the quantile.
+  h.add(2e-3);
+  EXPECT_NEAR(h.quantile(1.0), 2e-3, 1e-12);
 }
 
 TEST(LatencyHistogram, RejectsBadArguments) {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <utility>
 
 namespace resex {
 namespace {
@@ -181,6 +182,33 @@ TEST(Rng, SplitMix64KnownValue) {
   // Reference value from the SplitMix64 definition with seed 0.
   std::uint64_t state = 0;
   EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Rng, TwoDistinctNeverCollides) {
+  // Regression: the power-of-two-choices draw must sample *without*
+  // replacement — colliding draws silently degrade p2c to single-choice
+  // random routing.
+  Rng rng(67);
+  for (int i = 0; i < 5000; ++i) {
+    const auto [a, b] = rng.twoDistinct(2);
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, 2u);
+    EXPECT_LT(b, 2u);
+  }
+}
+
+TEST(Rng, TwoDistinctCoversAllOrderedPairs) {
+  Rng rng(71);
+  constexpr std::uint64_t kBound = 4;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (int i = 0; i < 4000; ++i) {
+    const auto [a, b] = rng.twoDistinct(kBound);
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, kBound);
+    EXPECT_LT(b, kBound);
+    seen.insert({a, b});
+  }
+  EXPECT_EQ(seen.size(), kBound * (kBound - 1));
 }
 
 }  // namespace

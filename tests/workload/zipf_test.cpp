@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 namespace resex {
@@ -89,6 +91,33 @@ TEST(Zipf, DeterministicGivenSeed) {
   Rng a(42);
   Rng b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(a), z.sample(b));
+}
+
+TEST(Zipf, ProbabilityIsSafeToCallConcurrently) {
+  // Regression: probability() used to lazily initialise its normalizer
+  // through a const_cast on first call — a data race when several serving
+  // threads share one sampler. The normalizer is now fixed in the
+  // constructor, so concurrent const calls are read-only (ThreadSanitizer
+  // verifies the absence of the race; this test pins the values too).
+  // The very first probability() calls must come from concurrent threads —
+  // a warm-up call from this thread would hide the lazy-init race.
+  const ZipfSampler z(300, 0.9);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        double total = 0.0;
+        for (std::uint64_t k = 1; k <= 10; ++k) total += z.probability(k);
+        if (!(total > 0.0) || total > 1.0)
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // And the values agree with a fresh, sequentially-used sampler.
+  const ZipfSampler reference(300, 0.9);
+  EXPECT_DOUBLE_EQ(z.probability(1), reference.probability(1));
 }
 
 }  // namespace
