@@ -25,7 +25,6 @@ int main() {
   config.termExponent = 1.05;
   const auto docs = resex::generateDocuments(config);
   const resex::InvertedIndex index(config.termCount, docs);
-  const resex::BlockMaxIndex blockIndex(index, 64);
 
   std::printf("== F12: MaxScore pruning vs exhaustive BM25 top-k ==\n");
   std::printf("%u docs, %u terms, %zu postings\n\n", config.docCount,
@@ -61,14 +60,14 @@ int main() {
           query.push_back(static_cast<resex::TermId>(termPick.sample(rng) - 1));
         resex::ExecStats full;
         const auto reference =
-            resex::topKDisjunctive(index, query, k, resex::Bm25Params{}, &full);
+            resex::topKDisjunctiveTaat(index, query, k, resex::Bm25Params{}, &full);
         resex::MaxScoreStats ms;
         const auto fast =
             resex::topKMaxScore(index, query, k, resex::Bm25Params{}, &ms);
         resex::WandStats ws;
         resex::topKWand(index, query, k, resex::Bm25Params{}, &ws);
         resex::BlockMaxStats bs;
-        resex::topKBlockMaxWand(blockIndex, query, k, resex::Bm25Params{}, &bs);
+        resex::topKBlockMaxWand(index, query, k, resex::Bm25Params{}, &bs);
         bmwTotal += bs.postingsEvaluated;
         resex::topKHybrid(index, query, k, resex::Bm25Params{}, &hybridTotal);
         exhaustiveTotal += full.postingsScanned;

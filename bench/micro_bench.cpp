@@ -30,6 +30,7 @@
 #include "cluster/assignment.hpp"
 #include "index/maxscore.hpp"
 #include "index/partition.hpp"
+#include "index/varbyte.hpp"
 #include "cluster/scheduler.hpp"
 #include "core/objective.hpp"
 #include "lns/destroy.hpp"

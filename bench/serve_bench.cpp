@@ -188,29 +188,38 @@ int main(int argc, char** argv) {
               partitions, buildTimer.seconds());
 
   // -- Shared query trace and per-shard service demand --------------------
-  // Exhaustive disjunctive evaluation scans each query term's full posting
-  // list, so with pacing a shard's per-query service time is exactly
-  //   fixed + perPosting * (postings its lists contribute per query),
-  // computable from the trace. That value *is* the shard's CPU demand.
+  // With pacing a shard's per-query service time is exactly
+  //   fixed + perPosting * (postings the kernel scans there per query),
+  // so the demand the solver plans on is *measured* by replaying the exact
+  // trace through the block-max DAAT kernel per shard (deterministic: the
+  // broker's workers run the same kernel on the same inputs and scan the
+  // same postings). Summing document frequencies would overstate demand —
+  // the kernel skips most blocks — and skew planned vs measured load.
   // Two terms per query, drawn Zipf over the vocabulary *below* the pruned
   // stopword head (the corpus's top ranks have posting lists so long that
   // a single head-term query would dominate every machine's service time —
   // the per-query work variance real engines remove by pruning stopwords).
   const auto queryCount = static_cast<std::size_t>(flags.integer("queries"));
+  const auto topK = static_cast<std::uint32_t>(flags.integer("topk"));
   const auto stopwords =
       std::min(static_cast<std::uint64_t>(flags.integer("stopwords")),
                static_cast<std::uint64_t>(docConfig.termCount) - 1);
   const ZipfSampler termPick(docConfig.termCount - stopwords, 0.9);
   Rng traceRng(seed + 101);
   std::vector<std::vector<TermId>> trace(queryCount);
+  for (auto& query : trace)
+    for (std::size_t i = 0; i < 2; ++i)
+      query.push_back(
+          static_cast<TermId>(stopwords + termPick.sample(traceRng) - 1));
   std::vector<double> tracePostings(partitions, 0.0);
-  for (auto& query : trace) {
-    for (std::size_t i = 0; i < 2; ++i) {
-      const auto term =
-          static_cast<TermId>(stopwords + termPick.sample(traceRng) - 1);
-      query.push_back(term);
-      for (std::size_t s = 0; s < partitions; ++s)
-        tracePostings[s] += static_cast<double>(index.shard(s).documentFrequency(term));
+  {
+    QueryScratch measureScratch;
+    for (std::size_t s = 0; s < partitions; ++s) {
+      ExecStats exec;
+      for (const auto& query : trace)
+        topKDisjunctiveInto(index.shard(s), query, topK, Bm25Params{},
+                            measureScratch, &exec, &index.globalStats());
+      tracePostings[s] = static_cast<double>(exec.postingsScanned);
     }
   }
 

@@ -1,0 +1,172 @@
+#include "index/block_codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "index/varbyte.hpp"
+
+namespace resex {
+namespace {
+
+/// Bytes of zero padding appended to the payload so readBits' unaligned
+/// 64-bit loads near the end of the last block stay in bounds.
+constexpr std::size_t kReadPadBytes = 8;
+
+unsigned bitsFor(std::uint32_t v) {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+/// Reads `bits` (<= 32) starting at absolute bit position `bitPos`.
+/// Little-endian bit order within the byte stream; the caller guarantees
+/// kReadPadBytes of slack past the payload.
+inline std::uint64_t readBits(const std::uint8_t* data, std::size_t bitPos,
+                              unsigned bits) {
+  std::uint64_t word;
+  std::memcpy(&word, data + (bitPos >> 3), sizeof(word));
+  return (word >> (bitPos & 7)) & ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Appends `bits` (<= 32) of `value` at bit position `bitPos` of `out`,
+/// growing the buffer as needed (slack bytes are trimmed by the caller).
+void appendBits(std::vector<std::uint8_t>& out, std::size_t& bitPos,
+                std::uint64_t value, unsigned bits) {
+  if (bits == 0) return;
+  const std::size_t byteIndex = bitPos >> 3;
+  if (out.size() < byteIndex + sizeof(std::uint64_t))
+    out.resize(byteIndex + sizeof(std::uint64_t), 0);
+  std::uint64_t word;
+  std::memcpy(&word, out.data() + byteIndex, sizeof(word));
+  word |= value << (bitPos & 7);
+  std::memcpy(out.data() + byteIndex, &word, sizeof(word));
+  bitPos += bits;
+}
+
+double bm25Weight(double tf, double docLength, double avgDocLength,
+                  const Bm25Params& params) {
+  const double norm = params.k1 * (1.0 - params.b +
+                                   params.b * docLength / std::max(1.0, avgDocLength));
+  return (tf * (params.k1 + 1.0)) / (tf + norm);
+}
+
+}  // namespace
+
+BlockPostingList::BlockPostingList(const std::vector<DocId>& docs,
+                                   const std::vector<std::uint32_t>& freqs,
+                                   std::span<const std::uint32_t> docLengths,
+                                   double avgDocLength, const Bm25Params& params)
+    : count_(docs.size()),
+      builtAvgDocLength_(avgDocLength),
+      builtK1_(params.k1),
+      builtB_(params.b) {
+  if (docs.size() != freqs.size())
+    throw std::invalid_argument("BlockPostingList: docs/freqs size mismatch");
+  blocks_.reserve((docs.size() + kPostingBlockSize - 1) / kPostingBlockSize);
+  std::vector<std::uint8_t> payload;  // per-block scratch, reused
+  for (std::size_t begin = 0; begin < docs.size(); begin += kPostingBlockSize) {
+    const std::size_t end = std::min(begin + kPostingBlockSize, docs.size());
+    PostingBlockMeta meta;
+    meta.firstDoc = docs[begin];
+    meta.lastDoc = docs[end - 1];
+    meta.count = static_cast<std::uint16_t>(end - begin);
+    meta.dataOffset = static_cast<std::uint32_t>(data_.size());
+    meta.minDocLen = ~std::uint32_t{0};
+    std::uint32_t maxDelta = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (freqs[i] == 0)
+        throw std::invalid_argument("BlockPostingList: zero term frequency");
+      if (i > begin) {
+        if (docs[i] <= docs[i - 1])
+          throw std::invalid_argument("BlockPostingList: doc ids not increasing");
+        maxDelta = std::max(maxDelta, docs[i] - docs[i - 1] - 1);
+      }
+      meta.maxTf = std::max(meta.maxTf, freqs[i]);
+      const std::uint32_t len =
+          docs[i] < docLengths.size() ? docLengths[docs[i]] : 1;
+      meta.minDocLen = std::min(meta.minDocLen, len);
+      meta.maxWeight = std::max(
+          meta.maxWeight, bm25Weight(freqs[i], len, avgDocLength, params));
+    }
+    if (begin > 0 && docs[begin] <= docs[begin - 1])
+      throw std::invalid_argument("BlockPostingList: doc ids not increasing");
+
+    payload.clear();
+    if (meta.count == kPostingBlockSize) {
+      // Full block: fixed-width bit packing. Deltas store (gap-1) — a
+      // width of 0 encodes consecutive ids in no bits at all; frequencies
+      // store (freq-1) the same way.
+      meta.docBits = static_cast<std::uint8_t>(bitsFor(maxDelta));
+      meta.freqBits = static_cast<std::uint8_t>(bitsFor(meta.maxTf - 1));
+      std::size_t bitPos = 0;
+      for (std::size_t i = begin + 1; i < end; ++i)
+        appendBits(payload, bitPos, docs[i] - docs[i - 1] - 1, meta.docBits);
+      for (std::size_t i = begin; i < end; ++i)
+        appendBits(payload, bitPos, freqs[i] - 1, meta.freqBits);
+      payload.resize((bitPos + 7) / 8);
+    } else {
+      // Partial tail block: VByte, same (gap-1)/(freq-1) normalization.
+      meta.docBits = kVbyteTailBits;
+      for (std::size_t i = begin + 1; i < end; ++i)
+        varbyteEncode(docs[i] - docs[i - 1] - 1, payload);
+      for (std::size_t i = begin; i < end; ++i)
+        varbyteEncode(freqs[i] - 1, payload);
+    }
+    data_.insert(data_.end(), payload.begin(), payload.end());
+    blocks_.push_back(meta);
+  }
+  data_.resize(data_.size() + kReadPadBytes, 0);
+  data_.shrink_to_fit();
+}
+
+std::uint32_t BlockPostingList::decodeBlock(std::size_t b, DocId* docs,
+                                            std::uint32_t* freqs) const {
+  const PostingBlockMeta& meta = blocks_[b];
+  const std::uint32_t count = meta.count;
+  DocId prev = meta.firstDoc;
+  docs[0] = prev;
+  if (meta.docBits == kVbyteTailBits) {
+    std::size_t offset = meta.dataOffset;
+    for (std::uint32_t i = 1; i < count; ++i) {
+      prev += static_cast<DocId>(varbyteDecode(data_, offset)) + 1;
+      docs[i] = prev;
+    }
+    for (std::uint32_t i = 0; i < count; ++i)
+      freqs[i] = static_cast<std::uint32_t>(varbyteDecode(data_, offset)) + 1;
+    return count;
+  }
+  const std::uint8_t* base = data_.data() + meta.dataOffset;
+  std::size_t bitPos = 0;
+  const unsigned docBits = meta.docBits;
+  if (docBits == 0) {
+    for (std::uint32_t i = 1; i < count; ++i) docs[i] = ++prev;
+  } else {
+    for (std::uint32_t i = 1; i < count; ++i) {
+      prev += static_cast<DocId>(readBits(base, bitPos, docBits)) + 1;
+      bitPos += docBits;
+      docs[i] = prev;
+    }
+  }
+  const unsigned freqBits = meta.freqBits;
+  if (freqBits == 0) {
+    for (std::uint32_t i = 0; i < count; ++i) freqs[i] = 1;
+  } else {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      freqs[i] = static_cast<std::uint32_t>(readBits(base, bitPos, freqBits)) + 1;
+      bitPos += freqBits;
+    }
+  }
+  return count;
+}
+
+void BlockPostingList::decode(std::vector<DocId>& docs,
+                              std::vector<std::uint32_t>& freqs) const {
+  docs.resize(count_);
+  freqs.resize(count_);
+  std::size_t written = 0;
+  for (std::size_t b = 0; b < blocks_.size(); ++b)
+    written += decodeBlock(b, docs.data() + written, freqs.data() + written);
+  if (written != count_)
+    throw std::logic_error("BlockPostingList: decode count mismatch");
+}
+
+}  // namespace resex

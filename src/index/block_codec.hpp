@@ -1,0 +1,95 @@
+// Block-based posting-list codec: the storage format of the query kernel.
+//
+// Postings are cut into 128-entry blocks. Full blocks store doc-id deltas
+// and frequencies bit-packed at a fixed width chosen per block (the widest
+// value decides), which decodes with word-at-a-time shifts instead of the
+// per-byte branches of VByte; the final partial block falls back to VByte.
+// Every block carries metadata the executor can act on *without decoding
+// the block*: first/last doc id (cursor positioning and block skipping),
+// max term frequency + min document length (an always-valid BM25 bound),
+// and the precomputed maximum BM25 contribution under the index's own
+// statistics (the tight bound used when a query scores with local stats).
+// This subsumes the former standalone BlockMaxIndex: block-max metadata is
+// now an intrinsic part of the posting list.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/scoring.hpp"
+
+namespace resex {
+
+/// Entries per full block. A power of two keeps block arithmetic cheap;
+/// 128 matches the granularity used by SIMD posting codecs and keeps the
+/// per-block metadata overhead under 2 bits/posting for long lists.
+inline constexpr std::uint32_t kPostingBlockSize = 128;
+
+/// docBits sentinel marking a VByte-encoded tail block.
+inline constexpr std::uint8_t kVbyteTailBits = 0xFF;
+
+struct PostingBlockMeta {
+  DocId firstDoc = 0;             // dense id of the block's first posting
+  DocId lastDoc = 0;              // dense id of the block's final posting
+  std::uint32_t dataOffset = 0;   // byte offset of the block's payload
+  std::uint16_t count = 0;        // postings in the block (<= kPostingBlockSize)
+  std::uint8_t docBits = 0;       // bit width of (delta-1), or kVbyteTailBits
+  std::uint8_t freqBits = 0;      // bit width of (freq-1)
+  std::uint32_t maxTf = 0;        // max term frequency within the block
+  std::uint32_t minDocLen = 1;    // min document length within the block
+  /// Max of tf*(k1+1)/(tf+norm(len)) over the block's postings, at the
+  /// statistics the list was built with. Multiply by a query idf to get a
+  /// tight per-block score bound; only valid when the query scores with
+  /// the same avgDocLength and Bm25Params (see boundsExactFor()).
+  double maxWeight = 0.0;
+};
+
+/// One term's block-compressed posting list.
+class BlockPostingList {
+ public:
+  BlockPostingList() = default;
+  /// `docs` strictly increasing dense ids; `freqs` parallel (freqs[i] >= 1).
+  /// `docLengths` (indexed by dense id) and `avgDocLength` feed the
+  /// per-block score bounds; when absent the bounds assume length 1,
+  /// which stays a valid (looser) upper bound.
+  BlockPostingList(const std::vector<DocId>& docs,
+                   const std::vector<std::uint32_t>& freqs,
+                   std::span<const std::uint32_t> docLengths = {},
+                   double avgDocLength = 0.0, const Bm25Params& params = {});
+
+  std::size_t documentCount() const noexcept { return count_; }
+  std::size_t blockCount() const noexcept { return blocks_.size(); }
+  const PostingBlockMeta& block(std::size_t b) const { return blocks_[b]; }
+
+  /// Decodes one block into caller buffers (capacity >= kPostingBlockSize
+  /// each). Returns the number of postings written.
+  std::uint32_t decodeBlock(std::size_t b, DocId* docs,
+                            std::uint32_t* freqs) const;
+
+  /// Decompresses the full list (ids + frequencies).
+  void decode(std::vector<DocId>& docs, std::vector<std::uint32_t>& freqs) const;
+
+  /// Compressed payload plus per-block metadata bytes.
+  std::size_t byteSize() const noexcept {
+    return data_.size() + blocks_.size() * sizeof(PostingBlockMeta);
+  }
+
+  /// True when the precomputed per-block maxWeight is an exact bound for
+  /// queries scoring with these statistics.
+  bool boundsExactFor(double avgDocLength, const Bm25Params& params) const noexcept {
+    return avgDocLength == builtAvgDocLength_ && params.k1 == builtK1_ &&
+           params.b == builtB_;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;        // byte-aligned block payloads + pad
+  std::vector<PostingBlockMeta> blocks_;
+  std::size_t count_ = 0;
+  double builtAvgDocLength_ = 0.0;
+  double builtK1_ = 0.0;
+  double builtB_ = 0.0;
+};
+
+}  // namespace resex

@@ -1,213 +1,27 @@
 #include "index/block_max.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <queue>
-#include <stdexcept>
+#include "obs/trace.hpp"
 
 namespace resex {
-namespace {
 
-double bm25Term(double idf, double tf, double docLength, double avgDocLength,
-                const Bm25Params& params) {
-  const double norm =
-      params.k1 * (1.0 - params.b + params.b * docLength / std::max(1.0, avgDocLength));
-  return idf * (tf * (params.k1 + 1.0)) / (tf + norm);
-}
-
-struct HeapEntry {
-  double score;
-  DocId doc;
-};
-struct HeapWorse {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;
-  }
-};
-
-}  // namespace
-
-BlockMaxIndex::BlockMaxIndex(const InvertedIndex& index, std::size_t blockSize)
-    : index_(&index), blockSize_(blockSize) {
-  if (blockSize == 0) throw std::invalid_argument("BlockMaxIndex: zero block size");
-  blocks_.resize(index.termCount());
-  std::vector<DocId> docs;
-  std::vector<std::uint32_t> freqs;
-  for (TermId t = 0; t < index.termCount(); ++t) {
-    index.postings(t).decode(docs, freqs);
-    auto& termBlocks = blocks_[t];
-    for (std::size_t begin = 0; begin < docs.size(); begin += blockSize) {
-      const std::size_t end = std::min(begin + blockSize, docs.size());
-      Block block;
-      block.lastDoc = docs[end - 1];
-      block.maxTf = 0;
-      block.minDocLen = ~std::uint32_t{0};
-      for (std::size_t i = begin; i < end; ++i) {
-        block.maxTf = std::max(block.maxTf, freqs[i]);
-        block.minDocLen = std::min(block.minDocLen, index.docLength(docs[i]));
-      }
-      termBlocks.push_back(block);
-    }
-    totalBlocks_ += termBlocks.size();
-  }
-}
-
-std::vector<ScoredDoc> topKBlockMaxWand(const BlockMaxIndex& blockIndex,
+std::vector<ScoredDoc> topKBlockMaxWand(const InvertedIndex& index,
                                         const std::vector<TermId>& terms,
                                         std::size_t k, const Bm25Params& params,
                                         BlockMaxStats* stats,
                                         const GlobalStats* global) {
-  const InvertedIndex& index = blockIndex.index();
-  if (k == 0 || terms.empty()) return {};
-  const std::size_t docCount =
-      global ? global->documentCount : index.documentCount();
-  const double avgLen = global ? global->avgDocLength : index.averageDocLength();
-
-  std::vector<TermId> unique(terms);
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-
-  struct List {
-    std::vector<DocId> docs;
-    std::vector<std::uint32_t> freqs;
-    const std::vector<BlockMaxIndex::Block>* blocks = nullptr;
-    double idf = 0.0;
-    double upperBound = 0.0;
-    std::size_t cursor = 0;
-    std::size_t blockSize = 0;
-
-    bool exhausted() const { return cursor >= docs.size(); }
-    DocId head() const { return docs[cursor]; }
-    void seek(DocId target) {
-      const auto begin = docs.begin() + static_cast<std::ptrdiff_t>(cursor);
-      cursor = static_cast<std::size_t>(
-          std::lower_bound(begin, docs.end(), target) - docs.begin());
-    }
-    const BlockMaxIndex::Block& currentBlock() const {
-      return (*blocks)[cursor / blockSize];
-    }
-    /// First document past the current block (for block skips).
-    DocId blockEnd() const { return currentBlock().lastDoc; }
-  };
-  std::vector<List> lists;
-  for (const TermId t : unique) {
-    const PostingList& pl = index.postings(t);
-    if (pl.documentCount() == 0) continue;
-    List list;
-    pl.decode(list.docs, list.freqs);
-    list.blocks = &blockIndex.blocks(t);
-    list.blockSize = blockIndex.blockSize();
-    const std::size_t df = global ? global->documentFrequency.at(t)
-                                  : pl.documentCount();
-    list.idf = bm25Idf(docCount, df);
-    list.upperBound = list.idf * (params.k1 + 1.0);
-    lists.push_back(std::move(list));
+  RESEX_TRACE_SPAN("query.block_max_wand");
+  static obs::Counter& queries = detail::queryCounter("block_max_wand");
+  queries.add();
+  obs::ScopedLatencyUs latency(detail::queryLatencyHistogram());
+  QueryScratch& scratch = threadLocalQueryScratch();
+  const auto results = detail::daatBlockMax(index, terms, k, params, global, scratch);
+  detail::finishExec(scratch, nullptr);
+  if (stats) {
+    stats->postingsEvaluated += scratch.exec.postingsScanned;
+    stats->candidatesScored += scratch.exec.candidatesScored;
+    stats->blockSkips += scratch.exec.blocksSkipped;
   }
-  if (lists.empty()) return {};
-
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapWorse> heap;
-  auto threshold = [&heap, k]() {
-    return heap.size() < k ? -1.0 : heap.top().score;
-  };
-  auto blockBound = [&](const List& list) {
-    const auto& block = list.currentBlock();
-    return bm25Term(list.idf, block.maxTf, block.minDocLen, avgLen, params);
-  };
-
-  std::vector<std::size_t> order(lists.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-
-  for (;;) {
-    order.erase(std::remove_if(order.begin(), order.end(),
-                               [&lists](std::size_t i) { return lists[i].exhausted(); }),
-                order.end());
-    if (order.empty()) break;
-    std::sort(order.begin(), order.end(), [&lists](std::size_t a, std::size_t b) {
-      return lists[a].head() < lists[b].head();
-    });
-
-    const double theta = threshold();
-    double acc = 0.0;
-    std::size_t pivot = order.size();
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      acc += lists[order[i]].upperBound;
-      if (acc > theta) {
-        pivot = i;
-        break;
-      }
-    }
-    if (pivot == order.size()) break;
-    const DocId pivotDoc = lists[order[pivot]].head();
-    // Absorb every list already parked on the pivot document: their
-    // contributions must be part of any bound on it.
-    while (pivot + 1 < order.size() && lists[order[pivot + 1]].head() == pivotDoc)
-      ++pivot;
-
-    if (lists[order[0]].head() == pivotDoc) {
-      // Shallow check: the *block-local* bounds of the lists parked on the
-      // pivot document — much tighter than the global bounds.
-      double shallow = 0.0;
-      for (std::size_t i = 0; i <= pivot; ++i) {
-        List& list = lists[order[i]];
-        list.seek(pivotDoc);  // lists 0..pivot head <= pivotDoc; align blocks
-        if (!list.exhausted()) shallow += blockBound(list);
-      }
-      if (shallow <= theta) {
-        // No document in these blocks can beat theta: jump past the
-        // earliest block boundary — but never past the next list's head,
-        // whose contribution the shallow sum did not include.
-        DocId jumpTo = lists[order[0]].blockEnd();
-        for (std::size_t i = 1; i <= pivot; ++i)
-          jumpTo = std::min(jumpTo, lists[order[i]].blockEnd());
-        if (pivot + 1 < order.size())
-          jumpTo = std::min(jumpTo, lists[order[pivot + 1]].head() - 1);
-        for (std::size_t i = 0; i <= pivot; ++i) {
-          List& list = lists[order[i]];
-          if (!list.exhausted() && list.head() <= jumpTo)
-            list.seek(jumpTo + 1);
-        }
-        if (stats) ++stats->blockSkips;
-        continue;
-      }
-      const double docLength = index.docLength(pivotDoc);
-      double score = 0.0;
-      for (const std::size_t i : order) {
-        List& list = lists[i];
-        if (!list.exhausted() && list.head() == pivotDoc) {
-          score += bm25Term(list.idf, list.freqs[list.cursor], docLength, avgLen,
-                            params);
-          ++list.cursor;
-          if (stats) ++stats->postingsEvaluated;
-        }
-      }
-      if (stats) ++stats->candidatesScored;
-      const DocId original = index.docId(pivotDoc);
-      if (heap.size() < k) {
-        heap.push(HeapEntry{score, original});
-      } else if (score > heap.top().score ||
-                 (score == heap.top().score && original < heap.top().doc)) {
-        heap.pop();
-        heap.push(HeapEntry{score, original});
-      }
-    } else {
-      std::size_t advance = order[0];
-      for (std::size_t i = 1; i < pivot; ++i) {
-        if (lists[order[i]].head() >= pivotDoc) break;
-        if (lists[order[i]].upperBound > lists[advance].upperBound)
-          advance = order[i];
-      }
-      lists[advance].seek(pivotDoc);
-      if (stats) ++stats->postingsEvaluated;
-    }
-  }
-
-  std::vector<ScoredDoc> results(heap.size());
-  for (std::size_t i = heap.size(); i-- > 0;) {
-    results[i] = ScoredDoc{heap.top().doc, heap.top().score};
-    heap.pop();
-  }
-  return results;
+  return {results.begin(), results.end()};
 }
 
 }  // namespace resex

@@ -1,52 +1,32 @@
 // Block-Max WAND (Ding & Suel): WAND with per-block score upper bounds.
 //
 // Global per-term bounds (plain WAND/MaxScore) are loose: one high-tf
-// posting anywhere in a list caps the whole list. Block metadata — for
-// every fixed-size block of postings, the last document id, the maximum
-// term frequency, and the minimum document length — yields a much tighter
-// local bound, letting the executor skip whole blocks without touching
-// their postings. Metadata is built once per index (as a real engine
-// would at indexing time) and queries remain exactly equal to exhaustive
-// evaluation.
+// posting anywhere in a list caps the whole list. The block metadata —
+// last document id, max term frequency, min document length, and the
+// precomputed max BM25 weight per fixed-size block — now lives *inside*
+// the posting lists themselves (block_codec.hpp), built once at indexing
+// time; the standalone BlockMaxIndex side table this header used to
+// declare is gone. topKBlockMaxWand is kept as the named entry point of
+// the algorithm (it shares the DAAT core with topKDisjunctive) and
+// remains exactly equal to exhaustive evaluation.
 #pragma once
 
+#include "index/query_exec.hpp"
 #include "index/wand.hpp"
 
 namespace resex {
 
-/// Per-term block metadata over an InvertedIndex.
-class BlockMaxIndex {
- public:
-  struct Block {
-    DocId lastDoc = 0;           // dense id of the block's final posting
-    std::uint32_t maxTf = 0;     // max term frequency within the block
-    std::uint32_t minDocLen = 0; // min document length within the block
-  };
-
-  explicit BlockMaxIndex(const InvertedIndex& index, std::size_t blockSize = 64);
-
-  const InvertedIndex& index() const noexcept { return *index_; }
-  std::size_t blockSize() const noexcept { return blockSize_; }
-  const std::vector<Block>& blocks(TermId term) const { return blocks_.at(term); }
-  /// Total metadata entries (for size accounting).
-  std::size_t totalBlocks() const noexcept { return totalBlocks_; }
-
- private:
-  const InvertedIndex* index_;
-  std::size_t blockSize_;
-  std::vector<std::vector<Block>> blocks_;
-  std::size_t totalBlocks_ = 0;
-};
-
 struct BlockMaxStats {
+  /// Postings decoded (skipped blocks decode nothing).
   std::size_t postingsEvaluated = 0;
   std::size_t candidatesScored = 0;
-  /// Block-level skips taken after a failed shallow (block-bound) check.
+  /// Whole blocks passed over without decoding.
   std::size_t blockSkips = 0;
 };
 
-/// Exact BM25 top-k with Block-Max WAND pruning.
-std::vector<ScoredDoc> topKBlockMaxWand(const BlockMaxIndex& blockIndex,
+/// Exact BM25 top-k with Block-Max WAND pruning over the index's
+/// intrinsic per-block metadata.
+std::vector<ScoredDoc> topKBlockMaxWand(const InvertedIndex& index,
                                         const std::vector<TermId>& terms,
                                         std::size_t k, const Bm25Params& params,
                                         BlockMaxStats* stats = nullptr,

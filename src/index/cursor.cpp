@@ -1,0 +1,10 @@
+#include "index/cursor.hpp"
+
+namespace resex {
+
+QueryScratch& threadLocalQueryScratch() {
+  thread_local QueryScratch scratch;
+  return scratch;
+}
+
+}  // namespace resex

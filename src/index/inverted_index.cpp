@@ -5,31 +5,6 @@
 
 namespace resex {
 
-PostingList::PostingList(const std::vector<DocId>& docs,
-                         const std::vector<std::uint32_t>& freqs)
-    : count_(docs.size()) {
-  if (docs.size() != freqs.size())
-    throw std::invalid_argument("PostingList: docs/freqs size mismatch");
-  docBytes_ = encodeMonotone(docs);
-  freqBytes_.reserve(freqs.size());
-  for (const std::uint32_t f : freqs) {
-    if (f == 0) throw std::invalid_argument("PostingList: zero term frequency");
-    varbyteEncode(f, freqBytes_);
-  }
-}
-
-void PostingList::decode(std::vector<DocId>& docs,
-                         std::vector<std::uint32_t>& freqs) const {
-  docs = decodeMonotone(docBytes_);
-  freqs.clear();
-  freqs.reserve(count_);
-  std::size_t offset = 0;
-  while (offset < freqBytes_.size())
-    freqs.push_back(static_cast<std::uint32_t>(varbyteDecode(freqBytes_, offset)));
-  if (docs.size() != count_ || freqs.size() != count_)
-    throw std::logic_error("PostingList: decode count mismatch");
-}
-
 InvertedIndex::InvertedIndex(std::uint32_t termCount,
                              const std::vector<Document>& documents) {
   // Dense indices follow ascending original document id.
@@ -69,16 +44,20 @@ InvertedIndex::InvertedIndex(std::uint32_t termCount,
       freqScratch[t] = 0;
     }
   }
-
-  postings_.reserve(termCount);
-  for (TermId t = 0; t < termCount; ++t) {
-    postings_.emplace_back(termDocs[t], termFreqs[t]);
-    indexBytes_ += postings_.back().byteSize();
-    totalPostings_ += termDocs[t].size();
-  }
+  // Average length must be known before the posting lists are built: the
+  // per-block max-weight metadata is computed against it.
   avgDocLength_ = docLengths_.empty()
                       ? 0.0
                       : totalLength / static_cast<double>(docLengths_.size());
+
+  postings_.reserve(termCount);
+  for (TermId t = 0; t < termCount; ++t) {
+    postings_.emplace_back(termDocs[t], termFreqs[t],
+                           std::span<const std::uint32_t>(docLengths_),
+                           avgDocLength_, Bm25Params{});
+    indexBytes_ += postings_.back().byteSize();
+    totalPostings_ += termDocs[t].size();
+  }
 }
 
 }  // namespace resex

@@ -1,46 +1,30 @@
 // A compact in-memory inverted index over synthetic documents.
 //
 // This is the materialized counterpart of the statistical search substrate
-// in src/search: real posting lists (VByte-compressed document ids plus
-// term frequencies), BM25 scoring, and query execution that counts the
-// postings it actually touches. The partition module builds one index per
-// shard so per-shard query cost can be *measured* instead of modelled —
-// and a test cross-checks the two.
+// in src/search: real posting lists (block-compressed document ids plus
+// term frequencies with per-block block-max metadata — see block_codec.hpp),
+// BM25 scoring, and query execution that counts the postings it actually
+// touches. The partition module builds one index per shard so per-shard
+// query cost can be *measured* instead of modelled — and a test
+// cross-checks the two.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "index/varbyte.hpp"
+#include "index/block_codec.hpp"
 #include "search/corpus.hpp"  // TermId
 
 namespace resex {
 
-using DocId = std::uint32_t;
+/// Posting lists are block-compressed; the flat-VByte PostingList this
+/// alias replaced had the same decode() surface.
+using PostingList = BlockPostingList;
 
 /// A document as a bag of terms (duplicates = term frequency).
 struct Document {
   DocId id = 0;
   std::vector<TermId> terms;
-};
-
-/// One term's compressed posting list.
-class PostingList {
- public:
-  PostingList() = default;
-  /// `docs` strictly increasing; `freqs` parallel (freqs[i] >= 1).
-  PostingList(const std::vector<DocId>& docs, const std::vector<std::uint32_t>& freqs);
-
-  std::size_t documentCount() const noexcept { return count_; }
-  std::size_t byteSize() const noexcept { return docBytes_.size() + freqBytes_.size(); }
-
-  /// Decompresses the full list (ids + frequencies).
-  void decode(std::vector<DocId>& docs, std::vector<std::uint32_t>& freqs) const;
-
- private:
-  std::vector<std::uint8_t> docBytes_;
-  std::vector<std::uint8_t> freqBytes_;
-  std::size_t count_ = 0;
 };
 
 /// Immutable inverted index built from a batch of documents.
@@ -63,7 +47,7 @@ class InvertedIndex {
   /// Original document id of a dense index.
   DocId docId(std::size_t denseIndex) const { return docIds_.at(denseIndex); }
   double averageDocLength() const noexcept { return avgDocLength_; }
-  /// Total compressed posting bytes.
+  /// Total compressed posting bytes (payload + block metadata).
   std::size_t indexBytes() const noexcept { return indexBytes_; }
   /// Total postings (sum of document frequencies).
   std::size_t totalPostings() const noexcept { return totalPostings_; }

@@ -2,34 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "obs/trace.hpp"
 
 namespace resex {
-namespace {
-
-double bm25Term(double idf, double tf, double docLength, double avgDocLength,
-                const Bm25Params& params) {
-  const double norm =
-      params.k1 * (1.0 - params.b + params.b * docLength / std::max(1.0, avgDocLength));
-  return idf * (tf * (params.k1 + 1.0)) / (tf + norm);
-}
-
-struct HeapEntry {
-  double score;
-  DocId doc;  // original id (for final ordering); pruning only uses score
-};
-struct HeapWorse {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    // Min-heap on (score asc, doc desc): the top is the entry the next
-    // candidate must beat under the (score desc, doc asc) result order.
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;
-  }
-};
-
-}  // namespace
 
 std::vector<ScoredDoc> topKMaxScore(const InvertedIndex& index,
                                     const std::vector<TermId>& terms, std::size_t k,
@@ -40,72 +16,47 @@ std::vector<ScoredDoc> topKMaxScore(const InvertedIndex& index,
   queries.add();
   obs::ScopedLatencyUs latency(detail::queryLatencyHistogram());
   if (k == 0 || terms.empty()) return {};
-  const std::size_t docCount =
-      global ? global->documentCount : index.documentCount();
-  const double avgLen = global ? global->avgDocLength : index.averageDocLength();
-
-  std::vector<TermId> unique(terms);
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-
-  struct List {
-    std::vector<DocId> docs;
-    std::vector<std::uint32_t> freqs;
-    double idf = 0.0;
-    double upperBound = 0.0;  // max possible BM25 contribution of this term
-    std::size_t cursor = 0;
-  };
-  std::vector<List> lists;
-  lists.reserve(unique.size());
-  for (const TermId t : unique) {
-    const PostingList& pl = index.postings(t);
-    if (pl.documentCount() == 0) continue;  // contributes nothing anywhere
-    List list;
-    pl.decode(list.docs, list.freqs);
-    const std::size_t df = global ? global->documentFrequency.at(t)
-                                  : pl.documentCount();
-    list.idf = bm25Idf(docCount, df);
-    // tf/(tf+norm) < 1, so idf*(k1+1) bounds any contribution.
-    list.upperBound = list.idf * (params.k1 + 1.0);
-    lists.push_back(std::move(list));
-  }
-  if (lists.empty()) return {};
+  QueryScratch& scratch = threadLocalQueryScratch();
+  const detail::ScoreContext ctx =
+      detail::buildCursors(index, terms, params, global, scratch);
+  std::vector<TermCursor>& cursors = scratch.cursors;
+  if (cursors.empty()) return {};
 
   // Cheap terms first; cumBound[i] = sum of upper bounds of lists 0..i.
-  std::sort(lists.begin(), lists.end(),
-            [](const List& a, const List& b) { return a.upperBound < b.upperBound; });
-  std::vector<double> cumBound(lists.size());
+  std::sort(cursors.begin(), cursors.end(),
+            [](const TermCursor& a, const TermCursor& b) {
+              return a.upperBound() < b.upperBound();
+            });
+  std::vector<double>& cumBound = scratch.cumBound;
+  cumBound.resize(cursors.size());
   double running = 0.0;
-  for (std::size_t i = 0; i < lists.size(); ++i) {
-    running += lists[i].upperBound;
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    running += cursors[i].upperBound();
     cumBound[i] = running;
   }
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapWorse> heap;
-  auto threshold = [&heap, k]() {
-    return heap.size() < k ? -1.0 : heap.top().score;
-  };
+  scratch.heap.reset(&scratch.heapStorage, k);
+  TopKHeap& heap = scratch.heap;
 
   // First essential list: smallest e with cumBound[e] > threshold; lists
   // below e cannot lift a document past the threshold on their own.
   std::size_t firstEssential = 0;
   auto refreshEssential = [&]() {
-    const double theta = threshold();
-    while (firstEssential < lists.size() &&
-           cumBound[firstEssential] <= theta)
+    const double theta = heap.threshold();
+    while (firstEssential < cursors.size() && cumBound[firstEssential] <= theta)
       ++firstEssential;
   };
 
   for (;;) {
     refreshEssential();
-    if (firstEssential >= lists.size()) break;  // nothing can beat the heap
+    if (firstEssential >= cursors.size()) break;  // nothing can beat the heap
 
     // Next candidate: the smallest head among essential cursors.
     DocId candidate = 0;
     bool any = false;
-    for (std::size_t l = firstEssential; l < lists.size(); ++l) {
-      if (lists[l].cursor >= lists[l].docs.size()) continue;
-      const DocId head = lists[l].docs[lists[l].cursor];
+    for (std::size_t l = firstEssential; l < cursors.size(); ++l) {
+      if (cursors[l].exhausted()) continue;
+      const DocId head = cursors[l].doc();
       if (!any || head < candidate) candidate = head;
       any = true;
     }
@@ -114,11 +65,11 @@ std::vector<ScoredDoc> topKMaxScore(const InvertedIndex& index,
     // Score the candidate over essential lists (advancing their cursors).
     const double docLength = index.docLength(candidate);
     double score = 0.0;
-    for (std::size_t l = firstEssential; l < lists.size(); ++l) {
-      List& list = lists[l];
-      if (list.cursor < list.docs.size() && list.docs[list.cursor] == candidate) {
-        score += bm25Term(list.idf, list.freqs[list.cursor], docLength, avgLen, params);
-        ++list.cursor;
+    for (std::size_t l = firstEssential; l < cursors.size(); ++l) {
+      TermCursor& c = cursors[l];
+      if (!c.exhausted() && c.doc() == candidate) {
+        score += bm25TermScore(c.idf(), c.freq(), docLength, ctx.avgLen, params);
+        c.next();
         if (stats) ++stats->postingsEvaluated;
       }
     }
@@ -127,18 +78,15 @@ std::vector<ScoredDoc> topKMaxScore(const InvertedIndex& index,
     bool pruned = false;
     for (std::size_t l = firstEssential; l-- > 0;) {
       const double bound = score + cumBound[l];
-      if (bound < threshold()) {
+      if (bound < heap.threshold()) {
         pruned = true;
         break;
       }
-      List& list = lists[l];
-      const auto begin =
-          list.docs.begin() + static_cast<std::ptrdiff_t>(list.cursor);
-      const auto it = std::lower_bound(begin, list.docs.end(), candidate);
-      list.cursor = static_cast<std::size_t>(it - list.docs.begin());
-      if (it != list.docs.end() && *it == candidate) {
-        score += bm25Term(list.idf, list.freqs[list.cursor], docLength, avgLen, params);
-        ++list.cursor;
+      TermCursor& c = cursors[l];
+      c.nextGeq(candidate);
+      if (!c.exhausted() && c.doc() == candidate) {
+        score += bm25TermScore(c.idf(), c.freq(), docLength, ctx.avgLen, params);
+        c.next();
         if (stats) ++stats->postingsEvaluated;
       }
     }
@@ -148,22 +96,11 @@ std::vector<ScoredDoc> topKMaxScore(const InvertedIndex& index,
       continue;
     }
     if (stats) ++stats->candidatesScored;
-    const DocId original = index.docId(candidate);
-    if (heap.size() < k) {
-      heap.push(HeapEntry{score, original});
-    } else if (score > heap.top().score ||
-               (score == heap.top().score && original < heap.top().doc)) {
-      heap.pop();
-      heap.push(HeapEntry{score, original});
-    }
+    heap.offer(score, index.docId(candidate));
   }
 
-  std::vector<ScoredDoc> results(heap.size());
-  for (std::size_t i = heap.size(); i-- > 0;) {
-    results[i] = ScoredDoc{heap.top().doc, heap.top().score};
-    heap.pop();
-  }
-  return results;
+  const auto results = heap.finish();
+  return {results.begin(), results.end()};
 }
 
 }  // namespace resex

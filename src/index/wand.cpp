@@ -2,32 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "obs/trace.hpp"
 
 namespace resex {
-namespace {
-
-double bm25Term(double idf, double tf, double docLength, double avgDocLength,
-                const Bm25Params& params) {
-  const double norm =
-      params.k1 * (1.0 - params.b + params.b * docLength / std::max(1.0, avgDocLength));
-  return idf * (tf * (params.k1 + 1.0)) / (tf + norm);
-}
-
-struct HeapEntry {
-  double score;
-  DocId doc;
-};
-struct HeapWorse {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;
-  }
-};
-
-}  // namespace
 
 std::vector<ScoredDoc> topKWand(const InvertedIndex& index,
                                 const std::vector<TermId>& terms, std::size_t k,
@@ -38,98 +16,58 @@ std::vector<ScoredDoc> topKWand(const InvertedIndex& index,
   queries.add();
   obs::ScopedLatencyUs latency(detail::queryLatencyHistogram());
   if (k == 0 || terms.empty()) return {};
-  const std::size_t docCount =
-      global ? global->documentCount : index.documentCount();
-  const double avgLen = global ? global->avgDocLength : index.averageDocLength();
+  QueryScratch& scratch = threadLocalQueryScratch();
+  const detail::ScoreContext ctx =
+      detail::buildCursors(index, terms, params, global, scratch);
+  std::vector<TermCursor>& cursors = scratch.cursors;
+  if (cursors.empty()) return {};
 
-  std::vector<TermId> unique(terms);
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  scratch.heap.reset(&scratch.heapStorage, k);
+  TopKHeap& heap = scratch.heap;
 
-  struct List {
-    std::vector<DocId> docs;
-    std::vector<std::uint32_t> freqs;
-    double idf = 0.0;
-    double upperBound = 0.0;
-    std::size_t cursor = 0;
-
-    bool exhausted() const { return cursor >= docs.size(); }
-    DocId head() const { return docs[cursor]; }
-    /// Seeks to the first posting >= target; counts as one evaluation.
-    void seek(DocId target) {
-      const auto begin = docs.begin() + static_cast<std::ptrdiff_t>(cursor);
-      cursor = static_cast<std::size_t>(
-          std::lower_bound(begin, docs.end(), target) - docs.begin());
-    }
-  };
-  std::vector<List> lists;
-  for (const TermId t : unique) {
-    const PostingList& pl = index.postings(t);
-    if (pl.documentCount() == 0) continue;
-    List list;
-    pl.decode(list.docs, list.freqs);
-    const std::size_t df = global ? global->documentFrequency.at(t)
-                                  : pl.documentCount();
-    list.idf = bm25Idf(docCount, df);
-    list.upperBound = list.idf * (params.k1 + 1.0);
-    lists.push_back(std::move(list));
-  }
-  if (lists.empty()) return {};
-
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapWorse> heap;
-  auto threshold = [&heap, k]() {
-    return heap.size() < k ? -1.0 : heap.top().score;
-  };
-
-  // Active list indices, kept sorted by head document each round.
-  std::vector<std::size_t> order(lists.size());
+  // Active cursor indices, kept sorted by head document each round.
+  std::vector<std::size_t>& order = scratch.order;
+  order.resize(cursors.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   for (;;) {
-    order.erase(std::remove_if(order.begin(), order.end(),
-                               [&lists](std::size_t i) { return lists[i].exhausted(); }),
-                order.end());
+    order.erase(
+        std::remove_if(order.begin(), order.end(),
+                       [&cursors](std::size_t i) { return cursors[i].exhausted(); }),
+        order.end());
     if (order.empty()) break;
-    std::sort(order.begin(), order.end(), [&lists](std::size_t a, std::size_t b) {
-      return lists[a].head() < lists[b].head();
+    std::sort(order.begin(), order.end(), [&cursors](std::size_t a, std::size_t b) {
+      return cursors[a].doc() < cursors[b].doc();
     });
 
     // Pivot: first prefix whose accumulated upper bounds could beat theta.
-    const double theta = threshold();
+    const double theta = heap.threshold();
     double acc = 0.0;
     std::size_t pivot = order.size();
     for (std::size_t i = 0; i < order.size(); ++i) {
-      acc += lists[order[i]].upperBound;
+      acc += cursors[order[i]].upperBound();
       if (acc > theta) {
         pivot = i;
         break;
       }
     }
     if (pivot == order.size()) break;  // even all lists together cannot beat theta
-    const DocId pivotDoc = lists[order[pivot]].head();
+    const DocId pivotDoc = cursors[order[pivot]].doc();
 
-    if (lists[order[0]].head() == pivotDoc) {
+    if (cursors[order[0]].doc() == pivotDoc) {
       // Every list up to the pivot sits on pivotDoc: score it fully.
+      // Storage (term) order keeps summation deterministic.
       const double docLength = index.docLength(pivotDoc);
       double score = 0.0;
-      for (const std::size_t i : order) {
-        List& list = lists[i];
-        if (!list.exhausted() && list.head() == pivotDoc) {
-          score += bm25Term(list.idf, list.freqs[list.cursor], docLength, avgLen,
-                            params);
-          ++list.cursor;
+      for (TermCursor& c : cursors) {
+        if (!c.exhausted() && c.doc() == pivotDoc) {
+          score += bm25TermScore(c.idf(), c.freq(), docLength, ctx.avgLen, params);
+          c.next();
           if (stats) ++stats->postingsEvaluated;
         }
       }
       if (stats) ++stats->candidatesScored;
-      const DocId original = index.docId(pivotDoc);
-      if (heap.size() < k) {
-        heap.push(HeapEntry{score, original});
-      } else if (score > heap.top().score ||
-                 (score == heap.top().score && original < heap.top().doc)) {
-        heap.pop();
-        heap.push(HeapEntry{score, original});
-      }
+      heap.offer(score, index.docId(pivotDoc));
     } else {
       // Advance the pre-pivot list with the largest upper bound (the
       // classic pick) straight to the pivot document. Only lists whose
@@ -138,26 +76,22 @@ std::vector<ScoredDoc> topKWand(const InvertedIndex& index,
       // loop.
       std::size_t advance = order[0];
       for (std::size_t i = 1; i < pivot; ++i) {
-        if (lists[order[i]].head() >= pivotDoc) break;  // heads are sorted
-        if (lists[order[i]].upperBound > lists[advance].upperBound)
+        if (cursors[order[i]].doc() >= pivotDoc) break;  // heads are sorted
+        if (cursors[order[i]].upperBound() > cursors[advance].upperBound())
           advance = order[i];
       }
-      const DocId before = lists[advance].head();
-      lists[advance].seek(pivotDoc);
+      TermCursor& c = cursors[advance];
+      const DocId before = c.doc();
+      c.nextGeq(pivotDoc);
       if (stats) {
         ++stats->postingsEvaluated;
-        if (lists[advance].exhausted() || lists[advance].head() > before + 1)
-          ++stats->skips;
+        if (c.exhausted() || c.doc() > before + 1) ++stats->skips;
       }
     }
   }
 
-  std::vector<ScoredDoc> results(heap.size());
-  for (std::size_t i = heap.size(); i-- > 0;) {
-    results[i] = ScoredDoc{heap.top().doc, heap.top().score};
-    heap.pop();
-  }
-  return results;
+  const auto results = heap.finish();
+  return {results.begin(), results.end()};
 }
 
 PruningStrategy chooseStrategy(const InvertedIndex& index,
@@ -176,8 +110,7 @@ PruningStrategy chooseStrategy(const InvertedIndex& index,
   std::size_t longest = 0;
   std::size_t rest = 0;
   for (const TermId t : unique) {
-    const std::size_t df = global ? global->documentFrequency.at(t)
-                                  : index.documentFrequency(t);
+    const std::size_t df = effectiveDf(global, t, index.documentFrequency(t));
     longest = std::max(longest, df);
     rest += df;
   }

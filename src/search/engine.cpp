@@ -46,7 +46,8 @@ SimulationResult simulateUnreplicated(const Instance& instance,
     double finish = now;
     for (MachineId mach = 0; mach < m; ++mach) {
       if (machineFraction[mach] <= 0.0) continue;
-      const double work = queries.workOnShard(query, machineFraction[mach]);
+      const double work =
+          config.pruningFactor * queries.workOnShard(query, machineFraction[mach]);
       const double service = work / serviceRate[mach];
       const double start = std::max(now, lastFinish[mach]);
       lastFinish[mach] = start + service;
@@ -114,7 +115,8 @@ SimulationResult simulateReplicated(const Instance& instance,
         const MachineId other = group.machines[b];
         if (lastFinish[other] < lastFinish[chosen]) chosen = other;
       }
-      const double work = queries.workOnShard(query, group.fraction);
+      const double work =
+          config.pruningFactor * queries.workOnShard(query, group.fraction);
       const double service = work / serviceRate[chosen];
       const double start = std::max(now, lastFinish[chosen]);
       lastFinish[chosen] = start + service;
@@ -147,6 +149,8 @@ SimulationResult simulateQueries(const Instance& instance,
   for (ShardId s = 0; s < n; ++s)
     if (mapping[s] == kNoMachine || mapping[s] >= instance.machineCount())
       throw std::invalid_argument("simulateQueries: unassigned or bad machine");
+  if (!(config.pruningFactor > 0.0) || config.pruningFactor > 1.0)
+    throw std::invalid_argument("simulateQueries: pruningFactor must be in (0, 1]");
 
   if (instance.hasReplication())
     return simulateReplicated(instance, mapping, docFraction, queries, config);

@@ -22,6 +22,12 @@ struct SimulationConfig {
   /// Work units one unit of CPU capacity processes per second. A machine
   /// with capacity[0] == c serves at rate c * workUnitsPerCapacity.
   double workUnitsPerCapacity = 0.01;
+  /// Fraction of a shard's exhaustive scan cost a query actually incurs,
+  /// in (0, 1]. The analytic cost model assumes full-scan work per query;
+  /// the materialized kernel prunes most of it (block-max DAAT — see
+  /// bench/query_bench for the measured scanned/df ratio), which this
+  /// factor folds back into the simulator. 1.0 keeps the exhaustive model.
+  double pruningFactor = 1.0;
 };
 
 struct SimulationResult {

@@ -271,6 +271,9 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
 void QueryBroker::workerLoop(std::size_t machine) {
   MpmcQueue<Task>& queue = *queues_[machine];
   MachineStats& stats = *machineStats_[machine];
+  // The worker's scratch arena: every query this thread executes scores
+  // through these buffers, so steady-state execution allocates nothing.
+  QueryScratch scratch;
   // Pacing bookkeeping: per-task sleeps overshoot by a scheduler quantum,
   // which would silently shrink the machine's emulated capacity, so the
   // worker accumulates owed service time and sleeps it off in batches,
@@ -292,9 +295,11 @@ void QueryBroker::workerLoop(std::size_t machine) {
     ExecStats exec;
     double busy = 0.0;
     if (run) {
-      partial = topKDisjunctive(index_.shard(task.partition), pending.terms,
-                                pending.k, config_.bm25, &exec,
-                                &index_.globalStats());
+      const auto topDocs =
+          topKDisjunctiveInto(index_.shard(task.partition), pending.terms,
+                              pending.k, config_.bm25, scratch, &exec,
+                              &index_.globalStats());
+      partial.assign(topDocs.begin(), topDocs.end());
       const double realExec = secondsBetween(start, Clock::now());
       const double paced =
           config_.serviceFixedSeconds +
@@ -319,6 +324,9 @@ void QueryBroker::workerLoop(std::size_t machine) {
                                                    std::memory_order_relaxed);
       shardBusyNanos_[task.physicalShard].fetch_add(
           static_cast<std::uint64_t>(busy * 1e9), std::memory_order_relaxed);
+      blocksDecoded_.fetch_add(exec.blocksDecoded, std::memory_order_relaxed);
+      blocksSkipped_.fetch_add(exec.blocksSkipped, std::memory_order_relaxed);
+      heapPrunes_.fetch_add(exec.heapThresholdPrunes, std::memory_order_relaxed);
     }
 
     // Stats land before delivery so a client observing its result's
@@ -378,6 +386,9 @@ ObservedLoad QueryBroker::takeObservedLoad() {
         static_cast<double>(shardBusyNanos_[s].exchange(0, std::memory_order_relaxed)) *
         1e-9;
   }
+  out.blocksDecoded = blocksDecoded_.exchange(0, std::memory_order_relaxed);
+  out.blocksSkipped = blocksSkipped_.exchange(0, std::memory_order_relaxed);
+  out.heapThresholdPrunes = heapPrunes_.exchange(0, std::memory_order_relaxed);
   out.queries = queries_.exchange(0, std::memory_order_relaxed);
   out.cacheHits = cacheHits_.exchange(0, std::memory_order_relaxed);
   out.expiredQueries = expiredQueries_.exchange(0, std::memory_order_relaxed);

@@ -1,3 +1,7 @@
+// Block-Max WAND over the intrinsic per-block metadata of the posting
+// codec (the standalone BlockMaxIndex this API used to require is gone —
+// block-max bounds now live inside every BlockPostingList).
+
 #include "index/block_max.hpp"
 
 #include <gtest/gtest.h>
@@ -5,6 +9,7 @@
 #include <cmath>
 
 #include "index/partition.hpp"
+#include "index/wand.hpp"
 #include "util/rng.hpp"
 #include "workload/zipf.hpp"
 
@@ -15,13 +20,11 @@ struct Fixture {
   SyntheticDocConfig config;
   std::vector<Document> docs;
   InvertedIndex index;
-  BlockMaxIndex blockIndex;
 
-  explicit Fixture(std::uint64_t seed = 51, std::size_t blockSize = 64)
-      : config{.seed = seed, .docCount = 3000, .termCount = 600, .termExponent = 1.0},
+  explicit Fixture(std::uint64_t seed = 51, std::uint32_t docCount = 3000)
+      : config{.seed = seed, .docCount = docCount, .termCount = 600, .termExponent = 1.0},
         docs(generateDocuments(config)),
-        index(config.termCount, docs),
-        blockIndex(index, blockSize) {}
+        index(config.termCount, docs) {}
 };
 
 void expectSameTopK(const std::vector<ScoredDoc>& pruned,
@@ -35,31 +38,6 @@ void expectSameTopK(const std::vector<ScoredDoc>& pruned,
   }
 }
 
-TEST(BlockMaxIndex, MetadataCoversEveryPosting) {
-  Fixture f;
-  std::vector<DocId> docs;
-  std::vector<std::uint32_t> freqs;
-  for (TermId t = 0; t < f.config.termCount; ++t) {
-    f.index.postings(t).decode(docs, freqs);
-    const auto& blocks = f.blockIndex.blocks(t);
-    const std::size_t expected = (docs.size() + 63) / 64;
-    ASSERT_EQ(blocks.size(), expected) << "term " << t;
-    for (std::size_t b = 0; b < blocks.size(); ++b) {
-      const std::size_t begin = b * 64;
-      const std::size_t end = std::min(begin + 64, docs.size());
-      EXPECT_EQ(blocks[b].lastDoc, docs[end - 1]);
-      std::uint32_t maxTf = 0;
-      for (std::size_t i = begin; i < end; ++i) maxTf = std::max(maxTf, freqs[i]);
-      EXPECT_EQ(blocks[b].maxTf, maxTf);
-    }
-  }
-}
-
-TEST(BlockMaxIndex, RejectsZeroBlockSize) {
-  Fixture f;
-  EXPECT_THROW(BlockMaxIndex(f.index, 0), std::invalid_argument);
-}
-
 TEST(BlockMaxWand, ExactlyMatchesExhaustiveTopK) {
   Fixture f;
   Rng rng(4);
@@ -69,36 +47,48 @@ TEST(BlockMaxWand, ExactlyMatchesExhaustiveTopK) {
     const std::size_t len = 1 + rng.below(4);
     for (std::size_t i = 0; i < len; ++i)
       query.push_back(static_cast<TermId>(termPick.sample(rng) - 1));
-    expectSameTopK(topKBlockMaxWand(f.blockIndex, query, 10, Bm25Params{}),
-                   topKDisjunctive(f.index, query, 10, Bm25Params{}));
+    expectSameTopK(topKBlockMaxWand(f.index, query, 10, Bm25Params{}),
+                   topKDisjunctiveTaat(f.index, query, 10, Bm25Params{}));
   }
 }
 
-TEST(BlockMaxWand, MatchesAcrossKValuesAndBlockSizes) {
-  for (const std::size_t blockSize : {8u, 64u, 1024u}) {
-    Fixture f(51, blockSize);
-    const std::vector<TermId> query{0, 5, 60};
-    for (const std::size_t k : {1u, 10u, 200u})
-      expectSameTopK(topKBlockMaxWand(f.blockIndex, query, k, Bm25Params{}),
-                     topKDisjunctive(f.index, query, k, Bm25Params{}));
-  }
-}
-
-TEST(BlockMaxWand, SkipsBlocksAndBeatsPlainWandOnWork) {
+TEST(BlockMaxWand, MatchesAcrossKValues) {
   Fixture f;
-  const std::vector<TermId> query{0, 1};
-  WandStats plain;
-  topKWand(f.index, query, 10, Bm25Params{}, &plain);
+  const std::vector<TermId> query{0, 5, 60};
+  for (const std::size_t k : {1u, 10u, 200u, 100000u})
+    expectSameTopK(topKBlockMaxWand(f.index, query, k, Bm25Params{}),
+                   topKDisjunctiveTaat(f.index, query, k, Bm25Params{}));
+}
+
+TEST(BlockMaxWand, SkipsBlocksAndPrunesWorkOnSelectiveQueries) {
+  // Larger corpus and vocabulary so head lists span many blocks and the
+  // tail holds genuinely rare terms; a rare co-term gates the pivot and
+  // lets whole head blocks go by undecoded.
+  SyntheticDocConfig config{
+      .seed = 47, .docCount = 20000, .termCount = 2000, .termExponent = 1.05};
+  const auto docs = generateDocuments(config);
+  const InvertedIndex index(config.termCount, docs);
+  TermId rare = 0;
+  for (TermId t = config.termCount; t-- > 0;) {
+    const std::size_t df = index.documentFrequency(t);
+    if (df >= 10 && df <= 80) {
+      rare = t;
+      break;
+    }
+  }
+  ASSERT_GT(index.documentFrequency(0), 20 * index.documentFrequency(rare));
+  ExecStats exhaustive;
+  topKDisjunctiveTaat(index, {0, rare}, 5, Bm25Params{}, &exhaustive);
   BlockMaxStats bmw;
-  topKBlockMaxWand(f.blockIndex, query, 10, Bm25Params{}, &bmw);
+  topKBlockMaxWand(index, {0, rare}, 5, Bm25Params{}, &bmw);
   EXPECT_GT(bmw.blockSkips, 0u);
-  EXPECT_LE(bmw.postingsEvaluated, plain.postingsEvaluated);
+  EXPECT_LT(bmw.postingsEvaluated, exhaustive.postingsScanned);
 }
 
 TEST(BlockMaxWand, DegenerateInputs) {
   Fixture f;
-  EXPECT_TRUE(topKBlockMaxWand(f.blockIndex, {}, 10, Bm25Params{}).empty());
-  EXPECT_TRUE(topKBlockMaxWand(f.blockIndex, {0}, 0, Bm25Params{}).empty());
+  EXPECT_TRUE(topKBlockMaxWand(f.index, {}, 10, Bm25Params{}).empty());
+  EXPECT_TRUE(topKBlockMaxWand(f.index, {0}, 0, Bm25Params{}).empty());
 }
 
 TEST(BlockMaxWand, WorksWithGlobalStatsInPartitionedSearch) {
@@ -106,26 +96,24 @@ TEST(BlockMaxWand, WorksWithGlobalStatsInPartitionedSearch) {
   const PartitionedIndex part(f.config.termCount, f.docs, 3);
   const std::vector<TermId> query{2, 11, 30};
   std::vector<std::vector<ScoredDoc>> perShard;
-  for (std::size_t i = 0; i < part.shardCount(); ++i) {
-    const BlockMaxIndex shardBlocks(part.shard(i), 64);
-    perShard.push_back(topKBlockMaxWand(shardBlocks, query, 10, Bm25Params{},
+  for (std::size_t i = 0; i < part.shardCount(); ++i)
+    perShard.push_back(topKBlockMaxWand(part.shard(i), query, 10, Bm25Params{},
                                         nullptr, &part.globalStats()));
-  }
   expectSameTopK(mergeTopK(perShard, 10),
-                 topKDisjunctive(f.index, query, 10, Bm25Params{}));
+                 topKDisjunctiveTaat(f.index, query, 10, Bm25Params{}));
 }
 
 TEST(BlockMaxWand, ManySeedsAgreeWithExhaustive) {
   for (const std::uint64_t seed : {61ULL, 62ULL, 63ULL}) {
-    Fixture f(seed, 32);
+    Fixture f(seed);
     Rng rng(seed);
     const ZipfSampler termPick(f.config.termCount, 1.1);
     for (int q = 0; q < 40; ++q) {
       std::vector<TermId> query;
       for (std::size_t i = 0; i < 3; ++i)
         query.push_back(static_cast<TermId>(termPick.sample(rng) - 1));
-      expectSameTopK(topKBlockMaxWand(f.blockIndex, query, 7, Bm25Params{}),
-                     topKDisjunctive(f.index, query, 7, Bm25Params{}));
+      expectSameTopK(topKBlockMaxWand(f.index, query, 7, Bm25Params{}),
+                     topKDisjunctiveTaat(f.index, query, 7, Bm25Params{}));
     }
   }
 }

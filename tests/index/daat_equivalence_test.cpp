@@ -1,0 +1,154 @@
+// DAAT ≡ TAAT: the block-max DAAT kernel must return *bit-identical*
+// results to the exhaustive term-at-a-time reference — same documents,
+// same scores, no tolerance. Both paths sum per-term contributions in
+// sorted-unique-term order, so even floating-point summation agrees.
+
+#include <gtest/gtest.h>
+
+#include "index/partition.hpp"
+#include "index/query_exec.hpp"
+#include "index/wand.hpp"
+#include "util/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace resex {
+namespace {
+
+void expectBitIdentical(const std::vector<ScoredDoc>& daat,
+                        const std::vector<ScoredDoc>& taat) {
+  ASSERT_EQ(daat.size(), taat.size());
+  for (std::size_t i = 0; i < daat.size(); ++i) {
+    EXPECT_EQ(daat[i].doc, taat[i].doc) << "rank " << i;
+    EXPECT_EQ(daat[i].score, taat[i].score) << "rank " << i;
+  }
+}
+
+TEST(DaatEquivalence, IdenticalResultsAcrossSeededCorpora) {
+  for (const std::uint64_t seed : {101ULL, 102ULL, 103ULL}) {
+    SyntheticDocConfig config{
+        .seed = seed, .docCount = 2500, .termCount = 500, .termExponent = 1.0};
+    const auto docs = generateDocuments(config);
+    const InvertedIndex index(config.termCount, docs);
+    Rng rng(seed + 7);
+    const ZipfSampler termPick(config.termCount, 0.9);
+    for (int q = 0; q < 120; ++q) {
+      std::vector<TermId> query;
+      const std::size_t len = 1 + rng.below(4);
+      for (std::size_t i = 0; i < len; ++i)
+        query.push_back(static_cast<TermId>(termPick.sample(rng) - 1));
+      for (const std::size_t k : {1u, 10u, 100u})
+        expectBitIdentical(topKDisjunctive(index, query, k, Bm25Params{}),
+                           topKDisjunctiveTaat(index, query, k, Bm25Params{}));
+    }
+  }
+}
+
+TEST(DaatEquivalence, IdenticalUnderGlobalStatsAcrossShards) {
+  SyntheticDocConfig config{
+      .seed = 203, .docCount = 3000, .termCount = 400, .termExponent = 1.0};
+  const auto docs = generateDocuments(config);
+  const PartitionedIndex part(config.termCount, docs, 3);
+  Rng rng(9);
+  const ZipfSampler termPick(config.termCount, 1.0);
+  for (int q = 0; q < 60; ++q) {
+    std::vector<TermId> query;
+    for (std::size_t i = 0; i < 1 + rng.below(3); ++i)
+      query.push_back(static_cast<TermId>(termPick.sample(rng) - 1));
+    for (std::size_t s = 0; s < part.shardCount(); ++s)
+      expectBitIdentical(topKDisjunctive(part.shard(s), query, 10, Bm25Params{},
+                                         nullptr, &part.globalStats()),
+                         topKDisjunctiveTaat(part.shard(s), query, 10, Bm25Params{},
+                                             nullptr, &part.globalStats()));
+  }
+}
+
+TEST(DaatEquivalence, StaleGlobalStatsFallBackToShardLocalDf) {
+  // Regression: a global-stats snapshot whose documentFrequency vector is
+  // truncated (stale broadcast, new vocabulary) or zero-filled used to
+  // throw out of `documentFrequency.at(t)`. The kernel now degrades to
+  // the shard-local df for exactly those terms.
+  SyntheticDocConfig config{.seed = 31, .docCount = 1500, .termCount = 300};
+  const auto docs = generateDocuments(config);
+  const InvertedIndex index(config.termCount, docs);
+  const std::vector<TermId> query{1, 150, 299};
+
+  // Whole-index "global" stats with an empty df vector: every term falls
+  // back to its local df, which here *is* the global df — results must be
+  // identical to scoring without global stats at all.
+  GlobalStats stale;
+  stale.documentCount = index.documentCount();
+  stale.avgDocLength = index.averageDocLength();
+  const auto local = topKDisjunctive(index, query, 10, Bm25Params{});
+  expectBitIdentical(
+      topKDisjunctive(index, query, 10, Bm25Params{}, nullptr, &stale), local);
+
+  // Zero-filled entries (term known but count lost) fall back the same way.
+  stale.documentFrequency.assign(config.termCount, 0);
+  expectBitIdentical(
+      topKDisjunctive(index, query, 10, Bm25Params{}, nullptr, &stale), local);
+
+  // Partially-truncated vector: terms below the cut use the snapshot,
+  // terms above fall back; nothing throws. Every path agrees with TAAT.
+  const PartitionedIndex part(config.termCount, docs, 2);
+  GlobalStats truncated = part.globalStats();
+  truncated.documentFrequency.resize(150);
+  for (std::size_t s = 0; s < part.shardCount(); ++s)
+    expectBitIdentical(topKDisjunctive(part.shard(s), query, 10, Bm25Params{},
+                                       nullptr, &truncated),
+                       topKDisjunctiveTaat(part.shard(s), query, 10, Bm25Params{},
+                                           nullptr, &truncated));
+
+  // MaxScore and WAND share the fallback through buildCursors.
+  EXPECT_NO_THROW(topKMaxScore(part.shard(0), query, 10, Bm25Params{}, nullptr,
+                               &truncated));
+  EXPECT_NO_THROW(
+      topKWand(part.shard(0), query, 10, Bm25Params{}, nullptr, &truncated));
+  EXPECT_NO_THROW(chooseStrategy(part.shard(0), query, &truncated));
+}
+
+TEST(DaatEquivalence, SkipAndPruneCountersFireOnSelectiveQueries) {
+  SyntheticDocConfig config{
+      .seed = 47, .docCount = 20000, .termCount = 2000, .termExponent = 1.05};
+  const auto docs = generateDocuments(config);
+  const InvertedIndex index(config.termCount, docs);
+  // A head term paired with a moderately rare one: the rare list gates the
+  // pivot, so the head list's blocks are mostly passed over undecoded.
+  TermId rare = 0;
+  for (TermId t = config.termCount; t-- > 0;) {
+    const std::size_t df = index.documentFrequency(t);
+    if (df >= 10 && df <= 60) {
+      rare = t;
+      break;
+    }
+  }
+  ASSERT_GT(index.documentFrequency(0), 100 * index.documentFrequency(rare));
+  ExecStats daat;
+  const auto pruned = topKDisjunctive(index, {0, rare}, 5, Bm25Params{}, &daat);
+  ExecStats taat;
+  const auto full = topKDisjunctiveTaat(index, {0, rare}, 5, Bm25Params{}, &taat);
+  expectBitIdentical(pruned, full);
+  EXPECT_GT(daat.blocksSkipped, 0u);
+  EXPECT_GT(daat.heapThresholdPrunes, 0u);
+  EXPECT_LT(daat.postingsScanned, taat.postingsScanned);
+  EXPECT_GT(daat.blocksDecoded, 0u);
+}
+
+TEST(DaatEquivalence, IntoVariantReusesOneScratchAcrossQueries) {
+  SyntheticDocConfig config{.seed = 53, .docCount = 1200, .termCount = 250};
+  const auto docs = generateDocuments(config);
+  const InvertedIndex index(config.termCount, docs);
+  QueryScratch scratch;
+  Rng rng(3);
+  const ZipfSampler termPick(config.termCount, 0.9);
+  for (int q = 0; q < 80; ++q) {
+    std::vector<TermId> query;
+    for (std::size_t i = 0; i < 1 + rng.below(3); ++i)
+      query.push_back(static_cast<TermId>(termPick.sample(rng) - 1));
+    const auto view = topKDisjunctiveInto(index, query, 10, Bm25Params{}, scratch);
+    const std::vector<ScoredDoc> copied(view.begin(), view.end());
+    expectBitIdentical(copied, topKDisjunctiveTaat(index, query, 10, Bm25Params{}));
+  }
+}
+
+}  // namespace
+}  // namespace resex

@@ -67,7 +67,7 @@ TEST(MaxScore, PrunesWorkOnSelectiveQueries) {
   // Head terms (huge lists) + small k: most candidates are skippable.
   const std::vector<TermId> query{0, 1, 2};
   ExecStats exhaustive;
-  topKDisjunctive(f.index, query, 10, Bm25Params{}, &exhaustive);
+  topKDisjunctiveTaat(f.index, query, 10, Bm25Params{}, &exhaustive);
   MaxScoreStats pruned;
   topKMaxScore(f.index, query, 10, Bm25Params{}, &pruned);
   EXPECT_LT(pruned.postingsEvaluated, exhaustive.postingsScanned);

@@ -73,14 +73,21 @@ TEST(Partition, ScatterGatherEqualsWholeIndexSearch) {
 TEST(Partition, PerShardWorkScalesWithDocFraction) {
   // The empirical grounding of the analytic cost model in src/search:
   // postings scanned per shard for a query is proportional to the shard's
-  // document fraction (in expectation).
+  // document fraction (in expectation). The model describes *exhaustive*
+  // evaluation, so the measurement runs the TAAT reference per shard (the
+  // DAAT path prunes a query-dependent fraction; the simulator folds that
+  // in separately via SimulationConfig.pruningFactor).
   Fixture f;
   const std::vector<double> weights{4.0, 1.0};
   const PartitionedIndex part(f.config.termCount, f.docs, 2, weights);
   std::vector<ExecStats> stats(2);
   // A batch of head-term queries accumulates enough postings to average.
-  for (TermId t = 0; t < 30; ++t)
-    part.searchTopK({t, static_cast<TermId>(t + 1)}, 10, Bm25Params{}, &stats);
+  for (TermId t = 0; t < 30; ++t) {
+    const std::vector<TermId> query{t, static_cast<TermId>(t + 1)};
+    for (std::size_t s = 0; s < 2; ++s)
+      topKDisjunctiveTaat(part.shard(s), query, 10, Bm25Params{}, &stats[s],
+                          &part.globalStats());
+  }
   const double ratio = static_cast<double>(stats[0].postingsScanned) /
                        static_cast<double>(stats[1].postingsScanned);
   const double fractionRatio = part.docFraction(0) / part.docFraction(1);
@@ -91,12 +98,16 @@ TEST(Partition, MeasuredWorkTracksAnalyticCostModel) {
   // The analytic model says expected per-query work on a shard is
   // affine in the shard's corpus fraction with slope ~ E[df of a query
   // term] * terms-per-query. Check the *shape*: doubling the fraction
-  // about doubles the measured postings scanned.
+  // about doubles the measured postings scanned (exhaustive reference,
+  // as above).
   Fixture f;
   const std::vector<double> weights{2.0, 1.0, 1.0};
   const PartitionedIndex part(f.config.termCount, f.docs, 3, weights);
   std::vector<ExecStats> stats(3);
-  for (TermId t = 0; t < 40; ++t) part.searchTopK({t}, 10, Bm25Params{}, &stats);
+  for (TermId t = 0; t < 40; ++t)
+    for (std::size_t s = 0; s < 3; ++s)
+      topKDisjunctiveTaat(part.shard(s), {t}, 10, Bm25Params{}, &stats[s],
+                          &part.globalStats());
   EXPECT_NEAR(static_cast<double>(stats[0].postingsScanned),
               static_cast<double>(stats[1].postingsScanned + stats[2].postingsScanned),
               0.15 * static_cast<double>(stats[0].postingsScanned));

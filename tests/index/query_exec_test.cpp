@@ -137,10 +137,25 @@ TEST(QueryExec, EmptyQueryAndEmptyTermBehave) {
 TEST(QueryExec, StatsCountScannedPostings) {
   Fixture f;
   ExecStats stats;
-  topKDisjunctive(f.index, {0, 1}, 10, Bm25Params{}, &stats);
+  topKDisjunctiveTaat(f.index, {0, 1}, 10, Bm25Params{}, &stats);
   EXPECT_EQ(stats.postingsScanned,
             f.index.documentFrequency(0) + f.index.documentFrequency(1));
   EXPECT_GT(stats.candidatesScored, 0u);
+  // The DAAT path prunes: it never scans more than the exhaustive count.
+  ExecStats daat;
+  topKDisjunctive(f.index, {0, 1}, 10, Bm25Params{}, &daat);
+  EXPECT_GT(daat.postingsScanned, 0u);
+  EXPECT_LE(daat.postingsScanned, stats.postingsScanned);
+}
+
+TEST(QueryExec, TaatMatchesBruteForce) {
+  Fixture f;
+  for (const std::vector<TermId> query :
+       {std::vector<TermId>{0}, {5, 40}, {1, 2, 3}, {100, 200, 250}}) {
+    const auto fast = topKDisjunctiveTaat(f.index, query, 10, Bm25Params{});
+    const auto slow = bruteForce(f.docs, f.config.termCount, query, 10, false, {});
+    expectSameResults(fast, slow);
+  }
 }
 
 TEST(QueryExec, KLimitsResultCount) {

@@ -63,7 +63,7 @@ TEST(Wand, SkipsWorkOnSelectiveQueries) {
   Fixture f;
   const std::vector<TermId> query{0, 1};
   ExecStats exhaustive;
-  topKDisjunctive(f.index, query, 10, Bm25Params{}, &exhaustive);
+  topKDisjunctiveTaat(f.index, query, 10, Bm25Params{}, &exhaustive);
   WandStats stats;
   topKWand(f.index, query, 10, Bm25Params{}, &stats);
   EXPECT_LT(stats.postingsEvaluated, exhaustive.postingsScanned);
