@@ -39,6 +39,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -46,6 +47,9 @@
 #include "core/baselines.hpp"
 #include "core/sra.hpp"
 #include "index/partition.hpp"
+#include "obs/context.hpp"
+#include "obs/http.hpp"
+#include "obs/slo.hpp"
 #include "serve/broker.hpp"
 #include "util/flags.hpp"
 #include "util/json_writer.hpp"
@@ -65,6 +69,22 @@ struct PhaseOutcome {
   double wallSeconds = 0.0;
 };
 
+/// The broker currently serving traffic, published for the HTTP
+/// introspection handlers (phases create and destroy brokers; the
+/// handlers must never touch a dead one).
+std::mutex gLiveBrokerMutex;
+resex::serve::QueryBroker* gLiveBroker = nullptr;
+
+void publishLiveBroker(resex::serve::QueryBroker* broker) {
+  std::lock_guard lock(gLiveBrokerMutex);
+  gLiveBroker = broker;
+}
+
+std::string liveBrokerJson(std::string (resex::serve::QueryBroker::*fn)() const) {
+  std::lock_guard lock(gLiveBrokerMutex);
+  return gLiveBroker ? (gLiveBroker->*fn)() : std::string("{}");
+}
+
 /// Replays `trace` through a broker serving `mapping` on a fixed open-loop
 /// arrival schedule of `qps`: client threads pull query i from a shared
 /// cursor and issue it at phaseStart + i/qps (immediately when behind).
@@ -72,9 +92,14 @@ PhaseOutcome runPhase(const std::string& name, const Instance& instance,
                       const std::vector<MachineId>& mapping,
                       const PartitionedIndex& index,
                       const std::vector<std::vector<TermId>>& trace,
-                      const serve::ServeConfig& config, std::size_t clients,
+                      const serve::ServeConfig& baseConfig, std::size_t clients,
                       double qps) {
+  // Each phase is its own SLO class, so /debug/slo (and the --check gate)
+  // can compare mappings by their sliding-window quantiles.
+  serve::ServeConfig config = baseConfig;
+  config.sloClass = name;
   serve::QueryBroker broker(instance, mapping, index, config);
+  publishLiveBroker(&broker);
   WallTimer timer;
   const auto phaseStart = Clock::now();
   std::atomic<std::size_t> cursor{0};
@@ -98,7 +123,44 @@ PhaseOutcome runPhase(const std::string& name, const Instance& instance,
   outcome.name = name;
   outcome.wallSeconds = timer.seconds();
   outcome.load = broker.takeObservedLoad();
+  publishLiveBroker(nullptr);
   return outcome;
+}
+
+/// Closed-loop (unpaced, no deadline) replay of the trace measuring raw
+/// broker throughput with request-scoped tracing on or off — the tracing
+/// overhead guard. Open-loop phases can't show this: their rate is fixed
+/// by the arrival schedule.
+double closedLoopQps(const Instance& instance, const std::vector<MachineId>& mapping,
+                     const PartitionedIndex& index,
+                     const std::vector<std::vector<TermId>>& trace,
+                     const serve::ServeConfig& baseConfig, std::size_t clients,
+                     std::size_t reps, bool tracing) {
+  serve::ServeConfig config = baseConfig;
+  config.deadlineSeconds = 0.0;
+  config.serviceFixedSeconds = 0.0;
+  config.servicePerPostingSeconds = 0.0;
+  config.cacheCapacity = 0;
+  config.sloClass.clear();
+  config.tracing = tracing;
+  serve::QueryBroker broker(instance, mapping, index, config);
+  const std::size_t totalQueries = trace.size() * reps;
+  WallTimer timer;
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= totalQueries) break;
+        broker.execute(trace[i % trace.size()]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall = timer.seconds();
+  return wall > 0.0 ? static_cast<double>(totalQueries) / wall : 0.0;
 }
 
 double completeness(const serve::ObservedLoad& load) {
@@ -126,6 +188,17 @@ void writePhase(JsonWriter& json, const PhaseOutcome& outcome) {
   json.key("machine_busy_seconds").beginArray();
   for (const double busy : outcome.load.machineBusySeconds) json.value(busy);
   json.endArray();
+  // The phase's sliding-window SLO view (same samples, windowed path).
+  const obs::SloSnapshot slo =
+      obs::SloRegistry::global().window(outcome.name).snapshot();
+  json.key("slo").beginObject();
+  json.field("total", slo.total);
+  json.field("errors", slo.errors);
+  json.field("p50_seconds", slo.p50);
+  json.field("p99_seconds", slo.p99);
+  json.field("error_rate", slo.errorRate);
+  json.field("burn_rate", slo.burnRate);
+  json.endObject();
   json.endObject();
 }
 
@@ -157,7 +230,16 @@ int main(int argc, char** argv) {
       .define("cache", "0", "result cache entries (0 = disabled)")
       .define("seed", "7", "random seed")
       .define("out", "BENCH_serve.json", "output record path")
-      .define("check", "false", "exit nonzero unless SRA p99 < greedy p99");
+      .define("check", "false",
+              "exit nonzero unless SRA beats greedy p99 (ObservedLoad and "
+              "SLO-window views both)")
+      .define("tracing", "true",
+              "request-scoped tracing during the serving phases")
+      .define("obs-port", "-1",
+              "HTTP introspection port (0 = ephemeral, -1 = off)")
+      .define("overhead-reps", "4",
+              "closed-loop trace replays per tracing-overhead arm (0 = skip "
+              "the tracing on/off throughput comparison)");
   flags.parse(argc, argv);
   if (flags.helpRequested()) {
     std::cout << flags.helpText("serve_bench");
@@ -347,6 +429,23 @@ int main(int argc, char** argv) {
   serveConfig.servicePerPostingSeconds = servicePerPosting;
   serveConfig.cacheCapacity = static_cast<std::size_t>(flags.integer("cache"));
   serveConfig.seed = seed;
+  serveConfig.tracing = flags.boolean("tracing");
+  // Every phase's samples must stay inside the sliding window for the
+  // SLO-based check to see the whole phase.
+  serveConfig.slo.windowSeconds = 600.0;
+  serveConfig.slo.bucketSeconds = 5.0;
+  serveConfig.slo.p99TargetSeconds = deadlineSeconds;
+  if (serveConfig.tracing) obs::TraceRegistry::global().setEnabled(true);
+
+  const auto obsPort = static_cast<int>(flags.integer("obs-port"));
+  obs::IntrospectionSources sources;
+  sources.brokerJson = [] { return liveBrokerJson(&serve::QueryBroker::debugJson); };
+  sources.shardsJson = [] { return liveBrokerJson(&serve::QueryBroker::shardsJson); };
+  const auto http = obs::serveIntrospection(obsPort, std::move(sources));
+  if (http) {
+    obs::TraceRegistry::global().setEnabled(true);
+    std::printf("introspection plane on http://127.0.0.1:%d\n", http->port());
+  }
   auto clients = static_cast<std::size_t>(flags.integer("clients"));
   if (clients == 0)
     clients = std::max<std::size_t>(
@@ -394,6 +493,39 @@ int main(int argc, char** argv) {
                                         index, trace, serveConfig, clients, qps);
   observedPhase.rho = qps * hotObserved;
 
+  // -- Tracing overhead: closed-loop throughput, tracing off vs on --------
+  double qpsTracingOff = 0.0, qpsTracingOn = 0.0;
+  const auto overheadReps = static_cast<std::size_t>(flags.integer("overhead-reps"));
+  if (overheadReps > 0) {
+    obs::TraceRegistry::global().setEnabled(true);
+    // Untimed warmup so neither arm pays one-time costs (worker arenas,
+    // page faults) and the comparison isolates the per-span price.
+    closedLoopQps(instance, sraResult.finalMapping, index, trace, serveConfig,
+                  clients, 1, true);
+    // Interleave the arms rep-by-rep: a sequential off-then-on split lets
+    // clock-frequency and thermal drift over the run masquerade as
+    // tracing overhead.
+    const auto repQueries = static_cast<double>(trace.size());
+    double wallOff = 0.0, wallOn = 0.0;
+    for (std::size_t rep = 0; rep < overheadReps; ++rep) {
+      wallOff += repQueries / closedLoopQps(instance, sraResult.finalMapping,
+                                            index, trace, serveConfig, clients,
+                                            1, false);
+      wallOn += repQueries / closedLoopQps(instance, sraResult.finalMapping,
+                                           index, trace, serveConfig, clients,
+                                           1, true);
+    }
+    const double totalQueries = repQueries * static_cast<double>(overheadReps);
+    qpsTracingOff = wallOff > 0.0 ? totalQueries / wallOff : 0.0;
+    qpsTracingOn = wallOn > 0.0 ? totalQueries / wallOn : 0.0;
+    std::printf("tracing overhead (closed loop): off %.0f qps | on %.0f qps "
+                "(%.1f%%)\n",
+                qpsTracingOff, qpsTracingOn,
+                qpsTracingOff > 0.0
+                    ? (1.0 - qpsTracingOn / qpsTracingOff) * 100.0
+                    : 0.0);
+  }
+
   // -- Report --------------------------------------------------------------
   Table table({"mapping", "rho_hot", "complete", "p50 ms", "p95 ms", "p99 ms"});
   for (const PhaseOutcome* phase :
@@ -431,14 +563,38 @@ int main(int argc, char** argv) {
   writePhase(json, observedPhase);
   json.endObject();
   json.field("sra_p99_beats_greedy", sraPhase.load.p99 < greedyPhase.load.p99);
+  json.field("tracing", serveConfig.tracing);
+  if (overheadReps > 0) {
+    json.field("tracing_off_qps", qpsTracingOff);
+    json.field("tracing_on_qps", qpsTracingOn);
+    json.field("tracing_overhead_fraction",
+               qpsTracingOff > 0.0 ? 1.0 - qpsTracingOn / qpsTracingOff : 0.0);
+  }
   json.endObject();
   std::ofstream(flags.str("out")) << json.str() << "\n";
   std::printf("record written to %s\n", flags.str("out").c_str());
 
-  if (flags.boolean("check") && !(sraPhase.load.p99 < greedyPhase.load.p99)) {
-    std::fprintf(stderr, "CHECK FAILED: sra p99 %.4fms !< greedy p99 %.4fms\n",
-                 sraPhase.load.p99 * 1e3, greedyPhase.load.p99 * 1e3);
-    return 1;
+  if (flags.boolean("check")) {
+    if (!(sraPhase.load.p99 < greedyPhase.load.p99)) {
+      std::fprintf(stderr, "CHECK FAILED: sra p99 %.4fms !< greedy p99 %.4fms\n",
+                   sraPhase.load.p99 * 1e3, greedyPhase.load.p99 * 1e3);
+      return 1;
+    }
+    // Same gate through the windowed SLO path: the sliding-window
+    // quantiles must tell the same story as the harvest-window ones.
+    const obs::SloSnapshot sraSlo = obs::SloRegistry::global().window("sra").snapshot();
+    const obs::SloSnapshot greedySlo =
+        obs::SloRegistry::global().window("greedy").snapshot();
+    if (sraSlo.total == 0 || greedySlo.total == 0 ||
+        !(sraSlo.p99 < greedySlo.p99)) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: SLO window sra p99 %.4fms !< greedy p99 "
+                   "%.4fms (samples %llu vs %llu)\n",
+                   sraSlo.p99 * 1e3, greedySlo.p99 * 1e3,
+                   static_cast<unsigned long long>(sraSlo.total),
+                   static_cast<unsigned long long>(greedySlo.total));
+      return 1;
+    }
   }
   return 0;
 }

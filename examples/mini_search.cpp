@@ -16,12 +16,15 @@
 //
 //   ./mini_search --serve [--machines M] [--clients C] [--cache N]
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <thread>
 
 #include "cluster/instance.hpp"
 #include "index/partition.hpp"
+#include "obs/context.hpp"
+#include "obs/http.hpp"
 #include "serve/broker.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -36,7 +39,8 @@ namespace {
 void serveDemo(const resex::PartitionedIndex& index,
                const std::vector<std::vector<resex::TermId>>& trace,
                std::size_t machineCount, std::size_t clientCount,
-               std::size_t cacheEntries, double deadlineMs, std::uint64_t seed) {
+               std::size_t cacheEntries, double deadlineMs, std::uint64_t seed,
+               int obsPort, double serveSeconds) {
   using namespace resex;
   const std::size_t partitions = index.shardCount();
   machineCount = std::min(machineCount, partitions);
@@ -64,11 +68,33 @@ void serveDemo(const resex::PartitionedIndex& index,
   config.deadlineSeconds = deadlineMs * 1e-3;
   config.cacheCapacity = cacheEntries;
   config.seed = seed;
+  if (obsPort >= 0) {
+    // The introspection plane only earns its keep with live data behind
+    // it: turn on request-scoped tracing and SLO tracking for the demo.
+    obs::TraceRegistry::global().setEnabled(true);
+    config.tracing = true;
+    config.sloClass = "interactive";
+  }
   serve::QueryBroker broker(instance, mapping, index, config);
+
+  obs::IntrospectionSources sources;
+  sources.brokerJson = [&broker] { return broker.debugJson(); };
+  sources.shardsJson = [&broker] { return broker.shardsJson(); };
+  const auto http = obs::serveIntrospection(obsPort, std::move(sources));
+  if (http)
+    std::printf("\nintrospection plane on http://127.0.0.1:%d "
+                "(/metrics /traces /debug/broker /debug/shards /debug/slo)\n",
+                http->port());
 
   std::printf("\n-- serve mode: %zu partitions on %zu machines, %zu clients, "
               "%.0f ms deadline, cache %zu --\n",
               partitions, machineCount, clientCount, deadlineMs, cacheEntries);
+  // With --serve-seconds the clients replay the trace in a loop for that
+  // long (so the HTTP endpoints can be explored against live traffic);
+  // otherwise a single pass through the trace.
+  const auto stopAt = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(serveSeconds));
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::uint64_t> complete{0};
   std::vector<std::thread> clients;
@@ -77,8 +103,10 @@ void serveDemo(const resex::PartitionedIndex& index,
     clients.emplace_back([&] {
       for (;;) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= trace.size()) break;
-        if (broker.execute(trace[i]).complete)
+        if (i >= trace.size() &&
+            (serveSeconds <= 0.0 || std::chrono::steady_clock::now() >= stopAt))
+          break;
+        if (broker.execute(trace[i % trace.size()]).complete)
           complete.fetch_add(1, std::memory_order_relaxed);
       }
     });
@@ -124,6 +152,12 @@ int main(int argc, char** argv) {
       .define("clients", "4", "serve mode: concurrent client threads")
       .define("cache", "256", "serve mode: result cache entries (0 = off)")
       .define("deadline-ms", "50", "serve mode: per-query deadline")
+      .define("obs-port", "-1",
+              "serve mode: HTTP introspection port (0 = ephemeral, -1 = off); "
+              "enables request-scoped tracing and SLO tracking")
+      .define("serve-seconds", "0",
+              "serve mode: replay the trace in a loop for this long "
+              "(0 = single pass; pair with --obs-port to leave time to curl)")
       .define("seed", "42", "random seed");
   flags.parse(argc, argv);
   if (flags.helpRequested()) {
@@ -200,7 +234,9 @@ int main(int argc, char** argv) {
     serveDemo(part, trace, static_cast<std::size_t>(flags.integer("machines")),
               static_cast<std::size_t>(flags.integer("clients")),
               static_cast<std::size_t>(flags.integer("cache")),
-              flags.real("deadline-ms"), config.seed);
+              flags.real("deadline-ms"), config.seed,
+              static_cast<int>(flags.integer("obs-port")),
+              flags.real("serve-seconds"));
   }
   return 0;
 }

@@ -16,10 +16,12 @@
 // LNS -> schedule) plus a mini search-engine query batch — and is the
 // scenario the observability docs reference.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "control/controller.hpp"
 #include "core/baselines.hpp"
@@ -28,7 +30,9 @@
 #include "index/wand.hpp"
 #include "metrics/report.hpp"
 #include "model/bounds.hpp"
+#include "obs/context.hpp"
 #include "obs/export.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "util/flags.hpp"
 #include "workload/synthetic.hpp"
@@ -219,7 +223,13 @@ int main(int argc, char** argv) {
       .define("solution", "", "solve: write final mapping here")
       .define("json", "", "solve: write JSON report here")
       .define("json-moves", "false", "solve: include per-move detail in JSON")
-      .define("queries", "2000", "quickstart: search queries to run");
+      .define("queries", "2000", "quickstart: search queries to run")
+      .define("obs-port", "-1",
+              "serve an HTTP introspection plane on 127.0.0.1:<port> "
+              "(0 = ephemeral, -1 = off); enables request-scoped tracing")
+      .define("obs-hold-seconds", "0",
+              "keep the process (and the introspection plane) alive this "
+              "long after the command finishes, for interactive curling");
   resex::obs::defineExportFlags(flags);
 
   try {
@@ -231,6 +241,14 @@ int main(int argc, char** argv) {
       return flags.helpRequested() ? 0 : 2;
     }
     resex::obs::applyExportFlags(flags);
+    const auto http = resex::obs::serveIntrospection(
+        static_cast<int>(flags.integer("obs-port")));
+    if (http) {
+      resex::obs::TraceRegistry::global().setEnabled(true);
+      std::printf("introspection plane on http://127.0.0.1:%d "
+                  "(/metrics /metrics.json /traces /debug/slo /healthz)\n",
+                  http->port());
+    }
     const std::string command = flags.positional()[0];
     int status = 2;
     if (command == "gen") {
@@ -257,6 +275,10 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
       return 2;
+    }
+    if (const double hold = flags.real("obs-hold-seconds"); http && hold > 0.0) {
+      std::printf("holding %.0fs for introspection (ctrl-c to stop early)\n", hold);
+      std::this_thread::sleep_for(std::chrono::duration<double>(hold));
     }
     if (!resex::obs::writeExportFlags(flags)) return status == 0 ? 1 : status;
     return status;

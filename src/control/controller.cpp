@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -46,6 +47,7 @@ RebalanceResult ClusterController::plan(const Instance& instance) {
 
 EpochReport ClusterController::step(const Instance& instance) {
   RESEX_TRACE_SPAN("controller.step");
+  const std::uint64_t epochStartUs = obs::Tracer::nowMicros();
   auto& registry = obs::MetricsRegistry::global();
   registry.counter("controller.epochs").add();
 
@@ -114,6 +116,18 @@ EpochReport ClusterController::step(const Instance& instance) {
   registry.series("controller.epochs_series")
       .append(static_cast<double>(report.epoch), report.after.bottleneckUtil,
               report.after.utilCv, report.executed ? 1.0 : 0.0);
+
+  // Controller epochs land on the request-scoped timeline, so a trace
+  // export shows query slowdowns against the re-plans that caused them.
+  if (obs::TraceRegistry::enabled())
+    obs::TraceRegistry::global().emitTimeline(
+        "controller.epoch", epochStartUs,
+        obs::Tracer::nowMicros() - epochStartUs,
+        {{"epoch", static_cast<double>(report.epoch)},
+         {"triggered", report.triggered ? 1.0 : 0.0},
+         {"executed", report.executed ? 1.0 : 0.0},
+         {"bottleneck_util", report.after.bottleneckUtil},
+         {"executed_bytes", report.executedBytes}});
 
   ++epoch_;
   history_.push_back(report);

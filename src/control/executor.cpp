@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -133,6 +134,7 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
   bool stop = false;
   while (!stop && phaseIndex < active->phases.size()) {
     RESEX_TRACE_SPAN("executor.phase");
+    const std::uint64_t phaseStartUs = obs::Tracer::nowMicros();
     const Phase& phase = active->phases[phaseIndex];
 
     // Crash cutoff for this phase: moves before it completed their copies
@@ -260,7 +262,8 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
       mapping[mv.shard] = mv.to;
       committedPhaseBytes += shard.moveBytes;
     }
-    report.movesCommitted += committed.size();
+    const std::size_t committedCount = committed.size();
+    report.movesCommitted += committedCount;
     report.committedBytes += committedPhaseBytes;
     record.committed.phases.push_back(Phase{std::move(committed), phase.peakTransientUtil});
     record.committed.totalBytes += committedPhaseBytes;
@@ -276,6 +279,18 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
     report.simulatedSeconds += worstSeconds + worstBackoff;
 
     ++report.phasesExecuted;
+    // Migration phases join the request-scoped timeline so a single
+    // Perfetto export lines query tails up against the copy windows and
+    // switch-overs that produced them.
+    if (obs::TraceRegistry::enabled())
+      obs::TraceRegistry::global().emitTimeline(
+          "executor.phase", phaseStartUs,
+          obs::Tracer::nowMicros() - phaseStartUs,
+          {{"phase", static_cast<double>(globalPhase)},
+           {"moves_committed", static_cast<double>(committedCount)},
+           {"committed_bytes", committedPhaseBytes},
+           {"simulated_seconds", worstSeconds + worstBackoff},
+           {"crash", crashMachine == kNoMachine ? 0.0 : 1.0}});
     ++globalPhase;
     ++phaseIndex;
 

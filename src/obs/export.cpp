@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/flags.hpp"
@@ -34,7 +35,11 @@ void defineExportFlags(Flags& flags) {
 }
 
 void applyExportFlags(const Flags& flags) {
-  if (!flags.str("trace-out").empty()) Tracer::global().setEnabled(true);
+  if (!flags.str("trace-out").empty()) {
+    Tracer::global().setEnabled(true);
+    // Request-scoped tracing rides along: the export merges both planes.
+    TraceRegistry::global().setEnabled(true);
+  }
 }
 
 bool writeExportFlags(const Flags& flags) {
@@ -58,7 +63,14 @@ bool writeMetricsFile(const std::string& path, bool prometheus) {
 }
 
 bool writeTraceFile(const std::string& path) {
-  return writeFile(path, Tracer::global().exportChromeTrace());
+  // One timeline for Perfetto: legacy process-scoped spans, retained
+  // request-scoped trace trees, and timeline events (controller epochs,
+  // migration phases) share the tracer epoch, so they merge into a single
+  // trace_event array.
+  const std::string legacy = Tracer::global().exportChromeTrace();
+  std::string events = legacy.substr(1, legacy.size() - 2);  // strip [ ]
+  TraceRegistry::global().appendChromeEvents(events);
+  return writeFile(path, "[" + events + "]");
 }
 
 }  // namespace resex::obs

@@ -186,7 +186,11 @@ std::string MetricsSnapshot::toPrometheusText() const {
   std::string out;
   char line[256];
   for (const auto& [name, value] : counters) {
-    const std::string n = promName(name);
+    // Scrape-shaped counter exposition: the conventional `_total` suffix,
+    // applied once (names that already carry it are left alone).
+    std::string n = promName(name);
+    if (n.size() < 6 || n.compare(n.size() - 6, 6, "_total") != 0)
+      n += "_total";
     out += "# TYPE " + n + " counter\n";
     std::snprintf(line, sizeof line, "%s %llu\n", n.c_str(),
                   static_cast<unsigned long long>(value));

@@ -136,4 +136,35 @@ void Tracer::setBufferCapacity(std::size_t capacity) noexcept {
                         std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Interned-name registry. A node-based set gives every stored string a
+/// stable address for the life of the process; intentionally never
+/// cleared — span buffers may hold the pointers across Tracer::clear().
+struct NameRegistry {
+  std::mutex mutex;
+  std::set<std::string, std::less<>> names;
+};
+
+NameRegistry& nameRegistry() {
+  static NameRegistry* registry = new NameRegistry;  // immortal
+  return *registry;
+}
+
+}  // namespace
+
+const char* Tracer::internName(std::string_view name) {
+  NameRegistry& registry = nameRegistry();
+  std::lock_guard lock(registry.mutex);
+  const auto it = registry.names.find(name);
+  if (it != registry.names.end()) return it->c_str();
+  return registry.names.emplace(name).first->c_str();
+}
+
+std::size_t Tracer::internedNameCount() {
+  NameRegistry& registry = nameRegistry();
+  std::lock_guard lock(registry.mutex);
+  return registry.names.size();
+}
+
 }  // namespace resex::obs

@@ -18,7 +18,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace resex::obs {
@@ -75,6 +77,17 @@ class Tracer {
   void setBufferCapacity(std::size_t capacity) noexcept;
   /// Microseconds since the tracer epoch (first use in the process).
   static std::uint64_t nowMicros() noexcept;
+
+  /// Interns `name` into process-lifetime storage and returns a stable
+  /// `const char*` — the safe way to build *dynamic* span labels
+  /// ("shard.17", per-tenant names) for SpanEvent::name and
+  /// RichSpan::name, whose `const char*` fields must outlive every
+  /// buffer. Idempotent: the same text always returns the same pointer,
+  /// so a hot loop can intern up front and reuse. Takes a mutex — intern
+  /// at setup time, not per span.
+  static const char* internName(std::string_view name);
+  /// Distinct names interned so far (tests).
+  static std::size_t internedNameCount();
 
  private:
   static std::atomic<bool>& enabledFlag() noexcept;

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/json_writer.hpp"
 
 namespace resex::serve {
 namespace {
@@ -122,6 +123,11 @@ QueryBroker::QueryBroker(const Instance& instance, std::vector<MachineId> mappin
   mapping_ = std::move(mapping);
   rebuildHosts(mapping_);
 
+  if (!config_.sloClass.empty())
+    slo_ = &obs::SloRegistry::global().window(config_.sloClass, config_.slo);
+  if (config_.tracing)
+    obs::TraceRegistry::global().setKeepSlowestOf(config_.traceKeepSlowestOf);
+
   // Worker pools scaled by CPU capacity: the largest machine gets
   // `workersPerMachine`, the rest proportionally fewer (min 1).
   double maxCapacity = 0.0;
@@ -183,6 +189,40 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   queriesCounter().add();
 
+  // Request-scoped trace: the root "query" span is recorded manually at
+  // the end so the retire decision (tail sampling) sees the final latency
+  // and degradation outcome in the same breath.
+  obs::TraceContext rootCtx;
+  std::uint32_t rootSpanId = 0;
+  std::uint64_t rootStartUs = 0;
+  if (config_.tracing && obs::TraceRegistry::enabled()) {
+    const obs::TraceContext trace = obs::TraceRegistry::global().startTrace();
+    if (trace.active()) {
+      rootSpanId = obs::TraceRegistry::global().nextSpanId();
+      rootStartUs = obs::Tracer::nowMicros();
+      rootCtx = trace.child(rootSpanId);
+    }
+  }
+  const auto finishTrace = [&](const QueryResult& res) {
+    if (!rootCtx.active()) return;
+    obs::SpanArena& arena = obs::TraceRegistry::global().threadArena();
+    obs::RichSpan root;
+    root.name = "query";
+    root.traceId = rootCtx.traceId;
+    root.spanId = rootSpanId;
+    root.parentSpanId = 0;
+    root.startUs = rootStartUs;
+    root.durUs = obs::Tracer::nowMicros() - rootStartUs;
+    root.tid = arena.tid();
+    root.addArg("cache_hit", res.cacheHit ? 1.0 : 0.0);
+    root.addArg("complete", res.complete ? 1.0 : 0.0);
+    root.addArg("partitions", static_cast<double>(res.partitionsTotal));
+    root.addArg("answered", static_cast<double>(res.partitionsAnswered));
+    arena.record(root);
+    obs::TraceRegistry::global().retire(rootCtx, root.durUs, !res.complete,
+                                        res.complete ? "slow" : "deadline");
+  };
+
   const ResultKey key{terms, config_.topK};
   if (cache_.get(key, result.docs)) {
     result.complete = true;
@@ -196,6 +236,8 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
       latency_.add(result.latencySeconds);
     }
     latencyHistogram().observe(result.latencySeconds * 1e6);
+    if (slo_) slo_->record(result.latencySeconds, false);
+    finishTrace(result);
     return result;
   }
 
@@ -215,6 +257,7 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
   // as missed immediately.
   std::size_t missedPushes = 0;
   {
+    obs::ScopedSpan routeSpan(rootCtx, "query.route");
     std::shared_lock lock(mappingMutex_);
     Rng& rng = clientRng();
     std::vector<std::size_t> depths;
@@ -226,11 +269,23 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
           chooseReplica(config_.routing, std::span<const std::size_t>(depths), rng);
       peakDepthGauge().max(static_cast<double>(depths[pick]));
       const auto [mach, shard] = hosts[pick];
-      Task task{pending, g, shard};
+      Task task;
+      task.pending = pending;
+      task.partition = g;
+      task.physicalShard = shard;
+      if (rootCtx.active()) {
+        task.trace = rootCtx;
+        task.enqueueUs = obs::Tracer::nowMicros();
+        task.depthAtDispatch = static_cast<std::uint32_t>(depths[pick]);
+      }
       const bool ok = pending->hasDeadline
                           ? queues_[mach]->pushUntil(std::move(task), pending->deadline)
                           : queues_[mach]->push(std::move(task));
       if (!ok) ++missedPushes;
+    }
+    if (routeSpan.active()) {
+      routeSpan.arg("partitions", static_cast<double>(partitionCount_));
+      routeSpan.arg("missed_pushes", static_cast<double>(missedPushes));
     }
   }
   if (missedPushes > 0) {
@@ -250,7 +305,12 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
     }
     result.partitionsAnswered = pending->answered;
     result.complete = pending->answered == partitionCount_;
-    result.docs = mergeTopK(pending->partials, config_.topK);
+    {
+      obs::ScopedSpan mergeSpan(rootCtx, "query.merge");
+      result.docs = mergeTopK(pending->partials, config_.topK);
+      if (mergeSpan.active())
+        mergeSpan.arg("answered", static_cast<double>(result.partitionsAnswered));
+    }
   }
 
   result.latencySeconds = secondsBetween(t0, Clock::now());
@@ -265,6 +325,8 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
     latency_.add(result.latencySeconds);
   }
   latencyHistogram().observe(result.latencySeconds * 1e6);
+  if (slo_) slo_->record(result.latencySeconds, !result.complete);
+  finishTrace(result);
   return result;
 }
 
@@ -294,40 +356,69 @@ void QueryBroker::workerLoop(std::size_t machine) {
     std::vector<ScoredDoc> partial;
     ExecStats exec;
     double busy = 0.0;
-    if (run) {
-      const auto topDocs =
-          topKDisjunctiveInto(index_.shard(task.partition), pending.terms,
-                              pending.k, config_.bm25, scratch, &exec,
-                              &index_.globalStats());
-      partial.assign(topDocs.begin(), topDocs.end());
-      const double realExec = secondsBetween(start, Clock::now());
-      const double paced =
-          config_.serviceFixedSeconds +
-          static_cast<double>(exec.postingsScanned) * config_.servicePerPostingSeconds;
-      busy = std::max(realExec, paced);
-      if (paced > realExec) paceDebt += paced - realExec;
-      if (paceDebt > kPaceQuantum) {
-        const auto sleepStart = Clock::now();
-        std::this_thread::sleep_for(std::chrono::duration<double>(paceDebt));
-        paceDebt -= secondsBetween(sleepStart, Clock::now());
+    {
+      // The per-partition execution span, parented to the query's root span
+      // on whatever client thread started the trace. Queue wait and the
+      // dispatch-time depth ride along as args — the two signals that tell a
+      // trace reader whether a slow partition waited or worked. The span's
+      // scope closes before delivery: the retiring client must be able to
+      // observe this span once it observes its result.
+      obs::ScopedSpan execSpan(task.trace, "task.exec");
+      if (execSpan.active()) {
+        execSpan.arg("partition", static_cast<double>(task.partition));
+        execSpan.arg("shard", static_cast<double>(task.physicalShard));
+        execSpan.arg("machine", static_cast<double>(machine));
+        execSpan.arg("queue_wait_us", static_cast<double>(
+                                          obs::Tracer::nowMicros() - task.enqueueUs));
+        execSpan.arg("depth_at_dispatch",
+                     static_cast<double>(task.depthAtDispatch));
       }
-    } else {
-      shedTasks_.fetch_add(1, std::memory_order_relaxed);
-      shedCounter().add();
-      busy = secondsBetween(start, Clock::now());
-    }
-    if (run) {
-      // Execution is charged to the shard whether or not the result is
-      // still wanted by delivery time — the work happened there either way.
-      shardTasks_[task.physicalShard].fetch_add(1, std::memory_order_relaxed);
-      shardPostings_[task.physicalShard].fetch_add(exec.postingsScanned,
-                                                   std::memory_order_relaxed);
-      shardBusyNanos_[task.physicalShard].fetch_add(
-          static_cast<std::uint64_t>(busy * 1e9), std::memory_order_relaxed);
-      blocksDecoded_.fetch_add(exec.blocksDecoded, std::memory_order_relaxed);
-      blocksSkipped_.fetch_add(exec.blocksSkipped, std::memory_order_relaxed);
-      heapPrunes_.fetch_add(exec.heapThresholdPrunes, std::memory_order_relaxed);
-    }
+      if (run) {
+        const auto topDocs =
+            topKDisjunctiveInto(index_.shard(task.partition), pending.terms,
+                                pending.k, config_.bm25, scratch, &exec,
+                                &index_.globalStats());
+        partial.assign(topDocs.begin(), topDocs.end());
+        const double realExec = secondsBetween(start, Clock::now());
+        const double paced =
+            config_.serviceFixedSeconds +
+            static_cast<double>(exec.postingsScanned) * config_.servicePerPostingSeconds;
+        busy = std::max(realExec, paced);
+        if (paced > realExec) paceDebt += paced - realExec;
+        if (paceDebt > kPaceQuantum) {
+          const auto sleepStart = Clock::now();
+          std::this_thread::sleep_for(std::chrono::duration<double>(paceDebt));
+          paceDebt -= secondsBetween(sleepStart, Clock::now());
+        }
+      } else {
+        shedTasks_.fetch_add(1, std::memory_order_relaxed);
+        shedCounter().add();
+        busy = secondsBetween(start, Clock::now());
+      }
+      if (run) {
+        // Execution is charged to the shard whether or not the result is
+        // still wanted by delivery time — the work happened there either way.
+        shardTasks_[task.physicalShard].fetch_add(1, std::memory_order_relaxed);
+        shardPostings_[task.physicalShard].fetch_add(exec.postingsScanned,
+                                                     std::memory_order_relaxed);
+        shardBusyNanos_[task.physicalShard].fetch_add(
+            static_cast<std::uint64_t>(busy * 1e9), std::memory_order_relaxed);
+        blocksDecoded_.fetch_add(exec.blocksDecoded, std::memory_order_relaxed);
+        blocksSkipped_.fetch_add(exec.blocksSkipped, std::memory_order_relaxed);
+        heapPrunes_.fetch_add(exec.heapThresholdPrunes, std::memory_order_relaxed);
+      }
+
+      if (execSpan.active()) {
+        execSpan.arg("shed", run ? 0.0 : 1.0);
+        if (run) {
+          execSpan.arg("postings", static_cast<double>(exec.postingsScanned));
+          execSpan.arg("blocks_decoded", static_cast<double>(exec.blocksDecoded));
+          execSpan.arg("blocks_skipped", static_cast<double>(exec.blocksSkipped));
+          execSpan.arg("heap_prunes",
+                       static_cast<double>(exec.heapThresholdPrunes));
+        }
+      }
+    }  // execSpan records into this worker's arena here
 
     // Stats land before delivery so a client observing its result's
     // completion also observes the work accounted (snapshot consistency
@@ -349,7 +440,7 @@ void QueryBroker::workerLoop(std::size_t machine) {
   }
 }
 
-ObservedLoad QueryBroker::takeObservedLoad() {
+ObservedLoad QueryBroker::harvestObservedLoad(bool resetWindow) {
   const std::size_t m = queues_.size();
   const std::size_t n = groupOf_.size();
   ObservedLoad out;
@@ -363,37 +454,112 @@ ObservedLoad QueryBroker::takeObservedLoad() {
     std::lock_guard lock(latencyMutex_);
     const auto now = Clock::now();
     out.windowSeconds = secondsBetween(windowStart_, now);
-    windowStart_ = now;
     out.p50 = latency_.quantile(0.50);
     out.p95 = latency_.quantile(0.95);
     out.p99 = latency_.quantile(0.99);
     out.meanLatency = latency_.meanValue();
-    latency_ = LatencyHistogram{1e-6, 12};
+    if (resetWindow) {
+      windowStart_ = now;
+      latency_ = LatencyHistogram{1e-6, 12};
+    }
   }
   for (std::size_t i = 0; i < m; ++i) {
     MachineStats& stats = *machineStats_[i];
     std::lock_guard lock(stats.mutex);
     out.machineTasks[i] = stats.tasks;
     out.machineBusySeconds[i] = stats.busySeconds;
-    stats.tasks = 0;
-    stats.busySeconds = 0.0;
+    if (resetWindow) {
+      stats.tasks = 0;
+      stats.busySeconds = 0.0;
+    }
     out.machineQueueDepth[i] = queues_[i]->size();
   }
+  const auto harvest = [resetWindow](std::atomic<std::uint64_t>& v) {
+    return resetWindow ? v.exchange(0, std::memory_order_relaxed)
+                       : v.load(std::memory_order_relaxed);
+  };
   for (std::size_t s = 0; s < n; ++s) {
-    out.shardTasks[s] = shardTasks_[s].exchange(0, std::memory_order_relaxed);
-    out.shardPostings[s] = shardPostings_[s].exchange(0, std::memory_order_relaxed);
-    out.shardBusySeconds[s] =
-        static_cast<double>(shardBusyNanos_[s].exchange(0, std::memory_order_relaxed)) *
-        1e-9;
+    out.shardTasks[s] = harvest(shardTasks_[s]);
+    out.shardPostings[s] = harvest(shardPostings_[s]);
+    out.shardBusySeconds[s] = static_cast<double>(harvest(shardBusyNanos_[s])) * 1e-9;
   }
-  out.blocksDecoded = blocksDecoded_.exchange(0, std::memory_order_relaxed);
-  out.blocksSkipped = blocksSkipped_.exchange(0, std::memory_order_relaxed);
-  out.heapThresholdPrunes = heapPrunes_.exchange(0, std::memory_order_relaxed);
-  out.queries = queries_.exchange(0, std::memory_order_relaxed);
-  out.cacheHits = cacheHits_.exchange(0, std::memory_order_relaxed);
-  out.expiredQueries = expiredQueries_.exchange(0, std::memory_order_relaxed);
-  out.shedTasks = shedTasks_.exchange(0, std::memory_order_relaxed);
+  out.blocksDecoded = harvest(blocksDecoded_);
+  out.blocksSkipped = harvest(blocksSkipped_);
+  out.heapThresholdPrunes = harvest(heapPrunes_);
+  out.queries = harvest(queries_);
+  out.cacheHits = harvest(cacheHits_);
+  out.expiredQueries = harvest(expiredQueries_);
+  out.shedTasks = harvest(shedTasks_);
   return out;
+}
+
+ObservedLoad QueryBroker::takeObservedLoad() { return harvestObservedLoad(true); }
+
+ObservedLoad QueryBroker::peekObservedLoad() const {
+  // Logically const: the no-reset harvest only reads accumulators (the
+  // shared body is non-const because the reset branch writes them).
+  return const_cast<QueryBroker*>(this)->harvestObservedLoad(false);
+}
+
+std::string QueryBroker::debugJson() const {
+  const ObservedLoad load = peekObservedLoad();
+  JsonWriter json;
+  json.beginObject();
+  json.field("window_seconds", load.windowSeconds);
+  json.field("queries", load.queries);
+  json.field("cache_hits", load.cacheHits);
+  json.field("expired_queries", load.expiredQueries);
+  json.field("shed_tasks", load.shedTasks);
+  json.field("throughput_qps", load.throughputQps());
+  json.field("p50_seconds", load.p50);
+  json.field("p95_seconds", load.p95);
+  json.field("p99_seconds", load.p99);
+  json.field("mean_seconds", load.meanLatency);
+  json.field("block_skip_ratio", load.blockSkipRatio());
+  json.key("machines").beginArray();
+  for (std::size_t i = 0; i < load.machineTasks.size(); ++i) {
+    json.beginObject();
+    json.field("machine", static_cast<std::uint64_t>(i));
+    json.field("workers", static_cast<std::uint64_t>(workersPerMachine_[i]));
+    json.field("queue_depth", static_cast<std::uint64_t>(load.machineQueueDepth[i]));
+    json.field("tasks", load.machineTasks[i]);
+    json.field("busy_seconds", load.machineBusySeconds[i]);
+    json.field("busy_fraction", load.machineBusyFraction(i, workersPerMachine_[i]));
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  return json.str();
+}
+
+std::string QueryBroker::shardsJson() const {
+  const ObservedLoad load = peekObservedLoad();
+  std::vector<MachineId> mapping;
+  {
+    std::shared_lock lock(mappingMutex_);
+    mapping = mapping_;
+  }
+  JsonWriter json;
+  json.beginObject();
+  json.field("window_seconds", load.windowSeconds);
+  json.key("shards").beginArray();
+  for (std::size_t s = 0; s < mapping.size(); ++s) {
+    json.beginObject();
+    json.field("shard", static_cast<std::uint64_t>(s));
+    json.field("partition", static_cast<std::uint64_t>(groupOf_[s]));
+    json.field("machine", static_cast<std::uint64_t>(mapping[s]));
+    json.field("tasks", load.shardTasks[s]);
+    json.field("postings", load.shardPostings[s]);
+    json.field("busy_seconds", load.shardBusySeconds[s]);
+    json.field("mean_task_seconds",
+               load.shardTasks[s] > 0
+                   ? load.shardBusySeconds[s] / static_cast<double>(load.shardTasks[s])
+                   : 0.0);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  return json.str();
 }
 
 void QueryBroker::shutdown() {

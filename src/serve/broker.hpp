@@ -46,6 +46,8 @@
 
 #include "cluster/instance.hpp"
 #include "index/partition.hpp"
+#include "obs/context.hpp"
+#include "obs/slo.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/mpmc_queue.hpp"
 #include "serve/router.hpp"
@@ -81,6 +83,19 @@ struct ServeConfig {
   std::size_t cacheShards = 8;
   Bm25Params bm25;
   std::uint64_t seed = 1;
+  /// Request-scoped tracing: when true (and obs::TraceRegistry is
+  /// enabled), every query gets a TraceContext propagated through its
+  /// queue tasks, producing a span tree — route, per-partition queue wait
+  /// and execution (ExecStats as span args), merge — tail-sampled at
+  /// retire: degraded/shed/deadline-missed queries always kept, plus the
+  /// slowest ~1/traceKeepSlowestOf of the rest.
+  bool tracing = false;
+  std::uint32_t traceKeepSlowestOf = 64;
+  /// When non-empty, every query outcome is recorded into the globally
+  /// registered obs::SloRegistry window of this name (latency + error =
+  /// degraded/cancelled), making the broker a live SLO source.
+  std::string sloClass;
+  obs::SloConfig slo;
 };
 
 /// What the client gets back.
@@ -173,6 +188,20 @@ class QueryBroker {
   /// the previous snapshot, and begins a new one.
   ObservedLoad takeObservedLoad();
 
+  /// Reads the in-progress window *without* resetting it — the live view
+  /// the HTTP introspection endpoints serve. Safe to call concurrently
+  /// with serving and with takeObservedLoad (which still owns the
+  /// harvest-and-reset cycle).
+  ObservedLoad peekObservedLoad() const;
+
+  /// JSON for /debug/broker: per-machine queue depth, worker count, busy
+  /// fraction, and window aggregates (queries, shed, expired).
+  std::string debugJson() const;
+  /// JSON for /debug/shards: per-shard heat from the live ObservedLoad
+  /// window — tasks, postings scanned, busy seconds, and the machine each
+  /// physical shard is currently mapped to.
+  std::string shardsJson() const;
+
   /// Stops accepting queries, drains accepted work, joins all workers.
   /// Idempotent; the destructor calls it.
   void shutdown();
@@ -193,11 +222,20 @@ class QueryBroker {
     std::shared_ptr<PendingQuery> pending;
     std::uint32_t partition = 0;
     ShardId physicalShard = 0;
+    /// Request-scoped trace linkage (inert when the query is untraced):
+    /// the query's root span is the parent, so per-partition execution
+    /// spans recorded by workers attach to the client's trace tree.
+    obs::TraceContext trace;
+    std::uint64_t enqueueUs = 0;  ///< tracer-epoch micros at enqueue
+    std::uint32_t depthAtDispatch = 0;
   };
   struct MachineStats;
 
   void workerLoop(std::size_t machine);
   void rebuildHosts(const std::vector<MachineId>& mapping);
+  /// Shared body of take/peekObservedLoad: reads the window, and when
+  /// `resetWindow` also zeroes the accumulators and restarts it.
+  ObservedLoad harvestObservedLoad(bool resetWindow);
 
   const PartitionedIndex& index_;
   ServeConfig config_;
@@ -234,6 +272,9 @@ class QueryBroker {
   std::mutex latencyMutex_;
   LatencyHistogram latency_{1e-6, 12};
   std::chrono::steady_clock::time_point windowStart_;
+  /// Registered SLO window when config.sloClass is set (global registry
+  /// reference, valid forever).
+  obs::SloWindow* slo_ = nullptr;
 
   std::atomic<bool> accepting_{false};
   std::once_flag shutdownOnce_;

@@ -81,11 +81,47 @@ void LatencyHistogram::add(double x) noexcept {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.minValue_ != minValue_ || other.subBuckets_ != subBuckets_)
+    throw std::invalid_argument("LatencyHistogram::merge: bucket geometry differs");
   if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
   for (std::size_t b = 0; b < other.counts_.size(); ++b) counts_[b] += other.counts_[b];
   total_ += other.total_;
   sum_ += other.sum_;
   maxSeen_ = std::max(maxSeen_, other.maxSeen_);
+}
+
+void LatencyHistogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  maxSeen_ = 0.0;
+}
+
+double LatencyHistogram::bucketUpper(std::size_t bucket) const noexcept {
+  if (bucket == 0) return minValue_;
+  return minValue_ * std::exp(static_cast<double>(bucket) * logBase_);
+}
+
+std::string LatencyHistogram::toPrometheusText(const std::string& name) const {
+  std::string out = "# TYPE " + name + " histogram\n";
+  char line[160];
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cumulative += counts_[b];
+    std::snprintf(line, sizeof line, "%s_bucket{le=\"%.9g\"} %llu\n",
+                  name.c_str(), bucketUpper(b),
+                  static_cast<unsigned long long>(cumulative));
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                static_cast<unsigned long long>(total_));
+  out += line;
+  std::snprintf(line, sizeof line, "%s_sum %.9g\n", name.c_str(), sum_);
+  out += line;
+  std::snprintf(line, sizeof line, "%s_count %llu\n", name.c_str(),
+                static_cast<unsigned long long>(total_));
+  out += line;
+  return out;
 }
 
 double LatencyHistogram::quantile(double q) const noexcept {

@@ -41,7 +41,12 @@ class LatencyHistogram {
   explicit LatencyHistogram(double minValue = 1e-6, int subBucketsPerOctave = 8);
 
   void add(double x) noexcept;
+  /// Adds `other`'s samples into this histogram. Both must share minValue
+  /// and subBuckets (bucket edges line up); mismatches throw.
   void merge(const LatencyHistogram& other);
+  /// Forgets every sample; bucket geometry is retained and the backing
+  /// storage keeps its capacity (window rotation reuses buckets in place).
+  void reset() noexcept;
   std::size_t totalCount() const noexcept { return total_; }
   /// Quantile q in [0,1]; returns the representative value of the bucket
   /// containing the q-th sample, clamped to maxSeen() so a reported
@@ -53,6 +58,18 @@ class LatencyHistogram {
   double meanValue() const noexcept {
     return total_ ? sum_ / static_cast<double>(total_) : 0.0;
   }
+
+  /// Occupied bucket range (counts beyond this are zero).
+  std::size_t bucketCount() const noexcept { return counts_.size(); }
+  std::uint64_t countAt(std::size_t bucket) const { return counts_.at(bucket); }
+  /// Inclusive upper edge of bucket b (samples <= this land at or below b).
+  double bucketUpper(std::size_t bucket) const noexcept;
+
+  /// Prometheus text exposition for this histogram under `name`:
+  /// cumulative `_bucket{le="..."}` lines over the occupied range plus the
+  /// mandatory `+Inf` bucket, then `_sum` and `_count` — scrape-shaped, in
+  /// contrast to the per-bucket snapshot counts the JSON exports carry.
+  std::string toPrometheusText(const std::string& name) const;
 
  private:
   std::size_t bucketFor(double x) const noexcept;

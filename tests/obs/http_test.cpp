@@ -1,0 +1,181 @@
+#include "obs/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/mini_json.hpp"
+#include "obs/metrics.hpp"
+
+namespace resex::obs {
+namespace {
+
+using resex::testing::MiniJson;
+
+/// Blocking test client: sends `request` to 127.0.0.1:`port` and reads the
+/// full response until the server closes (every response is
+/// Connection: close).
+std::string roundTrip(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path,
+                const std::string& method = "GET") {
+  return roundTrip(port, method + " " + path +
+                             " HTTP/1.1\r\nHost: localhost\r\n"
+                             "Connection: close\r\n\r\n");
+}
+
+std::string bodyOf(const std::string& response) {
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(HttpServer, ServesRegisteredRoute) {
+  HttpServer server(0);
+  server.handle("/hello", [](const HttpRequest&) {
+    return HttpResponse::text("hi there\n");
+  });
+  server.start();
+  const std::string response = get(server.port(), "/hello");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(bodyOf(response), "hi there\n");
+  EXPECT_GE(server.requestsServed(), 1u);
+}
+
+TEST(HttpServer, UnknownPathIs404) {
+  HttpServer server(0);
+  server.start();
+  EXPECT_NE(get(server.port(), "/nope").find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(HttpServer, NonGetMethodIs405) {
+  HttpServer server(0);
+  server.handle("/hello", [](const HttpRequest&) {
+    return HttpResponse::text("hi\n");
+  });
+  server.start();
+  EXPECT_NE(get(server.port(), "/hello", "POST").find("HTTP/1.1 405"),
+            std::string::npos);
+}
+
+TEST(HttpServer, HeadGetsHeadersWithoutBody) {
+  HttpServer server(0);
+  server.handle("/hello", [](const HttpRequest&) {
+    return HttpResponse::text("hi there\n");
+  });
+  server.start();
+  const std::string response = get(server.port(), "/hello", "HEAD");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 9"), std::string::npos);
+  EXPECT_EQ(bodyOf(response), "");
+}
+
+TEST(HttpServer, MalformedRequestLineIs400) {
+  HttpServer server(0);
+  server.start();
+  const std::string response = roundTrip(server.port(), "garbage\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST(HttpServer, OversizedRequestHeadIs431) {
+  HttpServer server(0);
+  server.start();
+  const std::string huge(HttpServer::kMaxRequestBytes + 64, 'a');
+  const std::string response =
+      roundTrip(server.port(), "GET /" + huge + " HTTP/1.1\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 431"), std::string::npos);
+}
+
+TEST(HttpServer, HandlerExceptionIs500) {
+  HttpServer server(0);
+  server.handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("broken");
+  });
+  server.start();
+  EXPECT_NE(get(server.port(), "/boom").find("HTTP/1.1 500"), std::string::npos);
+}
+
+TEST(HttpServer, QueryStringIsSplitFromPath) {
+  HttpServer server(0);
+  server.handle("/echo", [](const HttpRequest& request) {
+    return HttpResponse::text(request.query);
+  });
+  server.start();
+  EXPECT_EQ(bodyOf(get(server.port(), "/echo?limit=5")), "limit=5");
+}
+
+TEST(HttpServer, StopIsIdempotentAndJoins) {
+  HttpServer server(0);
+  server.start();
+  EXPECT_TRUE(server.running());
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeIntrospection, NegativePortDisables) {
+  EXPECT_EQ(serveIntrospection(-1), nullptr);
+}
+
+TEST(ServeIntrospection, StandardEndpointsAnswer) {
+  MetricsRegistry::global().counter("http_test.requests").add(3);
+  IntrospectionSources sources;
+  sources.brokerJson = [] { return std::string("{\"queries\":7}"); };
+  const auto server = serveIntrospection(0, std::move(sources));
+  ASSERT_NE(server, nullptr);
+  EXPECT_TRUE(server->running());
+
+  EXPECT_EQ(bodyOf(get(server->port(), "/healthz")), "ok\n");
+
+  const std::string metrics = bodyOf(get(server->port(), "/metrics"));
+  EXPECT_NE(metrics.find("http_test_requests_total 3"), std::string::npos);
+
+  const auto metricsJson = MiniJson::flatten(bodyOf(get(server->port(), "/metrics.json")));
+  EXPECT_EQ(metricsJson.at("counters/http_test.requests"), "3");
+
+  // JSON endpoints must at least parse.
+  MiniJson::flatten(bodyOf(get(server->port(), "/traces")));
+  MiniJson::flatten(bodyOf(get(server->port(), "/debug/slo")));
+  const auto broker = MiniJson::flatten(bodyOf(get(server->port(), "/debug/broker")));
+  EXPECT_EQ(broker.at("queries"), "7");
+
+  // No shardsJson source registered -> 404, not a crash.
+  EXPECT_NE(get(server->port(), "/debug/shards").find("HTTP/1.1 404"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace resex::obs

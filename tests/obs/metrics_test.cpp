@@ -165,11 +165,21 @@ TEST(MetricsRegistry, PrometheusTextExport) {
   registry.counter("test.prom.counter").add(3);
   registry.histogram("test.prom.hist", {1.0}).observe(0.5);
   const std::string text = registry.snapshot().toPrometheusText();
-  EXPECT_NE(text.find("# TYPE test_prom_counter counter"), std::string::npos);
-  EXPECT_NE(text.find("test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_counter_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter_total 3"), std::string::npos);
   EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1\"} 1"), std::string::npos);
   EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(text.find("test_prom_hist_count 1"), std::string::npos);
+  registry.reset();
+}
+
+TEST(MetricsRegistry, PrometheusCounterSuffixIsNotDoubled) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  registry.counter("test.prom.requests_total").add(7);
+  const std::string text = registry.snapshot().toPrometheusText();
+  EXPECT_NE(text.find("test_prom_requests_total 7"), std::string::npos);
+  EXPECT_EQ(text.find("test_prom_requests_total_total"), std::string::npos);
   registry.reset();
 }
 

@@ -1,0 +1,120 @@
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/mini_json.hpp"
+
+namespace resex::obs {
+namespace {
+
+using resex::testing::MiniJson;
+
+SloConfig tightConfig() {
+  SloConfig config;
+  config.windowSeconds = 60.0;
+  config.bucketSeconds = 5.0;
+  config.objective = 0.9;  // 10% error budget: burn rate = errorRate * 10
+  return config;
+}
+
+TEST(SloWindow, EmptyWindowSnapshotsToZeros) {
+  const SloWindow window(tightConfig());
+  const SloSnapshot snap = window.snapshotAt(100.0);
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+  EXPECT_DOUBLE_EQ(snap.errorRate, 0.0);
+  EXPECT_DOUBLE_EQ(snap.burnRate, 0.0);
+}
+
+TEST(SloWindow, CountsErrorsAndComputesBurnRate) {
+  SloWindow window(tightConfig());
+  for (int i = 0; i < 95; ++i) window.record(0.010, false, 100.0);
+  for (int i = 0; i < 5; ++i) window.record(0.050, true, 100.0);
+  const SloSnapshot snap = window.snapshotAt(101.0);
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_EQ(snap.errors, 5u);
+  EXPECT_DOUBLE_EQ(snap.errorRate, 0.05);
+  // Error budget rate is 1 - 0.9 = 0.1, so burn = 0.05 / 0.1.
+  EXPECT_NEAR(snap.burnRate, 0.5, 1e-12);
+}
+
+TEST(SloWindow, QuantilesCoverRecordedLatencies) {
+  SloWindow window(tightConfig());
+  for (int i = 0; i < 90; ++i) window.record(0.001, false, 10.0);
+  for (int i = 0; i < 10; ++i) window.record(0.5, false, 10.0);
+  const SloSnapshot snap = window.snapshotAt(10.0);
+  // Log-bucketed histogram: p50 lands in the 1 ms region, p99 well above.
+  EXPECT_LT(snap.p50, 0.005);
+  EXPECT_GT(snap.p99, 0.1);
+  EXPECT_GT(snap.meanLatency, 0.001);
+}
+
+TEST(SloWindow, SamplesSlideOutOfTheWindow) {
+  SloWindow window(tightConfig());
+  window.record(0.010, true, 10.0);
+  EXPECT_EQ(window.snapshotAt(11.0).total, 1u);
+  // 100 seconds later the 60 s window no longer covers t=10.
+  const SloSnapshot later = window.snapshotAt(110.0);
+  EXPECT_EQ(later.total, 0u);
+  EXPECT_DOUBLE_EQ(later.burnRate, 0.0);
+}
+
+TEST(SloWindow, OldBucketIsReusedAfterRotation) {
+  SloWindow window(tightConfig());
+  window.record(0.010, false, 0.0);
+  // Recording far in the future lands in a ring slot that previously held
+  // the t=0 bucket; the stale contents must not leak into the new window.
+  window.record(0.020, false, 1000.0);
+  const SloSnapshot snap = window.snapshotAt(1000.0);
+  EXPECT_EQ(snap.total, 1u);
+  EXPECT_GT(snap.p50, 0.010);
+}
+
+TEST(SloWindow, RecentBucketsMergeAcrossTheWindow) {
+  SloWindow window(tightConfig());
+  window.record(0.010, false, 10.0);  // bucket 2
+  window.record(0.010, true, 40.0);   // bucket 8
+  window.record(0.010, false, 60.0);  // bucket 12
+  const SloSnapshot snap = window.snapshotAt(62.0);
+  EXPECT_EQ(snap.total, 3u);
+  EXPECT_EQ(snap.errors, 1u);
+}
+
+TEST(SloWindow, LatencyBreachesCountAgainstTarget) {
+  SloConfig config = tightConfig();
+  config.p99TargetSeconds = 0.1;
+  SloWindow window(config);
+  window.record(0.050, false, 5.0);
+  window.record(0.200, false, 5.0);
+  window.record(0.300, false, 5.0);
+  const SloSnapshot snap = window.snapshotAt(6.0);
+  EXPECT_EQ(snap.latencyBreaches, 2u);
+}
+
+TEST(SloRegistry, WindowIsFindOrCreateWithStableReference) {
+  SloRegistry::global().reset();
+  SloWindow& a = SloRegistry::global().window("test.class", tightConfig());
+  SloConfig other;
+  other.windowSeconds = 5.0;
+  SloWindow& b = SloRegistry::global().window("test.class", other);
+  EXPECT_EQ(&a, &b);
+  // Config applies only on first registration.
+  EXPECT_DOUBLE_EQ(b.config().windowSeconds, 60.0);
+  SloRegistry::global().reset();
+}
+
+TEST(SloRegistry, ToJsonListsEveryClass) {
+  SloRegistry::global().reset();
+  SloRegistry::global().window("interactive", tightConfig()).record(0.01, false);
+  SloRegistry::global().window("batch", tightConfig()).record(0.02, true);
+  const auto flat = MiniJson::flatten(SloRegistry::global().toJson());
+  EXPECT_EQ(flat.at("classes/0/name"), "interactive");
+  EXPECT_EQ(flat.at("classes/0/total"), "1");
+  EXPECT_EQ(flat.at("classes/1/name"), "batch");
+  EXPECT_EQ(flat.at("classes/1/errors"), "1");
+  SloRegistry::global().reset();
+}
+
+}  // namespace
+}  // namespace resex::obs

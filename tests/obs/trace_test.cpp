@@ -102,5 +102,44 @@ TEST_F(TraceTest, EmptyExportIsValidEmptyArray) {
   EXPECT_EQ(flat.at("/#size"), "0");
 }
 
+TEST_F(TraceTest, InternNameIsStableForEqualText) {
+  // Same text -> same pointer, even when built from distinct buffers.
+  const std::string a = "test.intern.stable";
+  const std::string b = "test.intern." + std::string("stable");
+  const char* first = Tracer::internName(a);
+  const char* second = Tracer::internName(b);
+  EXPECT_EQ(first, second);
+  EXPECT_STREQ(first, "test.intern.stable");
+}
+
+TEST_F(TraceTest, InternNameDistinguishesDistinctText) {
+  const char* a = Tracer::internName("test.intern.a");
+  const char* b = Tracer::internName("test.intern.b");
+  EXPECT_NE(a, b);
+  EXPECT_STREQ(a, "test.intern.a");
+  EXPECT_STREQ(b, "test.intern.b");
+}
+
+TEST_F(TraceTest, InternNameCountGrowsOnlyOnNewNames) {
+  const std::size_t before = Tracer::internedNameCount();
+  Tracer::internName("test.intern.counted");
+  EXPECT_EQ(Tracer::internedNameCount(), before + 1);
+  Tracer::internName("test.intern.counted");  // already interned: no growth
+  EXPECT_EQ(Tracer::internedNameCount(), before + 1);
+}
+
+TEST_F(TraceTest, InternedNameServesAsDynamicSpanName) {
+  Tracer::global().setEnabled(true);
+  const std::string dynamic = "test.partition." + std::to_string(3);
+  {
+    // The interned pointer outlives `dynamic`, so the span may keep it.
+    TraceSpan span(Tracer::internName(dynamic));
+  }
+  Tracer::global().setEnabled(false);
+  const auto events = Tracer::global().collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.partition.3");
+}
+
 }  // namespace
 }  // namespace resex::obs

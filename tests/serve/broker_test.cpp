@@ -7,10 +7,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/mini_json.hpp"
 #include "index/partition.hpp"
+#include "obs/context.hpp"
+#include "obs/slo.hpp"
 
 namespace resex::serve {
 namespace {
+
+using resex::testing::MiniJson;
 
 PartitionedIndex smallIndex(std::size_t partitions, std::uint64_t seed = 17) {
   SyntheticDocConfig config;
@@ -214,6 +219,103 @@ TEST(QueryBroker, CleanShutdownWithQueriesInFlight) {
   for (std::thread& t : clients) t.join();
   EXPECT_GT(cancelled.load(), 0);
   EXPECT_TRUE(broker.execute(query({1})).cancelled);
+}
+
+TEST(QueryBroker, TracingProducesSpanTreesForKeptQueries) {
+  obs::TraceRegistry::global().clear();
+  obs::TraceRegistry::global().setEnabled(true);
+  {
+    const PartitionedIndex index = smallIndex(4);
+    const Instance instance = hostingInstance(4, 2);
+    ServeConfig config;
+    config.tracing = true;
+    config.traceKeepSlowestOf = 4;
+    QueryBroker broker(instance, instance.initialAssignment(), index, config);
+    for (int i = 0; i < 12; ++i)
+      EXPECT_TRUE(broker.execute(query({static_cast<TermId>(i)})).complete);
+
+    const std::vector<obs::TraceRecord> traces =
+        obs::TraceRegistry::global().recentTraces();
+    ASSERT_FALSE(traces.empty());
+    EXPECT_LT(traces.size(), 12u);  // tail sampling dropped the fast majority
+    const obs::TraceRecord& trace = traces.front();
+    // The kept trace carries the whole query tree: root, route, one
+    // exec span per partition, and the merge, all under one trace id.
+    std::uint32_t rootSpanId = 0;
+    std::size_t execSpans = 0;
+    bool sawRoute = false, sawMerge = false;
+    for (const obs::RichSpan& span : trace.spans) {
+      EXPECT_EQ(span.traceId, trace.traceId);
+      const std::string name = span.name;
+      if (name == "query") rootSpanId = span.spanId;
+      if (name == "query.route") sawRoute = true;
+      if (name == "query.merge") sawMerge = true;
+      if (name == "task.exec") ++execSpans;
+    }
+    ASSERT_NE(rootSpanId, 0u);
+    EXPECT_TRUE(sawRoute);
+    EXPECT_TRUE(sawMerge);
+    EXPECT_EQ(execSpans, 4u);
+    for (const obs::RichSpan& span : trace.spans) {
+      if (std::string(span.name) == "task.exec") {
+        EXPECT_EQ(span.parentSpanId, rootSpanId);
+      }
+    }
+    broker.shutdown();
+  }
+  obs::TraceRegistry::global().setEnabled(false);
+  obs::TraceRegistry::global().clear();
+  obs::TraceRegistry::global().setKeepSlowestOf(64);
+}
+
+TEST(QueryBroker, IntrospectionHeatMatchesObservedLoad) {
+  const PartitionedIndex index = smallIndex(3);
+  const Instance instance = hostingInstance(3, 2);
+  QueryBroker broker(instance, instance.initialAssignment(), index, {});
+  for (int i = 0; i < 15; ++i) broker.execute(query({static_cast<TermId>(i)}));
+
+  // peek must not consume the window...
+  const ObservedLoad peeked = broker.peekObservedLoad();
+  EXPECT_EQ(peeked.queries, 15u);
+
+  // ...so the JSON views report the same attribution the controller sees.
+  const auto shards = MiniJson::flatten(broker.shardsJson());
+  ASSERT_EQ(shards.at("shards/#size"), "3");
+  for (std::size_t s = 0; s < 3; ++s) {
+    const std::string base = "shards/" + std::to_string(s) + "/";
+    EXPECT_EQ(shards.at(base + "shard"), std::to_string(s));
+    EXPECT_EQ(shards.at(base + "tasks"), std::to_string(peeked.shardTasks[s]));
+    EXPECT_EQ(shards.at(base + "machine"),
+              std::to_string(broker.mapping()[s]));
+  }
+  const auto debug = MiniJson::flatten(broker.debugJson());
+  EXPECT_EQ(debug.at("queries"), "15");
+  EXPECT_EQ(debug.at("machines/#size"), "2");
+
+  // The real harvest still sees everything peek left in place.
+  const ObservedLoad taken = broker.takeObservedLoad();
+  EXPECT_EQ(taken.queries, 15u);
+  for (std::size_t s = 0; s < 3; ++s)
+    EXPECT_EQ(taken.shardTasks[s], peeked.shardTasks[s]);
+  EXPECT_EQ(broker.takeObservedLoad().queries, 0u);
+}
+
+TEST(QueryBroker, SloClassRecordsEveryQuery) {
+  obs::SloRegistry::global().reset();
+  const PartitionedIndex index = smallIndex(2);
+  const Instance instance = hostingInstance(2, 1);
+  ServeConfig config;
+  config.sloClass = "test.broker";
+  config.slo.p99TargetSeconds = 10.0;  // nothing breaches
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  for (int i = 0; i < 8; ++i) broker.execute(query({static_cast<TermId>(i)}));
+  const obs::SloSnapshot snap =
+      obs::SloRegistry::global().window("test.broker").snapshot();
+  EXPECT_EQ(snap.total, 8u);
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_EQ(snap.latencyBreaches, 0u);
+  EXPECT_GT(snap.p99, 0.0);
+  obs::SloRegistry::global().reset();
 }
 
 }  // namespace

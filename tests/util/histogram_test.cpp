@@ -195,5 +195,35 @@ TEST(LatencyHistogram, RejectsBadArguments) {
   EXPECT_THROW(LatencyHistogram(1e-6, 0), std::invalid_argument);
 }
 
+TEST(LatencyHistogram, PrometheusTextMatchesGolden) {
+  // One sub-bucket per octave with minValue=1 gives power-of-two edges, so
+  // the exposition text is exact and this can be a golden comparison.
+  LatencyHistogram h(1.0, 1);
+  h.add(0.5);  // clamps into the first bucket (le="1")
+  h.add(1.0);
+  h.add(3.0);  // bucket (2, 4]
+  h.add(5.0);  // bucket (4, 8]
+  const std::string expected =
+      "# TYPE resex_latency histogram\n"
+      "resex_latency_bucket{le=\"1\"} 2\n"
+      "resex_latency_bucket{le=\"2\"} 2\n"
+      "resex_latency_bucket{le=\"4\"} 3\n"
+      "resex_latency_bucket{le=\"8\"} 4\n"
+      "resex_latency_bucket{le=\"+Inf\"} 4\n"
+      "resex_latency_sum 9.5\n"
+      "resex_latency_count 4\n";
+  EXPECT_EQ(h.toPrometheusText("resex_latency"), expected);
+}
+
+TEST(LatencyHistogram, EmptyPrometheusTextHasOnlyInfBucket) {
+  const LatencyHistogram h(1.0, 1);
+  const std::string expected =
+      "# TYPE empty histogram\n"
+      "empty_bucket{le=\"+Inf\"} 0\n"
+      "empty_sum 0\n"
+      "empty_count 0\n";
+  EXPECT_EQ(h.toPrometheusText("empty"), expected);
+}
+
 }  // namespace
 }  // namespace resex
