@@ -20,10 +20,25 @@
 // scores within 1e-9) against the old kernel. Emits BENCH_query.json;
 // --check exits nonzero unless disjunctive throughput improved by the
 // gate factor (default 2x) AND every query matched.
+//
+// Two further phases cover the storage layer:
+//
+//   * SIMD unpack: full-block decode throughput with the dispatcher pinned
+//     to the scalar kernel vs the host's SIMD backend. --check requires
+//     the SIMD backend to be >= --simd-min-speedup (default 2x) faster
+//     when one is available.
+//   * Segment: the index is written to an on-disk segment file, its page
+//     cache dropped, and reopened zero-copy via mmap — cold map+validate
+//     time, a cold first pass over the trace, warm QPS on the mapped
+//     index, and bit-exact equivalence against the in-RAM index (gated).
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <span>
@@ -32,6 +47,8 @@
 
 #include "index/maxscore.hpp"
 #include "index/partition.hpp"
+#include "index/segment.hpp"
+#include "index/simd_unpack.hpp"
 #include "index/varbyte.hpp"
 #include "index/wand.hpp"
 #include "util/flags.hpp"
@@ -141,6 +158,9 @@ int main(int argc, char** argv) {
       .define("stopwords", "20", "head terms excluded from queries")
       .define("reps", "3", "timed repetitions of the trace per kernel")
       .define("min-speedup", "2.0", "--check: required old->DAAT QPS factor")
+      .define("simd-min-speedup", "2.0",
+              "--check: required scalar->SIMD full-block decode factor "
+              "(skipped when the host has no SIMD backend)")
       .define("out", "BENCH_query.json", "result JSON path")
       .define("check", "false", "exit nonzero unless gates pass")
       .define("seed", "2020", "random seed");
@@ -197,6 +217,53 @@ int main(int argc, char** argv) {
               oldDecodeRate / 1e6, newDecodeRate / 1e6,
               newDecodeRate / oldDecodeRate,
               static_cast<unsigned long long>(checksum));
+
+  // -- SIMD unpack: the bit-packed planes of every full block (deltas at
+  //    docBits, frequencies at freqBits — the exact bytes and widths the
+  //    corpus stores), pinned scalar vs the host's SIMD backend ----------
+  const UnpackBackend simdBackend = activeUnpackBackend();
+  struct FullBlockPlanes {
+    const std::uint8_t* base;  // block payload start
+    unsigned docBits;
+    unsigned freqBits;
+  };
+  std::vector<FullBlockPlanes> fullBlocks;
+  for (TermId t = 0; t < index.termCount(); ++t) {
+    const BlockPostingList& list = index.postings(t);
+    for (std::size_t b = 0; b < list.blockCount(); ++b) {
+      const PostingBlockMeta& meta = list.block(b);
+      if (meta.count == kPostingBlockSize)
+        fullBlocks.push_back({list.payload().data() + meta.dataOffset,
+                              meta.docBits, meta.freqBits});
+    }
+  }
+  std::uint32_t blockScratch[kPostingBlockSize];
+  const int unpackReps = 40;
+  const auto timeFullBlocks = [&] {
+    std::uint64_t unpacked = 0;
+    WallTimer timer;
+    for (int r = 0; r < unpackReps; ++r)
+      for (const FullBlockPlanes& block : fullBlocks) {
+        unpackBits(block.base, 0, kPostingBlockSize - 1, block.docBits,
+                   blockScratch);
+        unpackBits(block.base, (kPostingBlockSize - 1) * block.docBits,
+                   kPostingBlockSize, block.freqBits, blockScratch);
+        unpacked += 2 * kPostingBlockSize - 1;
+      }
+    const double seconds = timer.seconds();
+    checksum += blockScratch[kPostingBlockSize - 1];
+    return static_cast<double>(unpacked) / seconds;
+  };
+  setUnpackBackend(UnpackBackend::kScalar);
+  const double scalarUnpackRate = timeFullBlocks();
+  setUnpackBackend(simdBackend);
+  const double simdUnpackRate = timeFullBlocks();
+  const double simdSpeedup = simdUnpackRate / scalarUnpackRate;
+  const bool simdActive = simdBackend != UnpackBackend::kScalar;
+  std::printf("unpack  | %zu full blocks | scalar %.1f Mvalues/s, %s "
+              "%.1f Mvalues/s (%.2fx)\n",
+              fullBlocks.size(), scalarUnpackRate / 1e6,
+              unpackBackendName(simdBackend), simdUnpackRate / 1e6, simdSpeedup);
 
   // -- Shared trace (serve_bench shape: 2-term Zipf below the stopword
   //    head, so no single query is dominated by a degenerate head list) --
@@ -276,13 +343,65 @@ int main(int argc, char** argv) {
   });
   const double speedup = daatQps / oldQps;
   std::printf("qps     | old %.0f, DAAT %.0f (%.2fx), taat %.0f, "
-              "maxscore %.0f, wand %.0f [sink %.3f]\n\n",
+              "maxscore %.0f, wand %.0f [sink %.3f]\n",
               oldQps, daatQps, speedup, taatQps, maxscoreQps, wandQps, sink);
+
+  // -- Segment: write to disk, reopen cold via mmap, serve warm ---------
+  const std::string segPath =
+      (std::filesystem::temp_directory_path() / "query_bench.seg").string();
+  WallTimer segWriteTimer;
+  const std::uint64_t segBytes = writeSegment(index, segPath);
+  const double segWriteSeconds = segWriteTimer.seconds();
+  {
+    // Drop the file's clean page-cache pages so the load below actually
+    // faults from disk — "cold" is real, not write-back-warm.
+    const int fd = ::open(segPath.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+      ::close(fd);
+    }
+  }
+  WallTimer segLoadTimer;
+  const InvertedIndex mapped(std::make_shared<const MappedSegment>(segPath));
+  const double segLoadSeconds = segLoadTimer.seconds();
+  WallTimer segColdTimer;
+  for (const auto& query : trace) {
+    const auto result = topKDisjunctiveInto(mapped, query, k, params, scratch);
+    if (!result.empty()) sink += result[0].score;
+  }
+  const double segColdQps =
+      static_cast<double>(queryCount) / segColdTimer.seconds();
+  std::size_t segMismatches = 0;
+  {
+    QueryScratch mappedScratch;
+    for (const auto& query : trace) {
+      const auto viaSegment =
+          topKDisjunctiveInto(mapped, query, k, params, mappedScratch);
+      const std::vector<ScoredDoc> copy(viaSegment.begin(), viaSegment.end());
+      const auto viaRam = topKDisjunctiveInto(index, query, k, params, scratch);
+      if (!sameResults(viaRam, copy)) ++segMismatches;
+    }
+  }
+  const bool segIdentical = segMismatches == 0;
+  const double segWarmQps = timeTrace([&](const std::vector<TermId>& q) {
+    const auto result = topKDisjunctiveInto(mapped, q, k, params, scratch);
+    if (!result.empty()) sink += result[0].score;
+  });
+  std::printf("segment | %.2f MB written in %.3fs | cold map+validate %.3fs, "
+              "cold pass %.0f qps, warm %.0f qps (%.2fx of RAM) | %zu/%zu "
+              "identical to in-RAM\n\n",
+              static_cast<double>(segBytes) / 1e6, segWriteSeconds,
+              segLoadSeconds, segColdQps, segWarmQps, segWarmQps / daatQps,
+              queryCount - segMismatches, queryCount);
+  std::filesystem::remove(segPath);
 
   // -- JSON + gates -----------------------------------------------------
   const double minSpeedup = flags.real("min-speedup");
+  const double simdMinSpeedup = flags.real("simd-min-speedup");
   const bool equivalent = mismatches == 0;
-  const bool pass = equivalent && speedup >= minSpeedup;
+  const bool simdPass = !simdActive || simdSpeedup >= simdMinSpeedup;
+  const bool pass =
+      equivalent && speedup >= minSpeedup && simdPass && segIdentical;
   JsonWriter json;
   json.beginObject();
   json.key("corpus").beginObject();
@@ -296,6 +415,23 @@ int main(int argc, char** argv) {
   json.field("old_postings_per_sec", oldDecodeRate);
   json.field("new_postings_per_sec", newDecodeRate);
   json.field("speedup", newDecodeRate / oldDecodeRate);
+  json.endObject();
+  json.key("simd_unpack").beginObject();
+  json.field("backend", unpackBackendName(simdBackend));
+  json.field("full_blocks", static_cast<std::uint64_t>(fullBlocks.size()));
+  json.field("scalar_postings_per_sec", scalarUnpackRate);
+  json.field("simd_postings_per_sec", simdUnpackRate);
+  json.field("speedup", simdSpeedup);
+  json.endObject();
+  json.key("segment").beginObject();
+  json.field("file_bytes", segBytes);
+  json.field("write_seconds", segWriteSeconds);
+  json.field("cold_load_seconds", segLoadSeconds);
+  json.field("cold_pass_qps", segColdQps);
+  json.field("warm_qps", segWarmQps);
+  json.field("warm_fraction_of_ram", segWarmQps / daatQps);
+  json.field("mismatches", static_cast<std::uint64_t>(segMismatches));
+  json.field("identical", segIdentical);
   json.endObject();
   json.key("end_to_end").beginObject();
   json.field("queries", static_cast<std::uint64_t>(queryCount));
@@ -323,6 +459,8 @@ int main(int argc, char** argv) {
   json.endObject();
   json.key("check").beginObject();
   json.field("min_speedup", minSpeedup);
+  json.field("simd_min_speedup", simdMinSpeedup);
+  json.field("simd_gate_active", simdActive);
   json.field("pass", pass);
   json.endObject();
   json.endObject();
@@ -341,8 +479,22 @@ int main(int argc, char** argv) {
                    "required %.2fx\n", speedup, minSpeedup);
       return 1;
     }
-    std::printf("CHECK PASSED: %.2fx disjunctive speedup (>= %.2fx), "
-                "results identical\n", speedup, minSpeedup);
+    if (!simdPass) {
+      std::fprintf(stderr, "CHECK FAILED: %s unpack speedup %.2fx < "
+                   "required %.2fx\n", unpackBackendName(simdBackend),
+                   simdSpeedup, simdMinSpeedup);
+      return 1;
+    }
+    if (!segIdentical) {
+      std::fprintf(stderr, "CHECK FAILED: %zu/%zu segment-served queries "
+                   "diverged from the in-RAM index\n", segMismatches,
+                   queryCount);
+      return 1;
+    }
+    std::printf("CHECK PASSED: %.2fx disjunctive speedup (>= %.2fx), %.2fx "
+                "%s unpack, segment round trip identical\n",
+                speedup, minSpeedup, simdSpeedup,
+                unpackBackendName(simdBackend));
   }
   return 0;
 }

@@ -15,9 +15,17 @@
 // percentiles.
 //
 //   ./mini_search --serve [--machines M] [--clients C] [--cache N]
+//
+// The partitions can also be persisted as on-disk segment files and served
+// back zero-copy via mmap (the broker's cursors then iterate directly over
+// the mapped bytes):
+//
+//   ./mini_search --write-segments /tmp/resex-segments
+//   ./mini_search --segments /tmp/resex-segments --serve
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <thread>
 
@@ -158,6 +166,13 @@ int main(int argc, char** argv) {
       .define("serve-seconds", "0",
               "serve mode: replay the trace in a loop for this long "
               "(0 = single pass; pair with --obs-port to leave time to curl)")
+      .define("write-segments", "",
+              "persist the partitioned index as segment files (shard-NNNN.seg) "
+              "into this directory")
+      .define("segments", "",
+              "load the partitions from segment files in this directory "
+              "(written by --write-segments with matching --docs/--terms/"
+              "--shards/--seed) and serve them zero-copy from mmap")
       .define("seed", "42", "random seed");
   flags.parse(argc, argv);
   if (flags.helpRequested()) {
@@ -174,11 +189,34 @@ int main(int argc, char** argv) {
   const auto docs = resex::generateDocuments(config);
   const resex::InvertedIndex whole(config.termCount, docs);
   const auto shardCount = static_cast<std::size_t>(flags.integer("shards"));
-  const resex::PartitionedIndex part(config.termCount, docs, shardCount);
+  const std::string segmentDir = flags.str("segments");
+  // From documents, or reopened zero-copy from segment files on disk —
+  // either way the same PartitionedIndex surface (and, below, the same
+  // scatter-gather results as the freshly built whole index).
+  const resex::PartitionedIndex part =
+      segmentDir.empty()
+          ? resex::PartitionedIndex(config.termCount, docs, shardCount)
+          : resex::PartitionedIndex::fromSegmentDir(segmentDir);
   std::printf("corpus: %u docs, %u terms, %zu postings, %.2f MB compressed "
-              "(built in %.2fs)\n\n",
+              "(built in %.2fs)\n",
               config.docCount, config.termCount, whole.totalPostings(),
               static_cast<double>(whole.indexBytes()) / 1e6, timer.seconds());
+  if (!segmentDir.empty())
+    std::printf("partitions: %zu shards mmap'd from %s\n",
+                part.shardCount(), segmentDir.c_str());
+
+  if (const std::string writeDir = flags.str("write-segments");
+      !writeDir.empty()) {
+    resex::WallTimer writeTimer;
+    const auto paths = part.writeSegmentDir(writeDir);
+    std::uint64_t totalBytes = 0;
+    for (const auto& p : paths)
+      totalBytes += std::filesystem::file_size(p);
+    std::printf("segments: wrote %zu shard files (%.2f MB) to %s in %.2fs\n",
+                paths.size(), static_cast<double>(totalBytes) / 1e6,
+                writeDir.c_str(), writeTimer.seconds());
+  }
+  std::printf("\n");
 
   // A couple of demo queries with visible results.
   for (const std::vector<resex::TermId>& query :

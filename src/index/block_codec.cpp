@@ -1,30 +1,19 @@
 #include "index/block_codec.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
+#include "index/simd_unpack.hpp"
 #include "index/varbyte.hpp"
 
 namespace resex {
 namespace {
 
-/// Bytes of zero padding appended to the payload so readBits' unaligned
-/// 64-bit loads near the end of the last block stay in bounds.
-constexpr std::size_t kReadPadBytes = 8;
-
 unsigned bitsFor(std::uint32_t v) {
   return static_cast<unsigned>(std::bit_width(v));
-}
-
-/// Reads `bits` (<= 32) starting at absolute bit position `bitPos`.
-/// Little-endian bit order within the byte stream; the caller guarantees
-/// kReadPadBytes of slack past the payload.
-inline std::uint64_t readBits(const std::uint8_t* data, std::size_t bitPos,
-                              unsigned bits) {
-  std::uint64_t word;
-  std::memcpy(&word, data + (bitPos >> 3), sizeof(word));
-  return (word >> (bitPos & 7)) & ((std::uint64_t{1} << bits) - 1);
 }
 
 /// Appends `bits` (<= 32) of `value` at bit position `bitPos` of `out`,
@@ -49,6 +38,19 @@ double bm25Weight(double tf, double docLength, double avgDocLength,
   return (tf * (params.k1 + 1.0)) / (tf + norm);
 }
 
+/// Exact byte size of a full bit-packed block's payload.
+std::size_t packedBlockBytes(std::uint32_t count, unsigned docBits,
+                             unsigned freqBits) {
+  const std::size_t bits = static_cast<std::size_t>(count - 1) * docBits +
+                           static_cast<std::size_t>(count) * freqBits;
+  return (bits + 7) / 8;
+}
+
+[[noreturn]] void rejectView(std::size_t block, const char* what) {
+  throw std::invalid_argument("BlockPostingList::viewOf: block " +
+                              std::to_string(block) + ": " + what);
+}
+
 }  // namespace
 
 BlockPostingList::BlockPostingList(const std::vector<DocId>& docs,
@@ -61,7 +63,7 @@ BlockPostingList::BlockPostingList(const std::vector<DocId>& docs,
       builtB_(params.b) {
   if (docs.size() != freqs.size())
     throw std::invalid_argument("BlockPostingList: docs/freqs size mismatch");
-  blocks_.reserve((docs.size() + kPostingBlockSize - 1) / kPostingBlockSize);
+  ownedBlocks_.reserve((docs.size() + kPostingBlockSize - 1) / kPostingBlockSize);
   std::vector<std::uint8_t> payload;  // per-block scratch, reused
   for (std::size_t begin = 0; begin < docs.size(); begin += kPostingBlockSize) {
     const std::size_t end = std::min(begin + kPostingBlockSize, docs.size());
@@ -69,7 +71,7 @@ BlockPostingList::BlockPostingList(const std::vector<DocId>& docs,
     meta.firstDoc = docs[begin];
     meta.lastDoc = docs[end - 1];
     meta.count = static_cast<std::uint16_t>(end - begin);
-    meta.dataOffset = static_cast<std::uint32_t>(data_.size());
+    meta.dataOffset = static_cast<std::uint64_t>(ownedData_.size());
     meta.minDocLen = ~std::uint32_t{0};
     std::uint32_t maxDelta = 0;
     for (std::size_t i = begin; i < end; ++i) {
@@ -111,11 +113,98 @@ BlockPostingList::BlockPostingList(const std::vector<DocId>& docs,
       for (std::size_t i = begin; i < end; ++i)
         varbyteEncode(freqs[i] - 1, payload);
     }
-    data_.insert(data_.end(), payload.begin(), payload.end());
-    blocks_.push_back(meta);
+    ownedData_.insert(ownedData_.end(), payload.begin(), payload.end());
+    ownedBlocks_.push_back(meta);
   }
-  data_.resize(data_.size() + kReadPadBytes, 0);
-  data_.shrink_to_fit();
+  payloadBytes_ = ownedData_.size();
+  ownedData_.resize(ownedData_.size() + kPayloadPadBytes, 0);
+  ownedData_.shrink_to_fit();
+  data_ = ownedData_.data();
+  blocks_ = ownedBlocks_.data();
+  blockCount_ = ownedBlocks_.size();
+}
+
+BlockPostingList BlockPostingList::viewOf(
+    std::span<const PostingBlockMeta> blocks, const std::uint8_t* payload,
+    std::size_t payloadBytes, std::size_t postingCount,
+    double builtAvgDocLength, const Bm25Params& builtParams) {
+  // The planes are untrusted bytes (an mmap'd file): prove every invariant
+  // the decode paths rely on before handing out a cursor-able view. Blocks
+  // must tile the posting count, doc ranges must be strictly increasing
+  // across blocks, and each block's payload extent must match its declared
+  // widths byte-for-byte — a block whose metadata disagrees with the
+  // checksummed plane sizes is corruption (or a crafted file), never UB.
+  std::size_t postings = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const PostingBlockMeta& meta = blocks[b];
+    const bool last = b + 1 == blocks.size();
+    if (meta.count == 0 || meta.count > kPostingBlockSize)
+      rejectView(b, "posting count out of range");
+    if (meta.docBits == kVbyteTailBits) {
+      if (!last) rejectView(b, "VByte tail block before the final block");
+      if (meta.count == kPostingBlockSize)
+        rejectView(b, "full block encoded as VByte tail");
+    } else {
+      if (meta.count != kPostingBlockSize)
+        rejectView(b, "partial block not encoded as VByte tail");
+      if (meta.docBits > 32) rejectView(b, "doc bit width out of range");
+    }
+    if (meta.freqBits > 32) rejectView(b, "freq bit width out of range");
+    if (meta.firstDoc > meta.lastDoc) rejectView(b, "doc range inverted");
+    if (meta.count == 1 && meta.firstDoc != meta.lastDoc)
+      rejectView(b, "single-posting block with a doc range");
+    if (meta.count > 1 &&
+        static_cast<std::uint64_t>(meta.lastDoc) - meta.firstDoc <
+            meta.count - 1)
+      rejectView(b, "doc range narrower than the posting count");
+    if (b > 0 && meta.firstDoc <= blocks[b - 1].lastDoc)
+      rejectView(b, "doc range overlaps the previous block");
+    if (meta.maxTf == 0) rejectView(b, "zero max term frequency");
+    if (meta.minDocLen == 0) rejectView(b, "zero min document length");
+    if (!std::isfinite(meta.maxWeight) || meta.maxWeight < 0.0)
+      rejectView(b, "non-finite block score bound");
+
+    if (b == 0) {
+      if (meta.dataOffset != 0) rejectView(b, "first block offset not zero");
+    } else if (meta.dataOffset < blocks[b - 1].dataOffset) {
+      rejectView(b, "payload offsets not monotone");
+    }
+    if (meta.dataOffset > payloadBytes)
+      rejectView(b, "payload offset past the plane");
+    const std::uint64_t nextOffset =
+        last ? payloadBytes : blocks[b + 1].dataOffset;
+    if (nextOffset > payloadBytes)
+      rejectView(b, "payload extent past the plane");
+    const std::uint64_t extent = nextOffset - meta.dataOffset;
+    if (meta.docBits == kVbyteTailBits) {
+      // (count-1) deltas + count freqs, one VByte group minimum each.
+      if (extent < 2ull * meta.count - 1)
+        rejectView(b, "VByte tail shorter than its posting count");
+    } else {
+      if (extent != packedBlockBytes(meta.count, meta.docBits, meta.freqBits))
+        rejectView(b, "payload extent disagrees with the declared widths");
+    }
+    postings += meta.count;
+  }
+  if (postings != postingCount)
+    throw std::invalid_argument(
+        "BlockPostingList::viewOf: block counts sum to " +
+        std::to_string(postings) + ", directory declares " +
+        std::to_string(postingCount));
+  if (blocks.empty() && payloadBytes != 0)
+    throw std::invalid_argument(
+        "BlockPostingList::viewOf: payload bytes without blocks");
+
+  BlockPostingList list;
+  list.data_ = payload;
+  list.blocks_ = blocks.data();
+  list.blockCount_ = blocks.size();
+  list.payloadBytes_ = payloadBytes;
+  list.count_ = postingCount;
+  list.builtAvgDocLength_ = builtAvgDocLength;
+  list.builtK1_ = builtParams.k1;
+  list.builtB_ = builtParams.b;
+  return list;
 }
 
 std::uint32_t BlockPostingList::decodeBlock(std::size_t b, DocId* docs,
@@ -125,24 +214,30 @@ std::uint32_t BlockPostingList::decodeBlock(std::size_t b, DocId* docs,
   DocId prev = meta.firstDoc;
   docs[0] = prev;
   if (meta.docBits == kVbyteTailBits) {
+    // The tail decodes against the declared payload end: truncated or
+    // overrunning VByte streams throw instead of reading a neighbour's
+    // bytes (the payload pointer may cover a whole mapped plane).
     std::size_t offset = meta.dataOffset;
     for (std::uint32_t i = 1; i < count; ++i) {
-      prev += static_cast<DocId>(varbyteDecode(data_, offset)) + 1;
+      prev += static_cast<DocId>(varbyteDecode(data_, payloadBytes_, offset)) + 1;
       docs[i] = prev;
     }
     for (std::uint32_t i = 0; i < count; ++i)
-      freqs[i] = static_cast<std::uint32_t>(varbyteDecode(data_, offset)) + 1;
+      freqs[i] = static_cast<std::uint32_t>(
+                     varbyteDecode(data_, payloadBytes_, offset)) +
+                 1;
     return count;
   }
-  const std::uint8_t* base = data_.data() + meta.dataOffset;
-  std::size_t bitPos = 0;
+  const std::uint8_t* base = data_ + meta.dataOffset;
   const unsigned docBits = meta.docBits;
   if (docBits == 0) {
     for (std::uint32_t i = 1; i < count; ++i) docs[i] = ++prev;
   } else {
+    // Unpack the (gap-1) plane with the dispatched kernel, then prefix-sum
+    // the deltas in place (the sum is serial; the unpack is the hot part).
+    unpackBits(base, 0, count - 1, docBits, docs + 1);
     for (std::uint32_t i = 1; i < count; ++i) {
-      prev += static_cast<DocId>(readBits(base, bitPos, docBits)) + 1;
-      bitPos += docBits;
+      prev += docs[i] + 1;
       docs[i] = prev;
     }
   }
@@ -150,10 +245,9 @@ std::uint32_t BlockPostingList::decodeBlock(std::size_t b, DocId* docs,
   if (freqBits == 0) {
     for (std::uint32_t i = 0; i < count; ++i) freqs[i] = 1;
   } else {
-    for (std::uint32_t i = 0; i < count; ++i) {
-      freqs[i] = static_cast<std::uint32_t>(readBits(base, bitPos, freqBits)) + 1;
-      bitPos += freqBits;
-    }
+    unpackBits(base, static_cast<std::size_t>(count - 1) * docBits, count,
+               freqBits, freqs);
+    for (std::uint32_t i = 0; i < count; ++i) ++freqs[i];
   }
   return count;
 }
@@ -163,7 +257,7 @@ void BlockPostingList::decode(std::vector<DocId>& docs,
   docs.resize(count_);
   freqs.resize(count_);
   std::size_t written = 0;
-  for (std::size_t b = 0; b < blocks_.size(); ++b)
+  for (std::size_t b = 0; b < blockCount_; ++b)
     written += decodeBlock(b, docs.data() + written, freqs.data() + written);
   if (written != count_)
     throw std::logic_error("BlockPostingList: decode count mismatch");

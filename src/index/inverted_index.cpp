@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "index/segment.hpp"
+
 namespace resex {
+
+InvertedIndex::InvertedIndex(std::shared_ptr<const MappedSegment> segment)
+    : segment_(std::move(segment)) {
+  if (!segment_)
+    throw std::invalid_argument("InvertedIndex: null segment");
+  const MappedSegment& seg = *segment_;
+  docLengths_.assign(seg.docLengths().begin(), seg.docLengths().end());
+  docIds_.assign(seg.docIds().begin(), seg.docIds().end());
+  avgDocLength_ = seg.avgDocLength();
+  bm25Params_ = seg.bm25Params();
+  postings_.reserve(seg.termCount());
+  for (TermId t = 0; t < seg.termCount(); ++t) {
+    postings_.push_back(seg.postings(t));
+    indexBytes_ += postings_.back().byteSize();
+    totalPostings_ += postings_.back().documentCount();
+  }
+}
 
 InvertedIndex::InvertedIndex(std::uint32_t termCount,
                              const std::vector<Document>& documents) {

@@ -10,12 +10,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "index/block_codec.hpp"
 #include "search/corpus.hpp"  // TermId
 
 namespace resex {
+
+class MappedSegment;
 
 /// Posting lists are block-compressed; the flat-VByte PostingList this
 /// alias replaced had the same decode() surface.
@@ -33,6 +37,12 @@ class InvertedIndex {
   /// Documents may arrive in any id order; ids must be unique.
   InvertedIndex(std::uint32_t termCount, const std::vector<Document>& documents);
 
+  /// Opens an index over an mmap'd segment file: posting lists are
+  /// zero-copy views into the mapped planes (the segment is kept alive for
+  /// the index's lifetime); only the small doc-length/doc-id planes are
+  /// copied. The segment was fully validated when it was mapped.
+  explicit InvertedIndex(std::shared_ptr<const MappedSegment> segment);
+
   std::uint32_t termCount() const noexcept { return static_cast<std::uint32_t>(postings_.size()); }
   std::size_t documentCount() const noexcept { return docLengths_.size(); }
   /// Number of documents containing `term`.
@@ -46,7 +56,15 @@ class InvertedIndex {
   }
   /// Original document id of a dense index.
   DocId docId(std::size_t denseIndex) const { return docIds_.at(denseIndex); }
+  std::span<const std::uint32_t> docLengths() const noexcept { return docLengths_; }
+  std::span<const DocId> docIds() const noexcept { return docIds_; }
   double averageDocLength() const noexcept { return avgDocLength_; }
+  /// BM25 parameters the per-block score bounds were computed with.
+  Bm25Params builtParams() const noexcept { return bm25Params_; }
+  /// The backing segment, or nullptr for an index built from documents.
+  const std::shared_ptr<const MappedSegment>& segment() const noexcept {
+    return segment_;
+  }
   /// Total compressed posting bytes (payload + block metadata).
   std::size_t indexBytes() const noexcept { return indexBytes_; }
   /// Total postings (sum of document frequencies).
@@ -57,8 +75,10 @@ class InvertedIndex {
   std::vector<std::uint32_t> docLengths_;  // by dense index
   std::vector<DocId> docIds_;              // dense index -> original id
   double avgDocLength_ = 0.0;
+  Bm25Params bm25Params_{};
   std::size_t indexBytes_ = 0;
   std::size_t totalPostings_ = 0;
+  std::shared_ptr<const MappedSegment> segment_;  // backs view-mode postings
 };
 
 }  // namespace resex

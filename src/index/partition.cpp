@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
+#include "index/segment.hpp"
 #include "workload/zipf.hpp"
 
 namespace resex {
@@ -63,6 +66,12 @@ PartitionedIndex::PartitionedIndex(std::uint32_t termCount,
   shards_.reserve(shardCount);
   for (std::size_t i = 0; i < shardCount; ++i)
     shards_.push_back(std::make_unique<InvertedIndex>(termCount, perShard[i]));
+  computeGlobalStats(termCount);
+}
+
+void PartitionedIndex::computeGlobalStats(std::uint32_t termCount) {
+  totalDocs_ = 0;
+  for (const auto& shard : shards_) totalDocs_ += shard->documentCount();
 
   // Global statistics (what a broker would broadcast).
   global_.documentCount = totalDocs_;
@@ -76,6 +85,54 @@ PartitionedIndex::PartitionedIndex(std::uint32_t termCount,
   }
   global_.avgDocLength =
       totalDocs_ ? totalLength / static_cast<double>(totalDocs_) : 0.0;
+}
+
+std::vector<std::string> PartitionedIndex::writeSegmentDir(
+    const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  paths.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "shard-%04zu.seg", i);
+    std::string path = (std::filesystem::path(dir) / name).string();
+    writeSegment(*shards_[i], path);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+PartitionedIndex PartitionedIndex::fromSegmentFiles(
+    const std::vector<std::string>& paths) {
+  if (paths.empty())
+    throw std::invalid_argument("PartitionedIndex: no segment files");
+  PartitionedIndex part;
+  part.shards_.reserve(paths.size());
+  for (const std::string& path : paths)
+    part.shards_.push_back(std::make_unique<InvertedIndex>(
+        std::make_shared<const MappedSegment>(path)));
+  const std::uint32_t termCount = part.shards_.front()->termCount();
+  for (const auto& shard : part.shards_)
+    if (shard->termCount() != termCount)
+      throw std::invalid_argument(
+          "PartitionedIndex: segment term counts disagree");
+  part.computeGlobalStats(termCount);
+  return part;
+}
+
+PartitionedIndex PartitionedIndex::fromSegmentDir(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.starts_with("shard-") &&
+        name.ends_with(".seg"))
+      paths.push_back(entry.path().string());
+  }
+  if (paths.empty())
+    throw std::invalid_argument("PartitionedIndex: no shard-*.seg files in " +
+                                dir);
+  std::sort(paths.begin(), paths.end());
+  return fromSegmentFiles(paths);
 }
 
 double PartitionedIndex::docFraction(std::size_t i) const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "index/query_exec.hpp"
 #include "util/rng.hpp"
@@ -35,6 +36,19 @@ class PartitionedIndex {
   PartitionedIndex(std::uint32_t termCount, const std::vector<Document>& documents,
                    std::size_t shardCount, const std::vector<double>& weights = {});
 
+  /// Persists every shard as a segment file under `dir` (created if
+  /// missing), named shard-NNNN.seg. Returns the paths in shard order.
+  std::vector<std::string> writeSegmentDir(const std::string& dir) const;
+
+  /// Rebuilds a partitioned index by mmap'ing one segment file per shard
+  /// (paths in shard order). Every file is fully validated at load; global
+  /// statistics are recomputed from the shards. All shards must agree on
+  /// the term count.
+  static PartitionedIndex fromSegmentFiles(const std::vector<std::string>& paths);
+
+  /// fromSegmentFiles over every shard-*.seg in `dir`, in name order.
+  static PartitionedIndex fromSegmentDir(const std::string& dir);
+
   std::size_t shardCount() const noexcept { return shards_.size(); }
   const InvertedIndex& shard(std::size_t i) const { return *shards_.at(i); }
   const GlobalStats& globalStats() const noexcept { return global_; }
@@ -49,6 +63,9 @@ class PartitionedIndex {
                                     std::vector<ExecStats>* perShardStats = nullptr) const;
 
  private:
+  PartitionedIndex() = default;  // for the segment-loading factories
+  void computeGlobalStats(std::uint32_t termCount);
+
   std::vector<std::unique_ptr<InvertedIndex>> shards_;
   GlobalStats global_;
   std::size_t totalDocs_ = 0;

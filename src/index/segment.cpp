@@ -1,0 +1,338 @@
+#include "index/segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "index/inverted_index.hpp"
+#include "util/checksum.hpp"
+
+namespace resex {
+
+namespace {
+
+std::uint64_t pageAlign(std::uint64_t offset) {
+  return (offset + kSegmentPageBytes - 1) / kSegmentPageBytes * kSegmentPageBytes;
+}
+
+template <typename T>
+std::uint32_t structCrc(const T& record) {
+  // CRC of the record with its own crc field zeroed (every on-disk struct
+  // names the field `crc`).
+  T copy = record;
+  copy.crc = 0;
+  return crc32c(&copy, sizeof copy);
+}
+
+[[noreturn]] void throwErrno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+const char* segmentPlaneName(std::uint32_t plane) noexcept {
+  switch (plane) {
+    case kPlanePayload: return "payload";
+    case kPlaneMeta: return "meta";
+    case kPlaneDocLen: return "doclen";
+    case kPlaneDocId: return "docid";
+    case kPlaneDirectory: return "directory";
+    default: return "unknown";
+  }
+}
+
+// ---- SegmentWriter ----------------------------------------------------
+
+SegmentWriter::SegmentWriter(const std::string& path, std::uint32_t termCount,
+                             std::span<const std::uint32_t> docLengths,
+                             std::span<const DocId> docIds,
+                             double avgDocLength, const Bm25Params& params)
+    : path_(path),
+      termCount_(termCount),
+      docLengths_(docLengths.begin(), docLengths.end()),
+      docIds_(docIds.begin(), docIds.end()) {
+  if (docLengths.size() != docIds.size())
+    throw std::invalid_argument("SegmentWriter: doclen/docid size mismatch");
+  if (!std::isfinite(avgDocLength) || avgDocLength < 0.0)
+    throw std::invalid_argument("SegmentWriter: bad avgDocLength");
+  footer_.termCount = termCount;
+  footer_.docCount = static_cast<std::uint32_t>(docLengths.size());
+  footer_.avgDocLength = avgDocLength;
+  footer_.bm25K1 = params.k1;
+  footer_.bm25B = params.b;
+  directory_.reserve(termCount);
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throwErrno("SegmentWriter: cannot create", path);
+  SegmentHeader header;
+  header.crc = structCrc(header);
+  writeRaw(&header, sizeof header);
+  padToPage();  // payload plane starts at page 1
+}
+
+SegmentWriter::~SegmentWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SegmentWriter::writeRaw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("SegmentWriter: write failed for", path_);
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+    filePos_ += static_cast<std::uint64_t>(n);
+  }
+}
+
+void SegmentWriter::padToPage() {
+  static const std::uint8_t zeros[512] = {};
+  std::uint64_t pad = pageAlign(filePos_) - filePos_;
+  while (pad > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        pad < sizeof zeros ? pad : sizeof zeros);
+    writeRaw(zeros, chunk);
+    pad -= chunk;
+  }
+}
+
+void SegmentWriter::addList(TermId term, const BlockPostingList& list) {
+  if (finished_) throw std::logic_error("SegmentWriter: finished");
+  if (term != nextTerm_ || term >= termCount_)
+    throw std::invalid_argument(
+        "SegmentWriter: terms must arrive in ascending order with no gaps");
+  ++nextTerm_;
+
+  const std::span<const std::uint8_t> payload = list.payload();
+  SegmentTermEntry entry;
+  entry.payloadOffset = payloadCursor_;
+  entry.payloadBytes = payload.size();
+  entry.blockBegin = metas_.size();
+  entry.blockCount = static_cast<std::uint32_t>(list.blockCount());
+  entry.postingCount = list.documentCount();
+  directory_.push_back(entry);
+
+  const std::span<const PostingBlockMeta> blocks = list.blocks();
+  metas_.insert(metas_.end(), blocks.begin(), blocks.end());
+  footer_.totalPostings += entry.postingCount;
+
+  if (!payload.empty()) {
+    writeRaw(payload.data(), payload.size());
+    payloadCrc_ = crc32c(payload.data(), payload.size(), payloadCrc_);
+    payloadCursor_ += payload.size();
+  }
+}
+
+std::uint64_t SegmentWriter::finish() {
+  if (finished_) throw std::logic_error("SegmentWriter: finished");
+  if (nextTerm_ != termCount_)
+    throw std::logic_error("SegmentWriter: not every term was added");
+  finished_ = true;
+
+  footer_.totalBlocks = metas_.size();
+  footer_.planes[kPlanePayload] =
+      SegmentPlane{kSegmentPageBytes, payloadCursor_, payloadCrc_, 0};
+  // The unpack kernels read up to kPayloadPadBytes past a list's encoded
+  // bytes; guarantee that slack for the final list before page padding.
+  static const std::uint8_t pad[kPayloadPadBytes] = {};
+  writeRaw(pad, sizeof pad);
+  padToPage();
+
+  const auto writePlane = [this](std::uint32_t plane, const void* data,
+                                 std::size_t bytes) {
+    footer_.planes[plane] =
+        SegmentPlane{filePos_, bytes, crc32c(data, bytes), 0};
+    writeRaw(data, bytes);
+    padToPage();
+  };
+  writePlane(kPlaneMeta, metas_.data(), metas_.size() * sizeof(PostingBlockMeta));
+  writePlane(kPlaneDocLen, docLengths_.data(),
+             docLengths_.size() * sizeof(std::uint32_t));
+  writePlane(kPlaneDocId, docIds_.data(), docIds_.size() * sizeof(DocId));
+  writePlane(kPlaneDirectory, directory_.data(),
+             directory_.size() * sizeof(SegmentTermEntry));
+
+  footer_.fileBytes = filePos_ + sizeof(SegmentFooter);
+  footer_.crc = structCrc(footer_);
+  writeRaw(&footer_, sizeof footer_);
+
+  if (::fsync(fd_) != 0) throwErrno("SegmentWriter: fsync failed for", path_);
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throwErrno("SegmentWriter: close failed for", path_);
+  }
+  fd_ = -1;
+  return footer_.fileBytes;
+}
+
+// ---- MappedSegment ----------------------------------------------------
+
+void MappedSegment::reject(const std::string& what) const {
+  throw SegmentFormatError("segment " + path_ + ": " + what);
+}
+
+MappedSegment::MappedSegment(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throwErrno("MappedSegment: cannot open", path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throwErrno("MappedSegment: cannot stat", path);
+  }
+  mapBytes_ = static_cast<std::size_t>(st.st_size);
+  if (mapBytes_ < kSegmentPageBytes + sizeof(SegmentFooter)) {
+    ::close(fd);
+    reject("file too small to hold a header page and a footer");
+  }
+  map_ = ::mmap(nullptr, mapBytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    throwErrno("MappedSegment: mmap failed for", path);
+  }
+  try {
+    validate();
+  } catch (...) {
+    ::munmap(map_, mapBytes_);
+    map_ = nullptr;
+    throw;
+  }
+}
+
+MappedSegment::~MappedSegment() {
+  if (map_ != nullptr) ::munmap(map_, mapBytes_);
+}
+
+void MappedSegment::validate() {
+  SegmentHeader header;
+  std::memcpy(&header, base(), sizeof header);
+  if (header.magic != kSegmentMagic) reject("bad magic (not a segment file)");
+  if (header.endianMark != kSegmentEndianMark)
+    reject("endianness mismatch (written on a big-endian host?)");
+  if (header.version != kSegmentVersion)
+    reject("unsupported format version " + std::to_string(header.version));
+  if (header.pageBytes != kSegmentPageBytes)
+    reject("unsupported page size " + std::to_string(header.pageBytes));
+  if (structCrc(header) != header.crc) reject("header checksum mismatch");
+
+  std::memcpy(&footer_, base() + mapBytes_ - sizeof footer_, sizeof footer_);
+  if (footer_.magic != kSegmentMagic) reject("bad footer magic (truncated?)");
+  if (footer_.version != kSegmentVersion) reject("footer version mismatch");
+  if (structCrc(footer_) != footer_.crc) reject("footer checksum mismatch");
+  if (footer_.fileBytes != mapBytes_)
+    reject("footer declares " + std::to_string(footer_.fileBytes) +
+           " bytes, file has " + std::to_string(mapBytes_));
+  if (!std::isfinite(footer_.avgDocLength) || footer_.avgDocLength < 0.0 ||
+      !std::isfinite(footer_.bm25K1) || !std::isfinite(footer_.bm25B))
+    reject("non-finite global statistics");
+
+  // Plane table: page-aligned, in file order, non-overlapping, inside the
+  // file body, and sized exactly as the footer's counts demand.
+  const std::uint64_t bodyEnd = footer_.fileBytes - sizeof(SegmentFooter);
+  std::uint64_t prevEnd = kSegmentPageBytes;
+  const std::uint64_t expectedBytes[kSegmentPlaneCount] = {
+      footer_.planes[kPlanePayload].bytes,  // free-form; checked via directory
+      footer_.totalBlocks * sizeof(PostingBlockMeta),
+      footer_.docCount * sizeof(std::uint32_t),
+      footer_.docCount * sizeof(DocId),
+      footer_.termCount * sizeof(SegmentTermEntry),
+  };
+  for (std::uint32_t p = 0; p < kSegmentPlaneCount; ++p) {
+    const SegmentPlane& plane = footer_.planes[p];
+    const std::string name = segmentPlaneName(p);
+    if (plane.offset % kSegmentPageBytes != 0)
+      reject(name + " plane is not page-aligned");
+    if (plane.offset < prevEnd) reject(name + " plane overlaps its neighbour");
+    if (plane.offset > bodyEnd || plane.bytes > bodyEnd - plane.offset)
+      reject(name + " plane extends past the file body");
+    if (plane.bytes != expectedBytes[p])
+      reject(name + " plane size disagrees with the footer counts");
+    if (crc32c(base() + plane.offset, plane.bytes) != plane.crc)
+      reject(name + " plane checksum mismatch");
+    prevEnd = plane.offset + plane.bytes;
+  }
+  // The unpack kernels may read kPayloadPadBytes past the payload plane.
+  const SegmentPlane& payload = footer_.planes[kPlanePayload];
+  if (payload.offset + payload.bytes + kPayloadPadBytes > footer_.fileBytes)
+    reject("payload plane is missing its read pad");
+
+  payload_ = base() + payload.offset;
+  metas_ = {reinterpret_cast<const PostingBlockMeta*>(
+                base() + footer_.planes[kPlaneMeta].offset),
+            footer_.totalBlocks};
+  docLengths_ = {reinterpret_cast<const std::uint32_t*>(
+                     base() + footer_.planes[kPlaneDocLen].offset),
+                 footer_.docCount};
+  docIds_ = {reinterpret_cast<const DocId*>(
+                 base() + footer_.planes[kPlaneDocId].offset),
+             footer_.docCount};
+  directory_ = {reinterpret_cast<const SegmentTermEntry*>(
+                    base() + footer_.planes[kPlaneDirectory].offset),
+                footer_.termCount};
+
+  // Directory: terms must tile the payload and meta planes exactly, in
+  // order, and account for every posting the footer declares.
+  std::uint64_t payloadCursor = 0, blockCursor = 0, postingSum = 0;
+  for (std::uint32_t t = 0; t < footer_.termCount; ++t) {
+    const SegmentTermEntry& entry = directory_[t];
+    if (entry.payloadOffset != payloadCursor)
+      reject("term " + std::to_string(t) + ": payload bytes not contiguous");
+    if (entry.blockBegin != blockCursor)
+      reject("term " + std::to_string(t) + ": block metas not contiguous");
+    if (entry.payloadBytes > payload.bytes - payloadCursor)
+      reject("term " + std::to_string(t) + ": payload extends past the plane");
+    if (entry.blockCount > footer_.totalBlocks - blockCursor)
+      reject("term " + std::to_string(t) + ": blocks extend past the plane");
+    payloadCursor += entry.payloadBytes;
+    blockCursor += entry.blockCount;
+    postingSum += entry.postingCount;
+  }
+  if (payloadCursor != payload.bytes)
+    reject("directory covers " + std::to_string(payloadCursor) +
+           " payload bytes, plane holds " + std::to_string(payload.bytes));
+  if (blockCursor != footer_.totalBlocks)
+    reject("directory covers " + std::to_string(blockCursor) +
+           " blocks, footer declares " + std::to_string(footer_.totalBlocks));
+  if (postingSum != footer_.totalPostings)
+    reject("directory counts " + std::to_string(postingSum) +
+           " postings, footer declares " +
+           std::to_string(footer_.totalPostings));
+
+  // Block metadata: run the full viewOf validation for every term, so a
+  // segment either loads with every invariant proven or not at all.
+  for (std::uint32_t t = 0; t < footer_.termCount; ++t) (void)postings(t);
+}
+
+BlockPostingList MappedSegment::postings(TermId term) const {
+  if (term >= footer_.termCount)
+    throw std::out_of_range("MappedSegment::postings: term out of range");
+  const SegmentTermEntry& entry = directory_[term];
+  try {
+    return BlockPostingList::viewOf(
+        metas_.subspan(entry.blockBegin, entry.blockCount),
+        payload_ + entry.payloadOffset, entry.payloadBytes, entry.postingCount,
+        footer_.avgDocLength, {footer_.bm25K1, footer_.bm25B});
+  } catch (const std::invalid_argument& e) {
+    throw SegmentFormatError("segment " + path_ + ": term " +
+                             std::to_string(term) + ": " + e.what());
+  }
+}
+
+std::uint64_t writeSegment(const InvertedIndex& index, const std::string& path) {
+  SegmentWriter writer(path, index.termCount(), index.docLengths(),
+                       index.docIds(), index.averageDocLength(),
+                       index.builtParams());
+  for (TermId t = 0; t < index.termCount(); ++t)
+    writer.addList(t, index.postings(t));
+  return writer.finish();
+}
+
+}  // namespace resex

@@ -1,0 +1,236 @@
+#include "index/simd_unpack.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define RESEX_HAVE_AVX2_KERNEL 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define RESEX_HAVE_NEON_KERNEL 1
+#endif
+
+namespace resex {
+
+namespace {
+
+inline std::uint64_t loadWord(const std::uint8_t* p) {
+  std::uint64_t word;
+  std::memcpy(&word, p, sizeof(word));
+  return word;
+}
+
+}  // namespace
+
+void unpackBitsScalar(const std::uint8_t* src, std::size_t startBit,
+                      std::uint32_t count, unsigned bits, std::uint32_t* dst) {
+  if (bits == 0) {
+    std::memset(dst, 0, static_cast<std::size_t>(count) * sizeof(std::uint32_t));
+    return;
+  }
+  // bits <= 32 and an in-byte phase <= 7 keep every value inside one
+  // unaligned 64-bit load (7 + 32 = 39 bits).
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::size_t bitPos = startBit;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    dst[i] = static_cast<std::uint32_t>(
+        (loadWord(src + (bitPos >> 3)) >> (bitPos & 7)) & mask);
+    bitPos += bits;
+  }
+}
+
+#ifdef RESEX_HAVE_AVX2_KERNEL
+
+__attribute__((target("avx2"))) static void unpackBitsAvx2(
+    const std::uint8_t* src, std::size_t startBit, std::uint32_t count,
+    unsigned bits, std::uint32_t* dst) {
+  if (bits == 0) {
+    std::memset(dst, 0, static_cast<std::size_t>(count) * sizeof(std::uint32_t));
+    return;
+  }
+  std::uint32_t i = 0;
+  if (bits <= 25) {
+    // A value spans at most ceil((7 + 25) / 8) = 4 bytes, so a 32-bit
+    // gather at the value's first byte always captures it whole: gather 8
+    // dwords, shift each by its in-byte phase, mask. The gather may read
+    // up to 3 bytes past a value's last byte — covered by the 8-byte pad
+    // the unpack contract guarantees.
+    const __m256i laneBits = _mm256_mullo_epi32(
+        _mm256_set1_epi32(static_cast<int>(bits)),
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+    const __m256i mask =
+        _mm256_set1_epi32(static_cast<int>((std::uint32_t{1} << bits) - 1));
+    const __m256i seven = _mm256_set1_epi32(7);
+    for (; i + 8 <= count; i += 8) {
+      const std::size_t bitPos = startBit + static_cast<std::size_t>(i) * bits;
+      const std::uint8_t* base = src + (bitPos >> 3);
+      const __m256i vpos = _mm256_add_epi32(
+          _mm256_set1_epi32(static_cast<int>(bitPos & 7)), laneBits);
+      const __m256i byteOff = _mm256_srli_epi32(vpos, 3);
+      const __m256i words = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(base), byteOff, 1);
+      const __m256i vals = _mm256_and_si256(
+          _mm256_srlv_epi32(words, _mm256_and_si256(vpos, seven)), mask);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vals);
+    }
+  } else {
+    // Widths 26..32 can straddle five bytes (in-byte phase 7 + 32 bits =
+    // 39), more than one dword captures. Assemble each value from two
+    // 32-bit gathers instead of 64-bit gathers (vpgatherqq covers half as
+    // many values per issue and still needs a narrowing permute): the
+    // dword at the value's first byte supplies the low 32-phase bits, the
+    // next dword the remainder. A phase of 0 makes the high shift 32,
+    // which AVX2 variable shifts define as producing zero — exactly the
+    // "no high bits needed" case. The high gather reads at most 3 bytes
+    // past a value's last byte, inside the guaranteed pad.
+    const __m256i laneBits = _mm256_mullo_epi32(
+        _mm256_set1_epi32(static_cast<int>(bits)),
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+    const __m256i mask = _mm256_set1_epi32(
+        static_cast<int>((std::uint64_t{1} << bits) - 1));
+    const __m256i seven = _mm256_set1_epi32(7);
+    const __m256i thirtyTwo = _mm256_set1_epi32(32);
+    for (; i + 8 <= count; i += 8) {
+      const std::size_t bitPos = startBit + static_cast<std::size_t>(i) * bits;
+      const std::uint8_t* base = src + (bitPos >> 3);
+      const __m256i vpos = _mm256_add_epi32(
+          _mm256_set1_epi32(static_cast<int>(bitPos & 7)), laneBits);
+      const __m256i byteOff = _mm256_srli_epi32(vpos, 3);
+      const __m256i phase = _mm256_and_si256(vpos, seven);
+      const __m256i low = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(base), byteOff, 1);
+      const __m256i high = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(base + 4), byteOff, 1);
+      const __m256i vals = _mm256_or_si256(
+          _mm256_srlv_epi32(low, phase),
+          _mm256_sllv_epi32(high, _mm256_sub_epi32(thirtyTwo, phase)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_and_si256(vals, mask));
+    }
+  }
+  if (i < count)
+    unpackBitsScalar(src, startBit + static_cast<std::size_t>(i) * bits,
+                     count - i, bits, dst + i);
+}
+
+#endif  // RESEX_HAVE_AVX2_KERNEL
+
+#ifdef RESEX_HAVE_NEON_KERNEL
+
+static void unpackBitsNeon(const std::uint8_t* src, std::size_t startBit,
+                           std::uint32_t count, unsigned bits,
+                           std::uint32_t* dst) {
+  if (bits == 0) {
+    std::memset(dst, 0, static_cast<std::size_t>(count) * sizeof(std::uint32_t));
+    return;
+  }
+  // NEON has no gather: load each lane's 64-bit window individually, then
+  // do the shift/mask/narrow in vector registers (vshlq by a negative
+  // count is a right shift). The loads read at most 7 bytes past a value's
+  // last byte — inside the guaranteed pad.
+  const uint64x2_t mask = vdupq_n_u64((std::uint64_t{1} << bits) - 1);
+  std::uint32_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const std::size_t p0 = startBit + static_cast<std::size_t>(i) * bits;
+    const std::size_t p1 = p0 + bits, p2 = p1 + bits, p3 = p2 + bits;
+    uint64x2_t lo = vcombine_u64(vcreate_u64(loadWord(src + (p0 >> 3))),
+                                 vcreate_u64(loadWord(src + (p1 >> 3))));
+    uint64x2_t hi = vcombine_u64(vcreate_u64(loadWord(src + (p2 >> 3))),
+                                 vcreate_u64(loadWord(src + (p3 >> 3))));
+    const int64x2_t shLo = vcombine_s64(
+        vcreate_s64(static_cast<std::uint64_t>(-static_cast<std::int64_t>(p0 & 7))),
+        vcreate_s64(static_cast<std::uint64_t>(-static_cast<std::int64_t>(p1 & 7))));
+    const int64x2_t shHi = vcombine_s64(
+        vcreate_s64(static_cast<std::uint64_t>(-static_cast<std::int64_t>(p2 & 7))),
+        vcreate_s64(static_cast<std::uint64_t>(-static_cast<std::int64_t>(p3 & 7))));
+    lo = vandq_u64(vshlq_u64(lo, shLo), mask);
+    hi = vandq_u64(vshlq_u64(hi, shHi), mask);
+    vst1q_u32(dst + i, vcombine_u32(vmovn_u64(lo), vmovn_u64(hi)));
+  }
+  if (i < count)
+    unpackBitsScalar(src, startBit + static_cast<std::size_t>(i) * bits,
+                     count - i, bits, dst + i);
+}
+
+#endif  // RESEX_HAVE_NEON_KERNEL
+
+namespace {
+
+using UnpackFn = void (*)(const std::uint8_t*, std::size_t, std::uint32_t,
+                          unsigned, std::uint32_t*);
+
+UnpackFn backendFn(UnpackBackend backend) noexcept {
+  switch (backend) {
+    case UnpackBackend::kScalar:
+      return &unpackBitsScalar;
+    case UnpackBackend::kAvx2:
+#ifdef RESEX_HAVE_AVX2_KERNEL
+      if (__builtin_cpu_supports("avx2")) return &unpackBitsAvx2;
+#endif
+      return nullptr;
+    case UnpackBackend::kNeon:
+#ifdef RESEX_HAVE_NEON_KERNEL
+      return &unpackBitsNeon;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+UnpackBackend resolveDefaultBackend() noexcept {
+  if (backendFn(UnpackBackend::kAvx2) != nullptr) return UnpackBackend::kAvx2;
+  if (backendFn(UnpackBackend::kNeon) != nullptr) return UnpackBackend::kNeon;
+  return UnpackBackend::kScalar;
+}
+
+struct Dispatch {
+  std::atomic<UnpackFn> fn;
+  std::atomic<UnpackBackend> backend;
+  Dispatch() {
+    const UnpackBackend b = resolveDefaultBackend();
+    backend.store(b, std::memory_order_relaxed);
+    fn.store(backendFn(b), std::memory_order_relaxed);
+  }
+};
+
+Dispatch& dispatch() {
+  static Dispatch d;
+  return d;
+}
+
+}  // namespace
+
+const char* unpackBackendName(UnpackBackend backend) noexcept {
+  switch (backend) {
+    case UnpackBackend::kScalar: return "scalar";
+    case UnpackBackend::kAvx2: return "avx2";
+    case UnpackBackend::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+UnpackBackend activeUnpackBackend() noexcept {
+  return dispatch().backend.load(std::memory_order_relaxed);
+}
+
+bool unpackBackendAvailable(UnpackBackend backend) noexcept {
+  return backendFn(backend) != nullptr;
+}
+
+bool setUnpackBackend(UnpackBackend backend) noexcept {
+  const UnpackFn fn = backendFn(backend);
+  if (fn == nullptr) return false;
+  dispatch().backend.store(backend, std::memory_order_relaxed);
+  dispatch().fn.store(fn, std::memory_order_relaxed);
+  return true;
+}
+
+void unpackBits(const std::uint8_t* src, std::size_t startBit,
+                std::uint32_t count, unsigned bits, std::uint32_t* dst) {
+  dispatch().fn.load(std::memory_order_relaxed)(src, startBit, count, bits, dst);
+}
+
+}  // namespace resex

@@ -1,0 +1,51 @@
+// Runtime-dispatched unpacking of fixed-width bit-packed integer planes.
+//
+// The block codec stores doc-id deltas and frequencies as little-endian
+// bitstreams at a per-block width of 0..32 bits (see block_codec.hpp). This
+// module turns those planes back into u32 arrays: a scalar reference
+// implementation (the correctness oracle, always available) plus SIMD
+// kernels selected once per process by CPU capability — AVX2 on x86-64
+// (vpgatherdd + variable shifts, 8 values per step; 64-bit gathers for
+// widths above 25 where a value can straddle five bytes) and NEON on
+// aarch64. Tests and benchmarks can pin a backend explicitly to compare
+// implementations on the same host.
+//
+// Contract shared by every backend: `src` is a little-endian bitstream,
+// value i occupies bits [startBit + i*bits, startBit + (i+1)*bits); the
+// caller guarantees at least 8 readable bytes past the last payload byte
+// (the codec pads its payloads, and the segment format pads its payload
+// plane, for exactly this reason).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace resex {
+
+enum class UnpackBackend : std::uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+const char* unpackBackendName(UnpackBackend backend) noexcept;
+
+/// Backend the process dispatches to (resolved from CPU capabilities on
+/// first use, or pinned by setUnpackBackend).
+UnpackBackend activeUnpackBackend() noexcept;
+
+/// True when `backend` can run on this host.
+bool unpackBackendAvailable(UnpackBackend backend) noexcept;
+
+/// Pins the dispatcher to `backend`; returns false (and changes nothing)
+/// when the host cannot run it. Intended for tests/benchmarks at setup
+/// time, not for concurrent use with in-flight decodes.
+bool setUnpackBackend(UnpackBackend backend) noexcept;
+
+/// Unpacks `count` values of width `bits` (0..32) from the bitstream.
+/// Dispatches to the active backend.
+void unpackBits(const std::uint8_t* src, std::size_t startBit,
+                std::uint32_t count, unsigned bits, std::uint32_t* dst);
+
+/// The scalar reference implementation — every SIMD backend must produce
+/// bit-identical output (simd_unpack_test enforces this across widths).
+void unpackBitsScalar(const std::uint8_t* src, std::size_t startBit,
+                      std::uint32_t count, unsigned bits, std::uint32_t* dst);
+
+}  // namespace resex

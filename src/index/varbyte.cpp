@@ -12,19 +12,30 @@ void varbyteEncode(std::uint64_t value, std::vector<std::uint8_t>& out) {
   out.push_back(static_cast<std::uint8_t>(value | 0x80));
 }
 
-std::uint64_t varbyteDecode(const std::vector<std::uint8_t>& bytes,
+std::uint64_t varbyteDecode(const std::uint8_t* bytes, std::size_t size,
                             std::size_t& offset) {
   std::uint64_t value = 0;
-  int shift = 0;
+  unsigned shift = 0;
   for (;;) {
-    if (offset >= bytes.size())
+    if (offset >= size)
       throw std::out_of_range("varbyteDecode: truncated input");
     const std::uint8_t byte = bytes[offset++];
-    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    const std::uint64_t payload = byte & 0x7F;
+    // A u64 holds at most ten VByte groups, and the tenth contributes only
+    // its lowest 64 - 63 = 1 bit. Reject any group whose bits would fall
+    // past bit 63 *before* the shift silently discards them — corrupt or
+    // hostile bytes must fail loudly, not decode to a wrapped value.
+    if (shift >= 64 || (shift > 0 && (payload >> (64 - shift)) != 0))
+      throw std::out_of_range("varbyteDecode: value overflow");
+    value |= payload << shift;
     if (byte & 0x80) return value;
     shift += 7;
-    if (shift > 63) throw std::out_of_range("varbyteDecode: value overflow");
   }
+}
+
+std::uint64_t varbyteDecode(const std::vector<std::uint8_t>& bytes,
+                            std::size_t& offset) {
+  return varbyteDecode(bytes.data(), bytes.size(), offset);
 }
 
 std::vector<std::uint8_t> encodeMonotone(const std::vector<std::uint32_t>& values) {

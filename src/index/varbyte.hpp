@@ -12,8 +12,14 @@ namespace resex {
 void varbyteEncode(std::uint64_t value, std::vector<std::uint8_t>& out);
 
 /// Decodes one value starting at `offset`; advances `offset` past it.
-/// Throws std::out_of_range on truncated input.
+/// Throws std::out_of_range on truncated input and on encodings whose bits
+/// would overflow a u64 (corrupt input must fail, not wrap).
 std::uint64_t varbyteDecode(const std::vector<std::uint8_t>& bytes,
+                            std::size_t& offset);
+
+/// Raw-buffer overload for decoding out of mapped (untrusted) bytes; `size`
+/// is the hard read bound. Same throwing contract as the vector overload.
+std::uint64_t varbyteDecode(const std::uint8_t* bytes, std::size_t size,
                             std::size_t& offset);
 
 /// Delta + VByte encodes a strictly increasing sequence.

@@ -227,8 +227,10 @@ void HttpServer::serveLoop() {
         if (peerClosed && !conn.responding) drop = true;
       }
       if (!drop && conn.responding && (fds[i + 2].revents & POLLOUT)) {
-        const ssize_t n = ::write(conn.fd, conn.outbox.data() + conn.sent,
-                                  conn.outbox.size() - conn.sent);
+        // MSG_NOSIGNAL: a peer that disconnects mid-response must surface
+        // as EPIPE here, not raise SIGPIPE and kill the whole process.
+        const ssize_t n = ::send(conn.fd, conn.outbox.data() + conn.sent,
+                                 conn.outbox.size() - conn.sent, MSG_NOSIGNAL);
         if (n > 0) conn.sent += static_cast<std::size_t>(n);
         else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) drop = true;
         if (conn.sent == conn.outbox.size()) drop = true;  // done: close

@@ -1,0 +1,89 @@
+#include "util/checksum.hpp"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define RESEX_HAVE_SSE42_CRC 1
+#endif
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define RESEX_HAVE_ARM_CRC 1
+#endif
+
+namespace resex {
+
+namespace {
+
+/// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+std::array<std::uint32_t, 256> makeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ (kPoly & (~(crc & 1) + 1));
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = makeTable();
+  return t;
+}
+
+#ifdef RESEX_HAVE_SSE42_CRC
+__attribute__((target("sse4.2"))) std::uint32_t crcHardware(
+    const std::uint8_t* p, std::size_t size, std::uint32_t crc) {
+  std::uint64_t crc64 = crc;
+  for (; size >= 8; size -= 8, p += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  for (; size > 0; --size, ++p) crc = _mm_crc32_u8(crc, *p);
+  return crc;
+}
+bool hardwareAvailable() { return __builtin_cpu_supports("sse4.2"); }
+#elif defined(RESEX_HAVE_ARM_CRC)
+std::uint32_t crcHardware(const std::uint8_t* p, std::size_t size,
+                          std::uint32_t crc) {
+  for (; size >= 8; size -= 8, p += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+  }
+  for (; size > 0; --size, ++p) crc = __crc32cb(crc, *p);
+  return crc;
+}
+bool hardwareAvailable() { return true; }
+#else
+std::uint32_t crcHardware(const std::uint8_t*, std::size_t, std::uint32_t) {
+  return 0;
+}
+bool hardwareAvailable() { return false; }
+#endif
+
+}  // namespace
+
+std::uint32_t crc32cSoftware(const void* data, std::size_t size,
+                             std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto& t = table();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ t[(crc ^ p[i]) & 0xFF];
+  return ~crc;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  static const bool hw = hardwareAvailable();
+  if (!hw) return crc32cSoftware(data, size, seed);
+  return ~crcHardware(static_cast<const std::uint8_t*>(data), size, ~seed);
+}
+
+}  // namespace resex

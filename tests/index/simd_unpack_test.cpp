@@ -1,0 +1,133 @@
+#include "index/simd_unpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+namespace resex {
+namespace {
+
+/// Packs `values` at width `bits` starting at `startBit`, little-endian —
+/// an independent reimplementation of the codec's appendBits so the unpack
+/// tests don't trust the code under test to produce their fixtures.
+std::vector<std::uint8_t> pack(const std::vector<std::uint32_t>& values,
+                               unsigned bits, std::size_t startBit) {
+  const std::size_t totalBits = startBit + values.size() * bits;
+  std::vector<std::uint8_t> out((totalBits + 7) / 8 + 8, 0);  // +8: read pad
+  std::size_t bitPos = startBit;
+  for (const std::uint32_t v : values) {
+    for (unsigned bit = 0; bit < bits; ++bit, ++bitPos)
+      if ((v >> bit) & 1u) out[bitPos >> 3] |= std::uint8_t(1u << (bitPos & 7));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> randomValues(std::mt19937_64& rng, unsigned bits,
+                                        std::size_t count) {
+  const std::uint64_t mask = bits == 0 ? 0 : (std::uint64_t{0xFFFFFFFF} >> (32 - bits));
+  std::vector<std::uint32_t> values(count);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng() & mask);
+  return values;
+}
+
+class SimdUnpackTest : public ::testing::TestWithParam<UnpackBackend> {
+ protected:
+  void SetUp() override {
+    if (!unpackBackendAvailable(GetParam()))
+      GTEST_SKIP() << "backend " << unpackBackendName(GetParam())
+                   << " unavailable on this host";
+    previous_ = activeUnpackBackend();
+    ASSERT_TRUE(setUnpackBackend(GetParam()));
+  }
+  void TearDown() override {
+    if (!IsSkipped()) setUnpackBackend(previous_);
+  }
+
+ private:
+  UnpackBackend previous_ = UnpackBackend::kScalar;
+};
+
+TEST_P(SimdUnpackTest, MatchesScalarOracleAcrossAllWidths) {
+  std::mt19937_64 rng(42);
+  for (unsigned bits = 0; bits <= 32; ++bits) {
+    // Counts around the codec's block size plus ragged tails exercise both
+    // the vector body and the scalar remainder of every kernel.
+    for (const std::size_t count : {1u, 7u, 8u, 9u, 100u, 127u, 128u}) {
+      const auto values = randomValues(rng, bits, count);
+      const auto packed = pack(values, bits, /*startBit=*/0);
+      std::vector<std::uint32_t> viaBackend(count, 0xDEADBEEF);
+      std::vector<std::uint32_t> viaScalar(count, 0xDEADBEEF);
+      unpackBits(packed.data(), 0, static_cast<std::uint32_t>(count), bits,
+                 viaBackend.data());
+      unpackBitsScalar(packed.data(), 0, static_cast<std::uint32_t>(count),
+                       bits, viaScalar.data());
+      ASSERT_EQ(viaBackend, values) << "bits=" << bits << " count=" << count;
+      ASSERT_EQ(viaScalar, values) << "bits=" << bits << " count=" << count;
+    }
+  }
+}
+
+TEST_P(SimdUnpackTest, HonoursUnalignedStartBit) {
+  // The freq plane starts at (count-1)*docBits, an arbitrary bit offset —
+  // every backend must honour a non-byte-aligned start.
+  std::mt19937_64 rng(7);
+  for (unsigned bits = 1; bits <= 32; ++bits) {
+    for (const std::size_t startBit : {1u, 3u, 7u, 13u, 127u}) {
+      const auto values = randomValues(rng, bits, 128);
+      const auto packed = pack(values, bits, startBit);
+      std::vector<std::uint32_t> dst(values.size(), 0);
+      unpackBits(packed.data(), startBit,
+                 static_cast<std::uint32_t>(values.size()), bits, dst.data());
+      ASSERT_EQ(dst, values) << "bits=" << bits << " startBit=" << startBit;
+    }
+  }
+}
+
+TEST_P(SimdUnpackTest, AllOnesAndAllZerosAtEveryWidth) {
+  for (unsigned bits = 1; bits <= 32; ++bits) {
+    const std::uint32_t top =
+        static_cast<std::uint32_t>((std::uint64_t{1} << bits) - 1);
+    for (const std::uint32_t fill : {std::uint32_t{0}, top}) {
+      const std::vector<std::uint32_t> values(128, fill);
+      const auto packed = pack(values, bits, 0);
+      std::vector<std::uint32_t> dst(values.size(), 1);
+      unpackBits(packed.data(), 0, 128, bits, dst.data());
+      ASSERT_EQ(dst, values) << "bits=" << bits << " fill=" << fill;
+    }
+  }
+}
+
+TEST_P(SimdUnpackTest, ZeroCountWritesNothing) {
+  const std::uint8_t packed[16] = {};
+  std::uint32_t sentinel = 0xABCD1234;
+  unpackBits(packed, 0, 0, 17, &sentinel);
+  EXPECT_EQ(sentinel, 0xABCD1234u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SimdUnpackTest,
+                         ::testing::Values(UnpackBackend::kScalar,
+                                           UnpackBackend::kAvx2,
+                                           UnpackBackend::kNeon),
+                         [](const auto& info) {
+                           return unpackBackendName(info.param);
+                         });
+
+TEST(SimdUnpackDispatch, ActiveBackendIsAvailable) {
+  EXPECT_TRUE(unpackBackendAvailable(activeUnpackBackend()));
+  EXPECT_TRUE(unpackBackendAvailable(UnpackBackend::kScalar));
+}
+
+TEST(SimdUnpackDispatch, PinningUnavailableBackendIsRefused) {
+  const UnpackBackend before = activeUnpackBackend();
+#if defined(__x86_64__)
+  EXPECT_FALSE(setUnpackBackend(UnpackBackend::kNeon));
+#else
+  EXPECT_FALSE(setUnpackBackend(UnpackBackend::kAvx2));
+#endif
+  EXPECT_EQ(activeUnpackBackend(), before);
+}
+
+}  // namespace
+}  // namespace resex

@@ -51,6 +51,70 @@ TEST(Varbyte, TruncatedInputThrows) {
   EXPECT_THROW(varbyteDecode(bytes, offset), std::out_of_range);
 }
 
+TEST(Varbyte, MaxValueRoundTripsThroughTenGroups) {
+  std::vector<std::uint8_t> bytes;
+  varbyteEncode(std::numeric_limits<std::uint64_t>::max(), bytes);
+  EXPECT_EQ(bytes.size(), 10u);  // 64 bits / 7 bits per group, rounded up
+  std::size_t offset = 0;
+  EXPECT_EQ(varbyteDecode(bytes, offset),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Varbyte, OverflowingTenthGroupThrows) {
+  // Nine continuation groups put the tenth at shift 63, where only one
+  // payload bit fits. Any tenth-group payload above 1 must throw instead
+  // of silently dropping the high bits (the old code OR'd first and only
+  // then noticed the shift was exhausted).
+  for (std::uint8_t tenth : {std::uint8_t{0x82}, std::uint8_t{0x7F},
+                             std::uint8_t{0xFF}}) {
+    std::vector<std::uint8_t> bytes(9, 0x7F);  // continuation, payload 0x7F
+    bytes.push_back(tenth);
+    std::size_t offset = 0;
+    if (tenth == 0xFF) {
+      // 0xFF terminates with payload 0x7F > 1: overflow.
+      EXPECT_THROW(varbyteDecode(bytes, offset), std::out_of_range);
+    } else if (tenth == 0x82) {
+      // Terminates with payload 2: bit 64 does not exist.
+      EXPECT_THROW(varbyteDecode(bytes, offset), std::out_of_range);
+    } else {
+      // 0x7F continues past shift 63: the eleventh group can never fit.
+      bytes.push_back(0x81);
+      EXPECT_THROW(varbyteDecode(bytes, offset), std::out_of_range);
+    }
+  }
+}
+
+TEST(Varbyte, TenthGroupPayloadOneIsLegal) {
+  // 0x7F * 9 then payload 1 terminated = all 64 bits set: UINT64_MAX.
+  std::vector<std::uint8_t> bytes(9, 0x7F);
+  bytes.push_back(0x81);
+  std::size_t offset = 0;
+  EXPECT_EQ(varbyteDecode(bytes, offset),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Varbyte, RawBufferOverloadMatchesVectorOverload) {
+  Rng rng(3);
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng() >> static_cast<int>(rng.below(60));
+    values.push_back(v);
+    varbyteEncode(v, bytes);
+  }
+  std::size_t vecOffset = 0, rawOffset = 0;
+  for (const std::uint64_t v : values) {
+    EXPECT_EQ(varbyteDecode(bytes, vecOffset), v);
+    EXPECT_EQ(varbyteDecode(bytes.data(), bytes.size(), rawOffset), v);
+  }
+  EXPECT_EQ(vecOffset, rawOffset);
+
+  // The raw overload honors `size` as a hard bound even when more bytes
+  // exist past it (decoding a list's tail out of a larger mapped plane).
+  std::size_t offset = 0;
+  EXPECT_THROW(varbyteDecode(bytes.data(), 0, offset), std::out_of_range);
+}
+
 TEST(Monotone, RoundTrip) {
   const std::vector<std::uint32_t> docs{3, 7, 8, 100, 10000, 10001};
   EXPECT_EQ(decodeMonotone(encodeMonotone(docs)), docs);

@@ -137,6 +137,57 @@ TEST(HttpServer, QueryStringIsSplitFromPath) {
   EXPECT_EQ(bodyOf(get(server.port(), "/echo?limit=5")), "limit=5");
 }
 
+// Regression: the response write path used to raise SIGPIPE (killing the
+// whole process) when a client vanished mid-transfer. A disconnect only
+// trips it when the reset lands between poll() reporting POLLOUT and the
+// following send(), so hammer the window: many rounds of "start reading a
+// multi-megabyte body, then abort the connection with an RST".
+TEST(HttpServer, SurvivesClientDisconnectMidResponse) {
+  HttpServer server(0);
+  const std::string big(1u << 20, 'x');
+  server.handle("/big", [&big](const HttpRequest&) {
+    return HttpResponse::text(big);
+  });
+  server.handle("/after", [](const HttpRequest&) {
+    return HttpResponse::text("still here\n");
+  });
+  server.start();
+
+  for (int round = 0; round < 64; ++round) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      FAIL() << "connect failed on round " << round;
+    }
+    const std::string request =
+        "GET /big HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    // Read a few chunks so the server is mid-body, keeping its write loop
+    // hot (each drained chunk re-arms POLLOUT)...
+    char buf[4096];
+    for (int chunk = 0; chunk < 2 + round % 4; ++chunk)
+      if (::recv(fd, buf, sizeof buf, 0) <= 0) break;
+    // ...then abort: SO_LINGER(0) turns close() into an immediate RST, so
+    // the server's next write targets a dead connection.
+    const linger abortNow{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abortNow, sizeof abortNow);
+    ::close(fd);
+  }
+
+  // Unfixed, the process is already dead of SIGPIPE by now (the test binary
+  // would have crashed). Fixed, the server must still answer.
+  EXPECT_TRUE(server.running());
+  const std::string response = get(server.port(), "/after");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(bodyOf(response), "still here\n");
+}
+
 TEST(HttpServer, StopIsIdempotentAndJoins) {
   HttpServer server(0);
   server.start();
