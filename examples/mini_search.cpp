@@ -192,11 +192,19 @@ int main(int argc, char** argv) {
   const std::string segmentDir = flags.str("segments");
   // From documents, or reopened zero-copy from segment files on disk —
   // either way the same PartitionedIndex surface (and, below, the same
-  // scatter-gather results as the freshly built whole index).
-  const resex::PartitionedIndex part =
-      segmentDir.empty()
-          ? resex::PartitionedIndex(config.termCount, docs, shardCount)
-          : resex::PartitionedIndex::fromSegmentDir(segmentDir);
+  // scatter-gather results as the freshly built whole index). A missing
+  // or corrupt segment directory is an expected operator error: report
+  // it and exit instead of letting the exception terminate.
+  const resex::PartitionedIndex part = [&] {
+    try {
+      return segmentDir.empty()
+                 ? resex::PartitionedIndex(config.termCount, docs, shardCount)
+                 : resex::PartitionedIndex::fromSegmentDir(segmentDir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mini_search: cannot load segments: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
   std::printf("corpus: %u docs, %u terms, %zu postings, %.2f MB compressed "
               "(built in %.2fs)\n",
               config.docCount, config.termCount, whole.totalPostings(),

@@ -126,14 +126,16 @@ BlockPostingList::BlockPostingList(const std::vector<DocId>& docs,
 
 BlockPostingList BlockPostingList::viewOf(
     std::span<const PostingBlockMeta> blocks, const std::uint8_t* payload,
-    std::size_t payloadBytes, std::size_t postingCount,
+    std::size_t payloadBytes, std::size_t postingCount, std::uint32_t docCount,
     double builtAvgDocLength, const Bm25Params& builtParams) {
   // The planes are untrusted bytes (an mmap'd file): prove every invariant
   // the decode paths rely on before handing out a cursor-able view. Blocks
   // must tile the posting count, doc ranges must be strictly increasing
-  // across blocks, and each block's payload extent must match its declared
-  // widths byte-for-byte — a block whose metadata disagrees with the
-  // checksummed plane sizes is corruption (or a crafted file), never UB.
+  // across blocks and stay below docCount (executors index doc-length and
+  // accumulator arrays of that size by decoded id), and each block's
+  // payload extent must match its declared widths byte-for-byte — a block
+  // whose metadata disagrees with the checksummed plane sizes is
+  // corruption (or a crafted file), never UB.
   std::size_t postings = 0;
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const PostingBlockMeta& meta = blocks[b];
@@ -151,6 +153,8 @@ BlockPostingList BlockPostingList::viewOf(
     }
     if (meta.freqBits > 32) rejectView(b, "freq bit width out of range");
     if (meta.firstDoc > meta.lastDoc) rejectView(b, "doc range inverted");
+    if (meta.lastDoc >= docCount)
+      rejectView(b, "doc range past the document count");
     if (meta.count == 1 && meta.firstDoc != meta.lastDoc)
       rejectView(b, "single-posting block with a doc range");
     if (meta.count > 1 &&
@@ -211,36 +215,58 @@ std::uint32_t BlockPostingList::decodeBlock(std::size_t b, DocId* docs,
                                             std::uint32_t* freqs) const {
   const PostingBlockMeta& meta = blocks_[b];
   const std::uint32_t count = meta.count;
-  DocId prev = meta.firstDoc;
-  docs[0] = prev;
+  docs[0] = meta.firstDoc;
+  // Both paths prefix-sum in 64 bits and require the walk to land exactly
+  // on the block's declared (validated) lastDoc: corrupt or hostile delta
+  // bytes cannot wrap the id space or yield an id outside the range the
+  // metadata promised — they throw instead.
   if (meta.docBits == kVbyteTailBits) {
     // The tail decodes against the declared payload end: truncated or
     // overrunning VByte streams throw instead of reading a neighbour's
     // bytes (the payload pointer may cover a whole mapped plane).
     std::size_t offset = meta.dataOffset;
+    std::uint64_t acc = meta.firstDoc;
     for (std::uint32_t i = 1; i < count; ++i) {
-      prev += static_cast<DocId>(varbyteDecode(data_, payloadBytes_, offset)) + 1;
-      docs[i] = prev;
+      const std::uint64_t gap = varbyteDecode(data_, payloadBytes_, offset);
+      // acc + gap + 1 must stay <= lastDoc (acc <= lastDoc inductively).
+      if (gap >= meta.lastDoc - acc)
+        throw std::invalid_argument(
+            "BlockPostingList: doc ids overrun the block's declared lastDoc");
+      acc += gap + 1;
+      docs[i] = static_cast<DocId>(acc);
     }
-    for (std::uint32_t i = 0; i < count; ++i)
-      freqs[i] = static_cast<std::uint32_t>(
-                     varbyteDecode(data_, payloadBytes_, offset)) +
-                 1;
+    if (acc != meta.lastDoc)
+      throw std::invalid_argument(
+          "BlockPostingList: doc ids fall short of the block's declared lastDoc");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t f = varbyteDecode(data_, payloadBytes_, offset);
+      if (f > 0xFFFFFFFEull)
+        throw std::invalid_argument(
+            "BlockPostingList: term frequency overflows 32 bits");
+      freqs[i] = static_cast<std::uint32_t>(f) + 1;
+    }
     return count;
   }
   const std::uint8_t* base = data_ + meta.dataOffset;
   const unsigned docBits = meta.docBits;
+  std::uint64_t acc = meta.firstDoc;
   if (docBits == 0) {
-    for (std::uint32_t i = 1; i < count; ++i) docs[i] = ++prev;
+    for (std::uint32_t i = 1; i < count; ++i)
+      docs[i] = static_cast<DocId>(++acc);
   } else {
     // Unpack the (gap-1) plane with the dispatched kernel, then prefix-sum
     // the deltas in place (the sum is serial; the unpack is the hot part).
+    // Deltas are <= 2^32-1 and count <= 128, so the 64-bit sum cannot wrap.
     unpackBits(base, 0, count - 1, docBits, docs + 1);
     for (std::uint32_t i = 1; i < count; ++i) {
-      prev += docs[i] + 1;
-      docs[i] = prev;
+      acc += static_cast<std::uint64_t>(docs[i]) + 1;
+      docs[i] = static_cast<DocId>(acc);
     }
   }
+  if (acc != meta.lastDoc)
+    throw std::invalid_argument(
+        "BlockPostingList: decoded doc ids disagree with the block's "
+        "declared lastDoc");
   const unsigned freqBits = meta.freqBits;
   if (freqBits == 0) {
     for (std::uint32_t i = 0; i < count; ++i) freqs[i] = 1;

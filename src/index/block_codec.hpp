@@ -94,8 +94,9 @@ class BlockPostingList {
 
   /// Zero-copy view over externally owned (typically mmap'd) planes. The
   /// metadata is untrusted: every block invariant — counts, widths,
-  /// monotone doc ranges, and byte-exact payload extents — is validated
-  /// against `payloadBytes` before the view is returned; throws
+  /// monotone doc ranges bounded by `docCount` (every dense id the view
+  /// can ever yield is < docCount), and byte-exact payload extents — is
+  /// validated against `payloadBytes` before the view is returned; throws
   /// std::invalid_argument on any inconsistency. The caller must keep the
   /// planes alive for the view's lifetime and guarantee kPayloadPadBytes
   /// of readable slack past `payload + payloadBytes`.
@@ -103,6 +104,7 @@ class BlockPostingList {
                                  const std::uint8_t* payload,
                                  std::size_t payloadBytes,
                                  std::size_t postingCount,
+                                 std::uint32_t docCount,
                                  double builtAvgDocLength,
                                  const Bm25Params& builtParams);
 
@@ -126,7 +128,11 @@ class BlockPostingList {
   }
 
   /// Decodes one block into caller buffers (capacity >= kPostingBlockSize
-  /// each). Returns the number of postings written.
+  /// each). Returns the number of postings written. The decoded ids are
+  /// prefix-summed with 64-bit accumulation and must land exactly on the
+  /// block's declared lastDoc — corrupt bytes whose deltas disagree with
+  /// the metadata throw std::invalid_argument instead of yielding ids
+  /// outside [firstDoc, lastDoc].
   std::uint32_t decodeBlock(std::size_t b, DocId* docs,
                             std::uint32_t* freqs) const;
 

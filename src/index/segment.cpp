@@ -170,6 +170,22 @@ std::uint64_t SegmentWriter::finish() {
     throwErrno("SegmentWriter: close failed for", path_);
   }
   fd_ = -1;
+
+  // Durability of the *name*, not just the bytes: fsync the parent
+  // directory so a crash after finish() cannot leave a fully-synced file
+  // missing from its directory (the migration copy path depends on the
+  // destination segment surviving a crash once finish() returns).
+  const std::size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path_.substr(0, slash + 1);
+  const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirFd < 0) throwErrno("SegmentWriter: cannot open directory", dir);
+  if (::fsync(dirFd) != 0) {
+    const int err = errno;
+    ::close(dirFd);
+    errno = err;
+    throwErrno("SegmentWriter: directory fsync failed for", dir);
+  }
+  ::close(dirFd);
   return footer_.fileBytes;
 }
 
@@ -237,6 +253,16 @@ void MappedSegment::validate() {
   // Plane table: page-aligned, in file order, non-overlapping, inside the
   // file body, and sized exactly as the footer's counts demand.
   const std::uint64_t bodyEnd = footer_.fileBytes - sizeof(SegmentFooter);
+  // Bound the counts before multiplying: a crafted totalBlocks near 2^59
+  // would otherwise wrap `totalBlocks * sizeof(PostingBlockMeta)` back to
+  // a small value, pass the size checks, and leave metas_ a span that
+  // extends far past the mapping.
+  if (footer_.totalBlocks > bodyEnd / sizeof(PostingBlockMeta))
+    reject("footer block count cannot fit in the file body");
+  if (footer_.docCount > bodyEnd / sizeof(DocId))
+    reject("footer document count cannot fit in the file body");
+  if (footer_.termCount > bodyEnd / sizeof(SegmentTermEntry))
+    reject("footer term count cannot fit in the file body");
   std::uint64_t prevEnd = kSegmentPageBytes;
   const std::uint64_t expectedBytes[kSegmentPlaneCount] = {
       footer_.planes[kPlanePayload].bytes,  // free-form; checked via directory
@@ -306,9 +332,34 @@ void MappedSegment::validate() {
            " postings, footer declares " +
            std::to_string(footer_.totalPostings));
 
-  // Block metadata: run the full viewOf validation for every term, so a
-  // segment either loads with every invariant proven or not at all.
-  for (std::uint32_t t = 0; t < footer_.termCount; ++t) (void)postings(t);
+  // Block metadata and payload: run the full viewOf validation for every
+  // term, then decode every block once, so a segment either loads with
+  // every invariant proven or not at all. viewOf bounds each block's doc
+  // range below docCount; the decode pass proves the prefix-summed ids
+  // actually land on each block's declared lastDoc and that frequencies
+  // respect the block's declared maximum (the executors' pruning bound).
+  // A segment that loads can therefore never hand the query kernel an
+  // out-of-range doc id — hostile bytes fail here, not mid-query. The
+  // pass costs one more sweep over payload bytes the CRC check above
+  // already touched.
+  std::vector<DocId> docs(kPostingBlockSize);
+  std::vector<std::uint32_t> freqs(kPostingBlockSize);
+  for (std::uint32_t t = 0; t < footer_.termCount; ++t) {
+    const BlockPostingList list = postings(t);
+    for (std::size_t b = 0; b < list.blockCount(); ++b) {
+      std::uint32_t n = 0;
+      try {
+        n = list.decodeBlock(b, docs.data(), freqs.data());
+      } catch (const std::exception& e) {
+        reject("term " + std::to_string(t) + ": " + e.what());
+      }
+      const std::uint32_t maxTf = list.block(b).maxTf;
+      for (std::uint32_t i = 0; i < n; ++i)
+        if (freqs[i] > maxTf)
+          reject("term " + std::to_string(t) +
+                 ": frequency above the block's declared maximum");
+    }
+  }
 }
 
 BlockPostingList MappedSegment::postings(TermId term) const {
@@ -319,7 +370,7 @@ BlockPostingList MappedSegment::postings(TermId term) const {
     return BlockPostingList::viewOf(
         metas_.subspan(entry.blockBegin, entry.blockCount),
         payload_ + entry.payloadOffset, entry.payloadBytes, entry.postingCount,
-        footer_.avgDocLength, {footer_.bm25K1, footer_.bm25B});
+        footer_.docCount, footer_.avgDocLength, {footer_.bm25K1, footer_.bm25B});
   } catch (const std::invalid_argument& e) {
     throw SegmentFormatError("segment " + path_ + ": term " +
                              std::to_string(term) + ": " + e.what());

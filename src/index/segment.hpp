@@ -23,9 +23,14 @@
 // needs the (small) metadata planes in memory.
 //
 // The reader treats the file as untrusted input: header/footer/plane-table
-// validation, per-plane checksums, directory coverage checks, and full
-// per-term block-metadata validation (BlockPostingList::viewOf) all run
-// before the first query; any inconsistency throws SegmentFormatError.
+// validation (with overflow-safe count bounds), per-plane checksums,
+// directory coverage checks, full per-term block-metadata validation
+// (BlockPostingList::viewOf, which also bounds every doc range below the
+// footer's docCount), and a one-shot decode of every block (prefix-summed
+// ids must land on each block's declared lastDoc; frequencies must respect
+// the block maximum) all run before the first query; any inconsistency
+// throws SegmentFormatError. A segment that loads can never hand the query
+// kernel an out-of-range doc id.
 #pragma once
 
 #include <cstddef>
@@ -167,8 +172,9 @@ class SegmentWriter {
 };
 
 /// A segment file mapped read-only. Construction validates the entire file
-/// (header, footer, plane table, per-plane CRCs, directory coverage, and
-/// every term's block metadata) and throws SegmentFormatError on any
+/// (header, footer, plane table, per-plane CRCs, directory coverage,
+/// every term's block metadata, and a decode pass over every block) and
+/// throws SegmentFormatError on any
 /// inconsistency; afterwards postings() returns zero-copy views whose
 /// cursors iterate directly over the mapped bytes. Keep the segment alive
 /// as long as any view (or index built from it) is in use.
@@ -192,6 +198,9 @@ class MappedSegment {
   std::span<const std::uint32_t> docLengths() const noexcept { return docLengths_; }
   std::span<const DocId> docIds() const noexcept { return docIds_; }
   std::uint64_t documentFrequency(TermId term) const {
+    if (term >= footer_.termCount)
+      throw std::out_of_range(
+          "MappedSegment::documentFrequency: term out of range");
     return directory_[term].postingCount;
   }
   /// Zero-copy view of one term's posting list (re-validated on the way

@@ -50,6 +50,31 @@ SegmentFooter footerOf(const std::vector<std::uint8_t>& bytes) {
   return footer;
 }
 
+template <typename T>
+T readAt(const std::vector<std::uint8_t>& bytes, std::uint64_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof value);
+  return value;
+}
+
+template <typename T>
+void writeAt(std::vector<std::uint8_t>& bytes, std::uint64_t offset,
+             const T& value) {
+  std::memcpy(bytes.data() + offset, &value, sizeof value);
+}
+
+/// Re-checksums one plane and the footer after a hostile mutation, so only
+/// the semantic validation (not the CRCs) can reject the file.
+void recrcPlaneAndFooter(std::vector<std::uint8_t>& bytes, std::uint32_t plane) {
+  SegmentFooter footer = footerOf(bytes);
+  const SegmentPlane& p = footer.planes[plane];
+  footer.planes[plane].crc = crc32c(bytes.data() + p.offset, p.bytes);
+  footer.crc = 0;
+  footer.crc = crc32c(&footer, sizeof footer);
+  std::memcpy(bytes.data() + bytes.size() - sizeof footer, &footer,
+              sizeof footer);
+}
+
 // ---- CRC-32C ----------------------------------------------------------
 
 TEST(Crc32c, MatchesKnownVector) {
@@ -321,6 +346,124 @@ TEST(Segment, InconsistentBlockMetadataIsRejectedEvenWithValidCrc) {
     writeFile(mutated, bytes);
     EXPECT_THROW(MappedSegment{mutated}, SegmentFormatError);
   }
+}
+
+TEST(Segment, HostileDocRangePastDocCountIsRejected) {
+  // A crafted segment whose CRCs all verify but whose block metadata
+  // declares doc ids at or beyond the footer's docCount must be rejected
+  // at load: decoded ids index docCount-sized arrays in the executors.
+  const InvertedIndex built = buildIndex(41, 500, 100);
+  const std::string path = tempPath("hostile-doccount-src.seg");
+  writeSegment(built, path);
+  const auto pristine = readFile(path);
+  const SegmentFooter footer = footerOf(pristine);
+  const std::uint64_t dirOff = footer.planes[kPlaneDirectory].offset;
+  const std::uint64_t metaOff = footer.planes[kPlaneMeta].offset;
+
+  // A term's *final* block has no successor constraining its doc range;
+  // count >= 2 keeps every other block invariant satisfied after the edit.
+  bool tested = false;
+  for (std::uint32_t t = 0; t < footer.termCount && !tested; ++t) {
+    const auto entry = readAt<SegmentTermEntry>(
+        pristine, dirOff + t * sizeof(SegmentTermEntry));
+    if (entry.blockCount == 0) continue;
+    const std::uint64_t at =
+        metaOff + (entry.blockBegin + entry.blockCount - 1) *
+                      sizeof(PostingBlockMeta);
+    auto block = readAt<PostingBlockMeta>(pristine, at);
+    if (block.count < 2) continue;
+    block.lastDoc = footer.docCount + 5;
+    auto bytes = pristine;
+    writeAt(bytes, at, block);
+    recrcPlaneAndFooter(bytes, kPlaneMeta);
+    const std::string mutated = tempPath("hostile-doccount.seg");
+    writeFile(mutated, bytes);
+    EXPECT_THROW(MappedSegment{mutated}, SegmentFormatError) << "term " << t;
+    tested = true;
+  }
+  ASSERT_TRUE(tested) << "corpus produced no multi-posting final block";
+}
+
+TEST(Segment, HostileDeltaSumMismatchIsRejectedAtLoad) {
+  // Metadata whose every static invariant holds, but whose payload deltas
+  // do not walk exactly from firstDoc to lastDoc: shifting firstDoc down
+  // by one leaves viewOf satisfied, and only the load-time decode pass
+  // (prefix sums must land on lastDoc) can catch it. Exercised for both
+  // encodings: a bit-packed full block and a VByte tail block.
+  const InvertedIndex built = buildIndex(43, 2500, 40);
+  const std::string path = tempPath("hostile-sum-src.seg");
+  writeSegment(built, path);
+  const auto pristine = readFile(path);
+  const SegmentFooter footer = footerOf(pristine);
+  const std::uint64_t dirOff = footer.planes[kPlaneDirectory].offset;
+  const std::uint64_t metaOff = footer.planes[kPlaneMeta].offset;
+
+  const auto mutateFirstDoc = [&](std::uint64_t blockAt) {
+    auto bytes = pristine;
+    auto block = readAt<PostingBlockMeta>(bytes, blockAt);
+    block.firstDoc -= 1;
+    writeAt(bytes, blockAt, block);
+    recrcPlaneAndFooter(bytes, kPlaneMeta);
+    const std::string mutated = tempPath("hostile-sum.seg");
+    writeFile(mutated, bytes);
+    EXPECT_THROW(MappedSegment{mutated}, SegmentFormatError);
+  };
+
+  bool testedPacked = false, testedVbyte = false;
+  for (std::uint32_t t = 0; t < footer.termCount; ++t) {
+    const auto entry = readAt<SegmentTermEntry>(
+        pristine, dirOff + t * sizeof(SegmentTermEntry));
+    for (std::uint32_t b = 0; b < entry.blockCount; ++b) {
+      const std::uint64_t at =
+          metaOff + (entry.blockBegin + b) * sizeof(PostingBlockMeta);
+      const auto block = readAt<PostingBlockMeta>(pristine, at);
+      // firstDoc-1 must stay above the previous block's lastDoc (or >= 0
+      // for the term's first block) so no other invariant trips first.
+      const bool shiftable =
+          b == 0 ? block.firstDoc >= 1
+                 : block.firstDoc >=
+                       readAt<PostingBlockMeta>(
+                           pristine, at - sizeof(PostingBlockMeta))
+                               .lastDoc +
+                           2;
+      if (!shiftable || block.count < 2) continue;
+      const bool vbyte = block.docBits == kVbyteTailBits;
+      if (vbyte ? testedVbyte : testedPacked) continue;
+      mutateFirstDoc(at);
+      (vbyte ? testedVbyte : testedPacked) = true;
+    }
+  }
+  ASSERT_TRUE(testedPacked) << "corpus produced no shiftable packed block";
+  ASSERT_TRUE(testedVbyte) << "corpus produced no shiftable VByte tail";
+}
+
+TEST(Segment, HostileBlockCountOverflowIsRejected) {
+  // totalBlocks + 2^61 wraps `totalBlocks * sizeof(PostingBlockMeta)` back
+  // to the true plane size (40 * 2^61 == 5 * 2^64): without an explicit
+  // count bound, the meta span would extend ~2^66 bytes past the mapping.
+  const InvertedIndex built = buildIndex(47, 100, 60);
+  const std::string path = tempPath("hostile-blocks-src.seg");
+  writeSegment(built, path);
+  auto bytes = readFile(path);
+  SegmentFooter footer = footerOf(bytes);
+  footer.totalBlocks += std::uint64_t{1} << 61;
+  footer.crc = 0;
+  footer.crc = crc32c(&footer, sizeof footer);
+  std::memcpy(bytes.data() + bytes.size() - sizeof footer, &footer,
+              sizeof footer);
+  const std::string mutated = tempPath("hostile-blocks.seg");
+  writeFile(mutated, bytes);
+  EXPECT_THROW(MappedSegment{mutated}, SegmentFormatError);
+}
+
+TEST(Segment, DocumentFrequencyRejectsOutOfRangeTerm) {
+  const InvertedIndex built = buildIndex(53, 50, 20);
+  const std::string path = tempPath("df-range.seg");
+  writeSegment(built, path);
+  const MappedSegment segment(path);
+  EXPECT_EQ(segment.documentFrequency(0), built.documentFrequency(0));
+  EXPECT_THROW(segment.documentFrequency(segment.termCount()),
+               std::out_of_range);
 }
 
 // ---- Writer contract --------------------------------------------------
