@@ -79,8 +79,8 @@ EpochReport ClusterController::step(const Instance& instance) {
       registry.counter("controller.partial_discarded").add();
     } else if (config_.useExecutor) {
       const MigrationExecutor executor(config_.executor);
-      ExecutionReport execution =
-          executor.execute(instance, result.schedule, config_.faults);
+      ExecutionReport execution = executor.execute(instance, result.schedule,
+                                                   config_.faults, config_.dataPlane);
       report.executed = true;
       // The executor's leftovers subsume the plan's unscheduled intents
       // (its target includes them), so they are the honest count here.

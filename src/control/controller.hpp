@@ -72,6 +72,11 @@ struct ControllerConfig {
   bool useExecutor = false;
   ExecutorConfig executor;
   FaultPlan faults;
+  /// Non-owning live data plane handed to the executor (see
+  /// control/data_plane.hpp): when set (and useExecutor is on), every
+  /// committed move physically copies and cuts over real segment files.
+  /// Null keeps execution purely simulated.
+  MigrationDataPlane* dataPlane = nullptr;
 };
 
 /// What happened in one controller epoch.

@@ -1,0 +1,74 @@
+// The executor's hook into a *physical* cluster: real segment files moved
+// between real per-machine directories while queries are being served.
+//
+// Division of responsibility, chosen so simulated and live runs stay
+// bit-for-bit identical: the executor remains the single owner of every
+// fault draw (which copy attempt fails, when a machine dies, how far
+// through the copy it was) and of all plan-level state; the data plane only
+// *realizes* outcomes the executor hands it — copy this many bytes then
+// fail, leave this temp file behind because the destination died, cut this
+// shard over. A null plane degrades execute() to the pure simulation PR 3
+// shipped, and the abstract byte/clock accounting in ExecutionReport is
+// computed identically either way.
+#pragma once
+
+#include "cluster/types.hpp"
+
+namespace resex {
+
+/// How the executor wants one physical copy attempt perturbed.
+struct CopyFault {
+  /// The attempt fails partway (retryable): the plane copies `fraction` of
+  /// the segment, then discards its own temp file — a failed attempt leaves
+  /// no debris, only wasted bytes.
+  bool failAttempt = false;
+  /// The copy was in flight when a machine died: the plane stops at
+  /// `fraction`, and when the *destination* is the dead machine it leaves
+  /// the temp file behind — exactly the orphan a recovery GC must collect.
+  bool abandonInFlight = false;
+  bool destinationCrashed = false;
+  /// Fraction of the segment transferred before the failure point.
+  double fraction = 0.5;
+};
+
+class MigrationDataPlane {
+ public:
+  virtual ~MigrationDataPlane() = default;
+
+  /// Dual-residency admission: can `to` hold a second copy of `shard` (its
+  /// transient byte footprint) on top of everything currently resident,
+  /// within its physical data budget? Called before any bytes move; a
+  /// rejection aborts the move without touching disk.
+  virtual bool admitCopy(ShardId shard, MachineId from, MachineId to) = 0;
+
+  /// Physically copies `shard`'s segment from `from`'s directory into
+  /// `to`'s, bandwidth-throttled, honoring `fault`. On success the
+  /// destination copy is published (fsync+rename), validated, warmed, and
+  /// retained as pending until commitMove or discardCopy. Returns false on
+  /// any failure (injected or real I/O), after cleaning up per the fault's
+  /// semantics.
+  virtual bool copyShard(ShardId shard, MachineId from, MachineId to,
+                         const CopyFault& fault) = 0;
+
+  /// Drops a pending (copied, not yet cut over) destination replica: the
+  /// copy was lost to a destination crash (`destinationCrashed`, file is
+  /// frozen on the dead machine for recovery GC) or evicted by end-state
+  /// admission (file removed now).
+  virtual void discardCopy(ShardId shard, MachineId to,
+                           bool destinationCrashed) = 0;
+
+  /// Atomic cutover of a committed move: swap the serving replica to the
+  /// pending destination copy, drain in-flight queries on the source, then
+  /// drop the source file.
+  virtual void commitMove(ShardId shard, MachineId from, MachineId to) = 0;
+
+  /// A machine died mid-run (executor bookkeeping already collapsed its
+  /// capacity). Its directory is frozen as-is until recovery.
+  virtual void machineCrashed(MachineId machine) = 0;
+
+  /// The machine is back: garbage-collect orphaned temp files and stray
+  /// segments the mapping no longer places there, and resume accounting.
+  virtual void recoverMachine(MachineId machine) = 0;
+};
+
+}  // namespace resex

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "control/data_plane.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -78,7 +79,8 @@ MigrationExecutor::MigrationExecutor(ExecutorConfig config)
 
 ExecutionReport MigrationExecutor::execute(const Instance& instance,
                                            const Schedule& schedule,
-                                           const FaultPlan& faults) const {
+                                           const FaultPlan& faults,
+                                           MigrationDataPlane* dataPlane) const {
   RESEX_TRACE_SPAN("executor.execute");
   const FaultInjector injector(faults);
   auto& registry = obs::MetricsRegistry::global();
@@ -141,9 +143,11 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
     // when the machine died, the rest are in flight.
     MachineId crashMachine = kNoMachine;
     std::size_t cutoff = phase.moves.size();
+    double crashFraction = 0.5;
     if (const auto crash = injector.crashInPhase(globalPhase);
         crash && crash->machine < machineCount && !isCrashed[crash->machine]) {
       crashMachine = crash->machine;
+      crashFraction = crash->fraction;
       cutoff = static_cast<std::size_t>(crash->fraction *
                                         static_cast<double>(phase.moves.size()));
     }
@@ -173,6 +177,15 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
         abortMove("no_headroom");
         continue;
       }
+      // Physical dual-residency admission: the solver proved the transient
+      // γ-inflated load fits, but the data plane checks the *byte* budget —
+      // can the destination actually hold a second copy of this segment on
+      // disk/RAM right now? A plan whose transient footprint exceeds
+      // physical headroom is rejected before any bytes move.
+      if (dataPlane && !dataPlane->admitCopy(mv.shard, mv.from, mv.to)) {
+        abortMove("data_rejected");
+        continue;
+      }
       bool replicaBlocked = Assignment::replicaConflict(instance, mapping, mv.shard, mv.to);
       for (const Move& other : committed)
         if (other.to == mv.to && other.shard != mv.shard &&
@@ -185,20 +198,40 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
       const bool touchesCrash =
           crashMachine != kNoMachine && (mv.from == crashMachine || mv.to == crashMachine);
       if (touchesCrash && i >= cutoff) {
-        // In flight when the machine died.
+        // In flight when the machine died. The plane acts out the partial
+        // copy: when the *destination* is the corpse, its temp file stays
+        // behind — the orphan recovery GC collects.
         inBytes[mv.to] += bytes;
         outBytes[mv.from] += bytes;
         report.wastedBytes += bytes;
+        if (dataPlane) {
+          CopyFault fault;
+          fault.abandonInFlight = true;
+          fault.destinationCrashed = mv.to == crashMachine;
+          fault.fraction = crashFraction;
+          dataPlane->copyShard(mv.shard, mv.from, mv.to, fault);
+        }
         abortMove("crash_in_flight");
         continue;
       }
-      // Copy with retry/backoff.
+      // Copy with retry/backoff. The executor draws the fault, the plane
+      // realizes it; a live copy can also fail for real (I/O, validation),
+      // which consumes a retry exactly like an injected failure.
       bool copied = false;
       double moveBackoff = 0.0;
       for (std::size_t attempt = 0; attempt <= config_.maxRetries; ++attempt) {
         inBytes[mv.to] += bytes;
         outBytes[mv.from] += bytes;
-        if (!injector.copyAttemptFails(globalPhase, mv.shard, attempt)) {
+        const bool injectedFail =
+            injector.copyAttemptFails(globalPhase, mv.shard, attempt);
+        bool ok = !injectedFail;
+        if (dataPlane) {
+          CopyFault fault;
+          fault.failAttempt = injectedFail;
+          fault.fraction = injectedFail ? 0.5 : 1.0;
+          ok = dataPlane->copyShard(mv.shard, mv.from, mv.to, fault);
+        }
+        if (ok) {
           copied = true;
           break;
         }
@@ -217,8 +250,11 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
         continue;
       }
       if (touchesCrash && mv.to == crashMachine) {
-        // Copy landed, then the machine died with it.
+        // Copy landed, then the machine died with it. The published file is
+        // frozen on the corpse; recovery GC removes it as a stray.
         report.wastedBytes += bytes;
+        if (dataPlane)
+          dataPlane->discardCopy(mv.shard, mv.to, /*destinationCrashed=*/true);
         abortMove("copy_lost");
         continue;
       }
@@ -244,6 +280,9 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
         for (std::size_t j = committed.size(); j-- > 0;) {
           if (committed[j].to != m) continue;
           report.wastedBytes += instance.shard(committed[j].shard).moveBytes;
+          if (dataPlane)
+            dataPlane->discardCopy(committed[j].shard, committed[j].to,
+                                   /*destinationCrashed=*/false);
           abortMove("end_state_evicted");
           committed.erase(committed.begin() + static_cast<std::ptrdiff_t>(j));
           changed = true;
@@ -252,10 +291,13 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
       }
     }
 
-    // Atomic switch-over of everything that survived the copy window.
+    // Atomic switch-over of everything that survived the copy window. In
+    // live mode the plane's cutover (routing swap + drain + source drop) is
+    // the real switch; the executor's bookkeeping mirrors it.
     double committedPhaseBytes = 0.0;
     for (const Move& mv : committed) {
       const Shard& shard = instance.shard(mv.shard);
+      if (dataPlane) dataPlane->commitMove(mv.shard, mv.from, mv.to);
       load[mv.from] -= shard.demand;
       load[mv.from].clampNonNegative();
       load[mv.to] += shard.demand;
@@ -301,6 +343,7 @@ ExecutionReport MigrationExecutor::execute(const Instance& instance,
     crashed.push_back(crashMachine);
     report.crashedMachines.push_back(crashMachine);
     capacity[crashMachine] = ResourceVector(dims, config_.epsilonCapacity);
+    if (dataPlane) dataPlane->machineCrashed(crashMachine);
     registry.counter("executor.machine_crashes").add();
     finalizePlanRecord(record, mapping);
     report.plans.push_back(std::move(record));

@@ -33,6 +33,8 @@
 
 namespace resex {
 
+class MigrationDataPlane;
+
 struct ExecutorConfig {
   /// Copy re-attempts per move after the first try (0 = fail fast).
   std::size_t maxRetries = 3;
@@ -130,8 +132,19 @@ class MigrationExecutor {
   /// Runs `schedule` from instance.initialAssignment() under `faults`.
   /// Never throws on execution failures — inspect the report. Throws
   /// std::invalid_argument only for a malformed fault plan.
+  ///
+  /// `dataPlane`, when non-null, switches execution to *live* mode: every
+  /// fault outcome the executor draws is realized physically — segments
+  /// copied between machine directories under bandwidth throttling, failed
+  /// attempts act out partial copies, crashes strand temp files on the dead
+  /// destination, and each committed move cuts serving over atomically
+  /// (see control/data_plane.hpp). The plane adds one abort reason of its
+  /// own: `data_rejected`, dual-residency admission against the machines'
+  /// physical byte budgets. All abstract accounting (bytes, simulated
+  /// clock, plan records) is identical with and without a plane.
   ExecutionReport execute(const Instance& instance, const Schedule& schedule,
-                          const FaultPlan& faults = {}) const;
+                          const FaultPlan& faults = {},
+                          MigrationDataPlane* dataPlane = nullptr) const;
 
   const ExecutorConfig& config() const noexcept { return config_; }
 

@@ -1,0 +1,132 @@
+#include "control/segment_mover.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/atomic_file.hpp"
+
+namespace resex {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+SegmentMover::SegmentMover(SegmentMoverConfig config) : config_(config) {}
+
+SegmentCopyResult SegmentMover::move(const std::string& sourcePath,
+                                     const std::string& destDir,
+                                     const std::string& destName,
+                                     const CopyFault& fault) const {
+  auto& registry = obs::MetricsRegistry::global();
+  SegmentCopyResult result;
+  const auto start = Clock::now();
+  const auto fail = [&](std::string why) {
+    result.success = false;
+    result.error = std::move(why);
+    result.seconds = secondsSince(start);
+    registry.counter("migrate.aborted_copies").add();
+    return result;
+  };
+
+  const int srcFd = ::open(sourcePath.c_str(), O_RDONLY);
+  if (srcFd < 0)
+    return fail("open source '" + sourcePath + "': " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(srcFd, &st) != 0 || st.st_size <= 0) {
+    ::close(srcFd);
+    return fail("stat source '" + sourcePath + "'");
+  }
+  const auto totalBytes = static_cast<std::uint64_t>(st.st_size);
+
+  // Injected failure point, in bytes: the copy loop stops there and acts
+  // out the fault's cleanup semantics.
+  std::uint64_t stopAt = totalBytes;
+  const bool injected = fault.failAttempt || fault.abandonInFlight;
+  if (injected) {
+    const double f = std::clamp(fault.fraction, 0.0, 1.0);
+    stopAt = static_cast<std::uint64_t>(f * static_cast<double>(totalBytes));
+  }
+
+  try {
+    util::AtomicFileWriter writer(destDir + "/" + destName);
+    std::vector<std::uint8_t> chunk(std::max<std::size_t>(1, config_.chunkBytes));
+    std::uint64_t copied = 0;
+    double sleepDebt = 0.0;
+    while (copied < stopAt) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(chunk.size(), stopAt - copied));
+      const ssize_t n = ::read(srcFd, chunk.data(), want);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(srcFd);
+        return fail("read source '" + sourcePath + "': " + std::strerror(errno));
+      }
+      if (n == 0) break;  // source shorter than stat said; validation will judge
+      writer.write(chunk.data(), static_cast<std::size_t>(n));
+      copied += static_cast<std::uint64_t>(n);
+      if (config_.bandwidthBytesPerSec > 0.0) {
+        // Pace to the effective bandwidth, batching sub-quantum sleeps so
+        // the long-run rate is exact without thousands of tiny wakeups.
+        const double expected =
+            static_cast<double>(copied) / config_.bandwidthBytesPerSec;
+        sleepDebt = expected - secondsSince(start);
+        if (sleepDebt > config_.minSleepSeconds)
+          std::this_thread::sleep_for(std::chrono::duration<double>(sleepDebt));
+      }
+    }
+    ::close(srcFd);
+    result.bytesCopied = copied;
+
+    if (injected) {
+      if (fault.abandonInFlight && fault.destinationCrashed) {
+        // The destination died with the copy in flight: a real crash cannot
+        // unlink first, so the temp file stays — recovery GC's debris.
+        writer.abandonKeepingTemp();
+        return fail("destination crashed in flight");
+      }
+      writer.abort();
+      return fail(fault.failAttempt ? "injected copy failure"
+                                    : "abandoned in flight");
+    }
+
+    writer.publish();
+    result.publishedPath = writer.finalPath();
+  } catch (const std::exception& e) {
+    ::close(srcFd);
+    return fail(e.what());
+  }
+
+  // Full hostile-input validation of the published bytes (and, as a side
+  // effect, a decode pass that warms every page) before the caller may cut
+  // serving over to this file. A validation failure means the *source* was
+  // bad or the disk lied post-fsync; either way the destination must not
+  // keep a file that cannot serve.
+  try {
+    result.segment = std::make_shared<const MappedSegment>(result.publishedPath);
+  } catch (const SegmentFormatError& e) {
+    ::unlink(result.publishedPath.c_str());
+    result.publishedPath.clear();
+    return fail(std::string("validation rejected published copy: ") + e.what());
+  }
+
+  result.success = true;
+  result.seconds = secondsSince(start);
+  registry.counter("migrate.bytes_copied").add(result.bytesCopied);
+  return result;
+}
+
+}  // namespace resex

@@ -1,0 +1,70 @@
+// SegmentMover: the physical half of one migration copy.
+//
+// Copies a source shard segment into a destination directory in
+// bandwidth-throttled chunks, writes through util::AtomicFileWriter
+// (write-temp -> fsync -> rename -> fsync dir) so a crash at any byte
+// offset leaves the destination directory in the old world or the new
+// world, never with a torn segment, then validates the published file with
+// MappedSegment's full hostile-input pass *before* anyone can serve from
+// it. Validation doubles as warming: the decode-everything pass touches
+// every payload page, so the segment the broker cuts over to is already
+// resident.
+//
+// Fault realization (see CopyFault): the mover never draws faults itself —
+// the executor owns the seeded draws — it only acts them out: a failed
+// attempt copies part of the file and removes its temp; an in-flight
+// abandonment with a crashed destination leaves the temp file behind, the
+// orphan recovery GC later collects.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "control/data_plane.hpp"
+#include "index/segment.hpp"
+
+namespace resex {
+
+struct SegmentMoverConfig {
+  /// Effective copy bandwidth in bytes/second (the caller applies any
+  /// degradation multipliers before handing it in). <= 0 disables
+  /// throttling.
+  double bandwidthBytesPerSec = 0.0;
+  std::size_t chunkBytes = 256 * 1024;
+  /// Throttle sleeps shorter than this are accumulated and slept off in
+  /// batches (a scheduler quantum, mirroring the broker's pacing).
+  double minSleepSeconds = 2e-3;
+};
+
+struct SegmentCopyResult {
+  bool success = false;
+  std::uint64_t bytesCopied = 0;
+  double seconds = 0.0;  ///< wall time inside the copy loop
+  std::string error;     ///< failure cause, for logs/counters
+  std::string publishedPath;
+  /// The validated, warmed destination segment (success only).
+  std::shared_ptr<const MappedSegment> segment;
+};
+
+class SegmentMover {
+ public:
+  explicit SegmentMover(SegmentMoverConfig config = {});
+
+  /// Copies `sourcePath` to `destDir/destName` under `fault`'s semantics.
+  /// On success the result carries the published path and its opened,
+  /// validated segment. Never throws on copy/validation failure — inspect
+  /// the result.
+  SegmentCopyResult move(const std::string& sourcePath,
+                         const std::string& destDir,
+                         const std::string& destName,
+                         const CopyFault& fault = {}) const;
+
+  const SegmentMoverConfig& config() const noexcept { return config_; }
+
+ private:
+  SegmentMoverConfig config_;
+};
+
+}  // namespace resex

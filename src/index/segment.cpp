@@ -227,6 +227,18 @@ MappedSegment::~MappedSegment() {
   if (map_ != nullptr) ::munmap(map_, mapBytes_);
 }
 
+void MappedSegment::dropPageCache() const noexcept {
+  // The mapping's fd was closed right after mmap, so advise through a fresh
+  // handle on the path. Best-effort: a segment that was unlinked or moved
+  // since simply keeps its pages until the mapping goes away.
+  if (map_ != nullptr)
+    ::madvise(map_, mapBytes_, MADV_DONTNEED);
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
 void MappedSegment::validate() {
   SegmentHeader header;
   std::memcpy(&header, base(), sizeof header);

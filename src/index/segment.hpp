@@ -207,6 +207,13 @@ class MappedSegment {
   /// out — cheap relative to any use of the list).
   BlockPostingList postings(TermId term) const;
 
+  /// Advises the kernel to drop this segment's pages (madvise on the
+  /// mapping plus posix_fadvise(POSIX_FADV_DONTNEED) on the file). Called
+  /// on a departed source replica after in-flight queries drain, so the
+  /// dropped copy's memory actually returns to the system instead of
+  /// lingering warm until unmap. Best-effort; never throws.
+  void dropPageCache() const noexcept;
+
  private:
   const std::uint8_t* base() const noexcept {
     return static_cast<const std::uint8_t*>(map_);

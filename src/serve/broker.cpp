@@ -81,6 +81,10 @@ struct QueryBroker::PendingQuery {
   /// relaxed before executing as a load-shedding hint and re-check under
   /// the mutex before delivering.
   std::atomic<bool> expired{false};
+  /// Physical shards the router picked for this query — the provenance a
+  /// complete result is cached with (written once at route time, before
+  /// any waiting; read by the client thread after).
+  std::vector<ShardId> servedBy;
 };
 
 struct QueryBroker::MachineStats {
@@ -90,13 +94,24 @@ struct QueryBroker::MachineStats {
 };
 
 QueryBroker::QueryBroker(const Instance& instance, std::vector<MachineId> mapping,
-                         const PartitionedIndex& index, ServeConfig config)
+                         const PartitionedIndex& index, ServeConfig config,
+                         std::vector<std::shared_ptr<const InvertedIndex>> liveShards)
     : index_(index), config_(config),
       cache_(config.cacheCapacity, config.cacheShards) {
   const std::size_t n = instance.shardCount();
   const std::size_t m = instance.machineCount();
   if (mapping.size() != n)
     throw std::invalid_argument("QueryBroker: mapping size != shard count");
+  if (!liveShards.empty()) {
+    if (liveShards.size() != n)
+      throw std::invalid_argument(
+          "QueryBroker: live shard table size != shard count");
+    for (const auto& idx : liveShards)
+      if (!idx)
+        throw std::invalid_argument("QueryBroker: null live shard index");
+    liveMode_ = true;
+    liveShards_ = std::move(liveShards);
+  }
   partitionCount_ = index.shardCount();
   if (instance.replicaGroupCount() != partitionCount_)
     throw std::invalid_argument(
@@ -166,15 +181,55 @@ void QueryBroker::applyMapping(const std::vector<MachineId>& newMapping) {
   for (const MachineId mach : newMapping)
     if (mach >= queues_.size())
       throw std::invalid_argument("QueryBroker: remap machine out of range");
+  std::vector<ShardId> changed;
   {
     std::unique_lock lock(mappingMutex_);
+    for (ShardId s = 0; s < newMapping.size(); ++s)
+      if (mapping_[s] != newMapping[s]) changed.push_back(s);
     mapping_ = newMapping;
     rebuildHosts(mapping_);
   }
-  // Conservative coherence: a migration may change what a shard serves, so
-  // drop every cached result rather than track per-shard dependencies.
-  cache_.clear();
+  // Coherence scoped to what actually moved: each cached result carries the
+  // physical shards that served it, so only entries touching a reassigned
+  // shard are dropped — the rest of the cache stays hot across the remap.
+  if (!changed.empty())
+    cache_.invalidateShards(std::span<const ShardId>(changed));
   remapCounter().add();
+}
+
+std::shared_ptr<const InvertedIndex> QueryBroker::applyShardMove(
+    ShardId shard, MachineId from, MachineId to,
+    std::shared_ptr<const InvertedIndex> replacement) {
+  if (shard >= groupOf_.size())
+    throw std::invalid_argument("QueryBroker: applyShardMove shard out of range");
+  if (to >= queues_.size())
+    throw std::invalid_argument("QueryBroker: applyShardMove machine out of range");
+  {
+    std::unique_lock lock(mappingMutex_);
+    if (mapping_[shard] != from)
+      throw std::invalid_argument(
+          "QueryBroker: applyShardMove source does not match live mapping");
+    mapping_[shard] = to;
+    rebuildHosts(mapping_);
+  }
+  std::shared_ptr<const InvertedIndex> old;
+  if (liveMode_ && replacement) {
+    std::unique_lock lock(liveMutex_);
+    old = std::exchange(liveShards_[shard], std::move(replacement));
+  }
+  // Only this shard's cached results lose coherence; the swap above already
+  // routes new tasks to the destination copy.
+  const ShardId moved[] = {shard};
+  cache_.invalidateShards(std::span<const ShardId>(moved));
+  // The replica is gone from `from`: its window heat goes with it, so
+  // /debug/shards and the next ObservedLoad harvest report the departed
+  // copy cold instead of carrying stale heat into the controller.
+  shardTasks_[shard].store(0, std::memory_order_relaxed);
+  shardPostings_[shard].store(0, std::memory_order_relaxed);
+  shardBusyNanos_[shard].store(0, std::memory_order_relaxed);
+  obs::MetricsRegistry::global().counter("serve.shard_moves").add();
+  remapCounter().add();
+  return old;
 }
 
 QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
@@ -251,6 +306,7 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
                  std::chrono::duration<double>(config_.deadlineSeconds));
   pending->partials.resize(partitionCount_);
   pending->remaining = partitionCount_;
+  pending->servedBy.reserve(partitionCount_);
 
   // Route and enqueue one task per partition. Failed pushes (deadline hit
   // while backpressured, or shutdown closed the queue) count the partition
@@ -269,6 +325,7 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
           chooseReplica(config_.routing, std::span<const std::size_t>(depths), rng);
       peakDepthGauge().max(static_cast<double>(depths[pick]));
       const auto [mach, shard] = hosts[pick];
+      pending->servedBy.push_back(shard);
       Task task;
       task.pending = pending;
       task.partition = g;
@@ -318,7 +375,7 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
     expiredQueries_.fetch_add(1, std::memory_order_relaxed);
     expiredCounter().add();
   } else {
-    cache_.put(key, result.docs);
+    cache_.put(key, result.docs, pending->servedBy);
   }
   {
     std::lock_guard lock(latencyMutex_);
@@ -374,8 +431,20 @@ void QueryBroker::workerLoop(std::size_t machine) {
                      static_cast<double>(task.depthAtDispatch));
       }
       if (run) {
+        // Live mode serves the physical shard's segment-backed index; the
+        // shared_ptr copied here keeps it alive through execution even if a
+        // cutover swaps the table entry mid-task (drain-by-refcount).
+        // Global statistics always come from the partitioned index, so
+        // scores are bit-identical in both modes.
+        std::shared_ptr<const InvertedIndex> liveIndex;
+        if (liveMode_) {
+          std::shared_lock liveLock(liveMutex_);
+          liveIndex = liveShards_[task.physicalShard];
+        }
+        const InvertedIndex& shardIndex =
+            liveIndex ? *liveIndex : index_.shard(task.partition);
         const auto topDocs =
-            topKDisjunctiveInto(index_.shard(task.partition), pending.terms,
+            topKDisjunctiveInto(shardIndex, pending.terms,
                                 pending.k, config_.bm25, scratch, &exec,
                                 &index_.globalStats());
         partial.assign(topDocs.begin(), topDocs.end());

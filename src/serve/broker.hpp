@@ -168,8 +168,17 @@ class QueryBroker {
   /// copy of partition g hosted on mapping[s]. Requires
   /// instance.replicaGroupCount() == index.shardCount() and a complete
   /// mapping. Spawns the worker pools; ready on return.
+  ///
+  /// `liveShards`, when non-empty (one entry per *physical* shard, each a
+  /// segment-backed copy of its replica group's partition), puts the broker
+  /// in live-migration mode: workers execute against the per-shard live
+  /// index instead of the shared in-memory partition, and
+  /// applyShardMove() may swap individual entries while serving. Global
+  /// statistics still come from `index`, so scores are bit-identical in
+  /// both modes.
   QueryBroker(const Instance& instance, std::vector<MachineId> mapping,
-              const PartitionedIndex& index, ServeConfig config);
+              const PartitionedIndex& index, ServeConfig config,
+              std::vector<std::shared_ptr<const InvertedIndex>> liveShards = {});
   ~QueryBroker();
 
   QueryBroker(const QueryBroker&) = delete;
@@ -180,9 +189,25 @@ class QueryBroker {
   QueryResult execute(const std::vector<TermId>& terms);
 
   /// Atomically swaps the shard -> machine mapping (a rebalance landing)
-  /// and invalidates the result cache. Tasks already queued complete on
-  /// their previous machines.
+  /// and invalidates the result-cache entries served by the shards whose
+  /// assignment actually changed. Tasks already queued complete on their
+  /// previous machines.
   void applyMapping(const std::vector<MachineId>& newMapping);
+
+  /// Atomic per-shard cutover of one live migration move: requires
+  /// mapping[shard] == from; swaps the routing entry to `to` under the
+  /// mapping lock, installs `replacement` as the shard's live index (when
+  /// in live mode and non-null), invalidates exactly the cache entries that
+  /// shard served, and zeroes the shard's ObservedLoad window accumulators
+  /// so the departed replica's heat does not linger in /debug/shards.
+  /// Returns the previous live index (null outside live mode); the caller
+  /// drains it — waits for in-flight tasks to release their references —
+  /// before dropping the source file.
+  std::shared_ptr<const InvertedIndex> applyShardMove(
+      ShardId shard, MachineId from, MachineId to,
+      std::shared_ptr<const InvertedIndex> replacement = nullptr);
+
+  bool liveMode() const noexcept { return liveMode_; }
 
   /// Harvests the measurement window that started at construction or at
   /// the previous snapshot, and begins a new one.
@@ -249,6 +274,14 @@ class QueryBroker {
   std::vector<MachineId> mapping_;
   /// hosts_[g] = (machine, physical shard) per replica of partition g.
   std::vector<std::vector<std::pair<MachineId, ShardId>>> hosts_;
+
+  /// Live-migration mode: per-physical-shard segment-backed indexes.
+  /// Workers copy the shared_ptr under a shared lock per task, so a cutover
+  /// swap never invalidates an in-flight execution — the old index dies
+  /// only when its last task releases it (drain-by-refcount).
+  bool liveMode_ = false;
+  mutable std::shared_mutex liveMutex_;
+  std::vector<std::shared_ptr<const InvertedIndex>> liveShards_;
 
   std::vector<std::unique_ptr<MpmcQueue<Task>>> queues_;
   std::vector<std::size_t> workersPerMachine_;

@@ -44,13 +44,15 @@ bool ShardedLruCache::get(const ResultKey& key, std::vector<ScoredDoc>& out) {
   return true;
 }
 
-void ShardedLruCache::put(const ResultKey& key, std::vector<ScoredDoc> docs) {
+void ShardedLruCache::put(const ResultKey& key, std::vector<ScoredDoc> docs,
+                          std::vector<ShardId> servedBy) {
   if (!enabled()) return;
   Shard& shard = shardFor(key);
   std::lock_guard lock(shard.mutex);
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->docs = std::move(docs);
+    it->second->servedBy = std::move(servedBy);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -59,19 +61,48 @@ void ShardedLruCache::put(const ResultKey& key, std::vector<ScoredDoc> docs) {
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{key, std::move(docs)});
+  shard.lru.push_front(Entry{key, std::move(docs), std::move(servedBy)});
   shard.map.emplace(shard.lru.front().key, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ShardedLruCache::clear() {
-  if (!enabled()) return;
+std::size_t ShardedLruCache::invalidateShards(std::span<const ShardId> shards) {
+  if (!enabled() || shards.empty()) return 0;
+  const auto touches = [&shards](const Entry& entry) {
+    if (entry.servedBy.empty()) return true;  // unknown provenance: drop
+    for (const ShardId s : entry.servedBy)
+      if (std::find(shards.begin(), shards.end(), s) != shards.end()) return true;
+    return false;
+  };
+  std::size_t dropped = 0;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (touches(*it)) {
+        shard->map.erase(it->key);
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  entriesInvalidated_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+void ShardedLruCache::clear() {
+  if (!enabled()) return;
+  std::size_t dropped = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    dropped += shard->lru.size();
     shard->lru.clear();
     shard->map.clear();
   }
   invalidations_.fetch_add(1, std::memory_order_relaxed);
+  entriesInvalidated_.fetch_add(dropped, std::memory_order_relaxed);
 }
 
 std::size_t ShardedLruCache::entryCount() const {
@@ -90,6 +121,7 @@ CacheStats ShardedLruCache::stats() const {
   s.insertions = insertions_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.entriesInvalidated = entriesInvalidated_.load(std::memory_order_relaxed);
   return s;
 }
 

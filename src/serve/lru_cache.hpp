@@ -5,9 +5,12 @@
 // list + hash map). Only *complete* results are cached — a partial,
 // deadline-degraded answer must not be replayed to later clients.
 //
-// Invalidation is whole-cache: a remap means shards moved (and, in a live
-// engine, index content may have changed under migration), so applyMapping
-// clears everything rather than tracking per-shard dependencies.
+// Invalidation is per physical shard: every entry records which physical
+// shards served it (the replicas the router picked), so a remap or a live
+// shard move drops exactly the entries whose provenance it touched and
+// leaves the rest hot. clear() remains for full teardown. Entries inserted
+// without provenance are treated conservatively: any invalidation drops
+// them.
 #pragma once
 
 #include <atomic>
@@ -16,9 +19,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/types.hpp"
 #include "index/query_exec.hpp"
 
 namespace resex::serve {
@@ -43,7 +48,8 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
-  std::uint64_t invalidations = 0;  // clear() calls
+  std::uint64_t invalidations = 0;       // clear() + invalidateShards() calls
+  std::uint64_t entriesInvalidated = 0;  // entries those calls dropped
 };
 
 class ShardedLruCache {
@@ -58,10 +64,17 @@ class ShardedLruCache {
   bool get(const ResultKey& key, std::vector<ScoredDoc>& out);
 
   /// Inserts or refreshes; evicts the least-recently-used entry of the
-  /// key's shard when that shard is full.
-  void put(const ResultKey& key, std::vector<ScoredDoc> docs);
+  /// key's shard when that shard is full. `servedBy` is the result's
+  /// provenance — the physical shards whose replicas produced it — used by
+  /// invalidateShards. Empty provenance means "drop on any invalidation".
+  void put(const ResultKey& key, std::vector<ScoredDoc> docs,
+           std::vector<ShardId> servedBy = {});
 
-  /// Drops every entry (remap invalidation).
+  /// Drops every entry whose provenance intersects `shards` (plus entries
+  /// with no recorded provenance). Returns how many entries were dropped.
+  std::size_t invalidateShards(std::span<const ShardId> shards);
+
+  /// Drops every entry (full invalidation).
   void clear();
 
   std::size_t entryCount() const;
@@ -71,6 +84,8 @@ class ShardedLruCache {
   struct Entry {
     ResultKey key;
     std::vector<ScoredDoc> docs;
+    /// Physical shards that served this result (unsorted, small).
+    std::vector<ShardId> servedBy;
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -88,6 +103,7 @@ class ShardedLruCache {
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> entriesInvalidated_{0};
 };
 
 }  // namespace resex::serve

@@ -1,0 +1,160 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+namespace resex::util {
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string parentDirOf(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Process-unique temp suffix: pid + a monotonically increasing counter, so
+/// two writers toward the same final path (or a writer racing crash debris
+/// from a previous life) never share a temp name within one run.
+std::string nextTempToken() {
+  static std::atomic<std::uint64_t> counter{0};
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%ld.%llu", static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    counter.fetch_add(1, std::memory_order_relaxed)));
+  return buf;
+}
+
+void fsyncDir(const std::string& dir) {
+  const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirFd < 0) throwErrno("AtomicFileWriter: open dir", dir);
+  if (::fsync(dirFd) != 0) {
+    const int saved = errno;
+    ::close(dirFd);
+    errno = saved;
+    throwErrno("AtomicFileWriter: fsync dir", dir);
+  }
+  ::close(dirFd);
+}
+
+}  // namespace
+
+const char* atomicFileStepName(AtomicFileStep step) noexcept {
+  switch (step) {
+    case AtomicFileStep::kTempWritten: return "temp_written";
+    case AtomicFileStep::kTempSynced: return "temp_synced";
+    case AtomicFileStep::kRenamed: return "renamed";
+    case AtomicFileStep::kDirSynced: return "dir_synced";
+  }
+  return "unknown";
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string finalPath, std::string tempToken)
+    : finalPath_(std::move(finalPath)) {
+  if (tempToken.empty()) tempToken = nextTempToken();
+  tempPath_ = finalPath_ + ".tmp-" + tempToken;
+  fd_ = ::open(tempPath_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throwErrno("AtomicFileWriter: open temp", tempPath_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!published_ && !crashed_) abort();
+  closeFd();
+}
+
+void AtomicFileWriter::closeFd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void AtomicFileWriter::write(const void* data, std::size_t size) {
+  if (fd_ < 0)
+    throw std::logic_error("AtomicFileWriter::write after publish/abort");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("AtomicFileWriter: write", tempPath_);
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+    bytesWritten_ += static_cast<std::uint64_t>(n);
+  }
+}
+
+void AtomicFileWriter::step(AtomicFileStep s) {
+  if (!hook_) return;
+  try {
+    hook_(s);
+  } catch (...) {
+    // The hook "killed" us here: leave the temp file exactly as a real
+    // crash would, and make the writer inert from now on.
+    crashed_ = true;
+    closeFd();
+    throw;
+  }
+}
+
+void AtomicFileWriter::publish() {
+  if (published_) return;
+  if (fd_ < 0)
+    throw std::logic_error("AtomicFileWriter::publish after abort/crash");
+  step(AtomicFileStep::kTempWritten);
+  if (::fsync(fd_) != 0) throwErrno("AtomicFileWriter: fsync", tempPath_);
+  step(AtomicFileStep::kTempSynced);
+  closeFd();
+  if (::rename(tempPath_.c_str(), finalPath_.c_str()) != 0)
+    throwErrno("AtomicFileWriter: rename", finalPath_);
+  // Visible from here on; a crash before the directory sync can only lose
+  // the rename wholesale (old world), never expose a partial file.
+  published_ = true;
+  step(AtomicFileStep::kRenamed);
+  fsyncDir(parentDirOf(finalPath_));
+  step(AtomicFileStep::kDirSynced);
+}
+
+void AtomicFileWriter::abort() noexcept {
+  closeFd();
+  if (!published_) ::unlink(tempPath_.c_str());
+}
+
+void AtomicFileWriter::abandonKeepingTemp() noexcept {
+  crashed_ = true;
+  closeFd();
+}
+
+bool isTempFileName(std::string_view name) noexcept {
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string_view::npos) name = name.substr(slash + 1);
+  return name.find(".tmp-") != std::string_view::npos;
+}
+
+std::size_t removeTempFiles(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (!isTempFileName(name)) continue;
+    if (std::filesystem::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace resex::util

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -298,6 +299,74 @@ TEST(QueryBroker, IntrospectionHeatMatchesObservedLoad) {
   for (std::size_t s = 0; s < 3; ++s)
     EXPECT_EQ(taken.shardTasks[s], peeked.shardTasks[s]);
   EXPECT_EQ(broker.takeObservedLoad().queries, 0u);
+}
+
+TEST(QueryBroker, ApplyShardMoveRemapsRoutingAndResetsHeat) {
+  const PartitionedIndex index = smallIndex(2);
+  const Instance instance = hostingInstance(2, 2);  // shard g on machine g
+  ServeConfig config;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  for (int i = 0; i < 8; ++i) broker.execute(query({static_cast<TermId>(i)}));
+  const ObservedLoad before = broker.peekObservedLoad();
+  EXPECT_GT(before.shardTasks[0], 0u);
+  EXPECT_GT(before.shardTasks[1], 0u);
+
+  broker.applyShardMove(0, 0, 1);
+  EXPECT_EQ(broker.mapping()[0], 1u);
+  EXPECT_EQ(broker.mapping()[1], 1u);
+
+  // Heat attribution for the moved shard restarts from zero (the departed
+  // replica's history must not bias the next replan); the other shard's
+  // window survives untouched.
+  const ObservedLoad after = broker.peekObservedLoad();
+  EXPECT_EQ(after.shardTasks[0], 0u);
+  EXPECT_EQ(after.shardTasks[1], before.shardTasks[1]);
+  const auto shards = MiniJson::flatten(broker.shardsJson());
+  EXPECT_EQ(shards.at("shards/0/machine"), "1");
+  EXPECT_EQ(shards.at("shards/0/tasks"), "0");
+
+  // Serving continues on the new placement with oracle-identical results.
+  const auto q = query({5, 9});
+  const QueryResult result = broker.execute(q);
+  EXPECT_TRUE(result.complete);
+  const auto reference = index.searchTopK(q, config.topK, config.bm25);
+  ASSERT_EQ(result.docs.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(result.docs[i].doc, reference[i].doc);
+    EXPECT_NEAR(result.docs[i].score, reference[i].score, 1e-9);
+  }
+}
+
+TEST(QueryBroker, ApplyShardMoveInvalidatesCachedResultsTouchingTheShard) {
+  const PartitionedIndex index = smallIndex(2);
+  const Instance instance = hostingInstance(2, 2);
+  ServeConfig config;
+  config.cacheCapacity = 64;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  broker.execute(query({3, 4}));
+  EXPECT_TRUE(broker.execute(query({3, 4})).cacheHit);
+
+  broker.applyShardMove(1, 1, 0);
+  // With one replica per partition every cached entry was served by shard
+  // 1, so the move drops the working set (selectivity with replicas is
+  // unit-tested on the cache itself).
+  const CacheStats stats = broker.cacheStats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_GE(stats.entriesInvalidated, 1u);
+  const QueryResult refill = broker.execute(query({3, 4}));
+  EXPECT_FALSE(refill.cacheHit);
+  EXPECT_TRUE(refill.complete);
+  EXPECT_TRUE(broker.execute(query({3, 4})).cacheHit);  // repopulated
+}
+
+TEST(QueryBroker, ApplyShardMoveValidatesArguments) {
+  const PartitionedIndex index = smallIndex(2);
+  const Instance instance = hostingInstance(2, 2);
+  QueryBroker broker(instance, instance.initialAssignment(), index, {});
+  EXPECT_THROW(broker.applyShardMove(0, 1, 1), std::invalid_argument);  // wrong from
+  EXPECT_THROW(broker.applyShardMove(9, 0, 1), std::invalid_argument);  // no such shard
+  EXPECT_THROW(broker.applyShardMove(0, 0, 9), std::invalid_argument);  // no such machine
+  EXPECT_EQ(broker.mapping()[0], 0u);  // rejected moves leave routing alone
 }
 
 TEST(QueryBroker, SloClassRecordsEveryQuery) {

@@ -81,6 +81,40 @@ TEST(ShardedLruCache, PutRefreshesExistingEntry) {
   EXPECT_EQ(cache.entryCount(), 1u);
 }
 
+TEST(ShardedLruCache, InvalidateShardsDropsOnlyTouchedEntries) {
+  ShardedLruCache cache(16, 1);
+  cache.put(key({1}), docs(1), {0, 2});
+  cache.put(key({2}), docs(2), {1, 3});
+  cache.put(key({3}), docs(3), {2});
+  const ShardId moved[] = {2};
+  EXPECT_EQ(cache.invalidateShards(moved), 2u);  // entries {1} and {3}
+  std::vector<ScoredDoc> out;
+  EXPECT_FALSE(cache.get(key({1}), out));
+  EXPECT_TRUE(cache.get(key({2}), out));  // provenance {1,3} untouched
+  EXPECT_FALSE(cache.get(key({3}), out));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entriesInvalidated, 2u);
+}
+
+TEST(ShardedLruCache, EntriesWithoutProvenanceDropOnAnyInvalidation) {
+  ShardedLruCache cache(16, 1);
+  cache.put(key({1}), docs(1));  // no servedBy recorded
+  const ShardId moved[] = {7};
+  EXPECT_EQ(cache.invalidateShards(moved), 1u);
+  std::vector<ScoredDoc> out;
+  EXPECT_FALSE(cache.get(key({1}), out));
+}
+
+TEST(ShardedLruCache, InvalidateShardsEmptyListIsANoOp) {
+  ShardedLruCache cache(16, 1);
+  cache.put(key({1}), docs(1), {0});
+  EXPECT_EQ(cache.invalidateShards({}), 0u);
+  std::vector<ScoredDoc> out;
+  EXPECT_TRUE(cache.get(key({1}), out));
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
 TEST(ShardedLruCache, ConcurrentMixedTrafficStaysConsistent) {
   ShardedLruCache cache(64, 8);
   std::vector<std::thread> threads;

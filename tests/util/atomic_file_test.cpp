@@ -1,0 +1,172 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+namespace resex::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("atomic_file_test." + std::to_string(::getpid()) + "." +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+  std::string file(const std::string& name) const { return (path / name).string(); }
+};
+
+std::optional<std::string> contentsOf(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+struct Killed {};
+
+TEST(AtomicFile, PublishMakesContentVisibleAndRemovesTemp) {
+  const TempDir dir;
+  const std::string target = dir.file("data.seg");
+  AtomicFileWriter writer(target);
+  writer.write("hello", 5);
+  writer.write(" world", 6);
+  EXPECT_EQ(writer.bytesWritten(), 11u);
+  EXPECT_FALSE(fs::exists(target));  // invisible until publish
+  writer.publish();
+  EXPECT_EQ(contentsOf(target), "hello world");
+  EXPECT_FALSE(fs::exists(writer.tempPath()));
+}
+
+TEST(AtomicFile, AbortLeavesNothingBehind) {
+  const TempDir dir;
+  const std::string target = dir.file("data.seg");
+  {
+    AtomicFileWriter writer(target);
+    writer.write("partial", 7);
+    writer.abort();
+  }
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_TRUE(fs::is_empty(dir.path));
+}
+
+TEST(AtomicFile, DestructorWithoutPublishCleansUp) {
+  const TempDir dir;
+  const std::string target = dir.file("data.seg");
+  { AtomicFileWriter writer(target); }
+  EXPECT_TRUE(fs::is_empty(dir.path));
+}
+
+// The satellite regression test: enumerate a simulated kill between every
+// protocol step and assert the final path never holds a partial file — at
+// every crash point it is either absent, the old complete contents, or the
+// new complete contents. Temp debris may survive (a real kill cannot
+// unlink first); removeTempFiles is the recovery pass that collects it.
+TEST(AtomicFile, CrashAtEveryStepNeverExposesAPartialFile) {
+  const AtomicFileStep steps[] = {
+      AtomicFileStep::kTempWritten, AtomicFileStep::kTempSynced,
+      AtomicFileStep::kRenamed, AtomicFileStep::kDirSynced};
+  for (const AtomicFileStep killAt : steps) {
+    SCOPED_TRACE(atomicFileStepName(killAt));
+    const TempDir dir;
+    const std::string target = dir.file("data.seg");
+    const std::string oldWorld = "old-complete-contents";
+    const std::string newWorld = "new-complete-contents-longer";
+    {
+      AtomicFileWriter seed(target);
+      seed.write(oldWorld.data(), oldWorld.size());
+      seed.publish();
+    }
+
+    AtomicFileWriter writer(target);
+    writer.setStepHook([killAt](AtomicFileStep s) {
+      if (s == killAt) throw Killed{};
+    });
+    writer.write(newWorld.data(), newWorld.size());
+    EXPECT_THROW(writer.publish(), Killed);
+
+    // Atomic visibility: the target is exactly one of the two worlds.
+    const auto visible = contentsOf(target);
+    ASSERT_TRUE(visible.has_value());
+    if (killAt == AtomicFileStep::kTempWritten ||
+        killAt == AtomicFileStep::kTempSynced) {
+      EXPECT_EQ(*visible, oldWorld);
+      // A real crash strands the temp; recovery GC collects it.
+      EXPECT_TRUE(fs::exists(writer.tempPath()));
+      EXPECT_EQ(removeTempFiles(dir.path.string()), 1u);
+    } else {
+      EXPECT_EQ(*visible, newWorld);
+      EXPECT_FALSE(fs::exists(writer.tempPath()));
+      EXPECT_EQ(removeTempFiles(dir.path.string()), 0u);
+    }
+    EXPECT_EQ(contentsOf(target), killAt == AtomicFileStep::kTempWritten ||
+                                          killAt == AtomicFileStep::kTempSynced
+                                      ? oldWorld
+                                      : newWorld);
+  }
+}
+
+TEST(AtomicFile, CrashWithNoPriorFileLeavesTargetAbsent) {
+  const TempDir dir;
+  const std::string target = dir.file("fresh.seg");
+  AtomicFileWriter writer(target);
+  writer.setStepHook([](AtomicFileStep s) {
+    if (s == AtomicFileStep::kTempSynced) throw Killed{};
+  });
+  writer.write("abc", 3);
+  EXPECT_THROW(writer.publish(), Killed);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_EQ(removeTempFiles(dir.path.string()), 1u);
+  EXPECT_TRUE(fs::is_empty(dir.path));
+}
+
+TEST(AtomicFile, AbandonKeepingTempModelsDestinationCrashDebris) {
+  const TempDir dir;
+  const std::string target = dir.file("data.seg");
+  AtomicFileWriter writer(target);
+  writer.write("half-copied", 11);
+  writer.abandonKeepingTemp();
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_TRUE(fs::exists(writer.tempPath()));
+  EXPECT_EQ(removeTempFiles(dir.path.string()), 1u);
+}
+
+TEST(AtomicFile, TempNameConvention) {
+  EXPECT_TRUE(isTempFileName("shard-0001.seg.tmp-1234.5"));
+  EXPECT_TRUE(isTempFileName("/a/b/shard-0001.seg.tmp-9"));
+  EXPECT_FALSE(isTempFileName("shard-0001.seg"));
+  EXPECT_FALSE(isTempFileName("tmp-file.seg"));
+  EXPECT_FALSE(isTempFileName("/a/b.tmp-x/shard.seg"));
+}
+
+TEST(AtomicFile, RemoveTempFilesSkipsMissingDirAndRealFiles) {
+  EXPECT_EQ(removeTempFiles("/nonexistent/definitely/not/here"), 0u);
+  const TempDir dir;
+  {
+    AtomicFileWriter keeper(dir.file("keep.seg"));
+    keeper.write("x", 1);
+    keeper.publish();
+  }
+  EXPECT_EQ(removeTempFiles(dir.path.string()), 0u);
+  EXPECT_TRUE(fs::exists(dir.file("keep.seg")));
+}
+
+}  // namespace
+}  // namespace resex::util
