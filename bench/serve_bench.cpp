@@ -189,8 +189,10 @@ void writePhase(JsonWriter& json, const PhaseOutcome& outcome) {
   for (const double busy : outcome.load.machineBusySeconds) json.value(busy);
   json.endArray();
   // The phase's sliding-window SLO view (same samples, windowed path).
-  const obs::SloSnapshot slo =
-      obs::SloRegistry::global().window(outcome.name).snapshot();
+  // find(): a config-agnostic read — window() would demand the registering
+  // config and throw on mismatch.
+  const obs::SloWindow* window = obs::SloRegistry::global().find(outcome.name);
+  const obs::SloSnapshot slo = window ? window->snapshot() : obs::SloSnapshot{};
   json.key("slo").beginObject();
   json.field("total", slo.total);
   json.field("errors", slo.errors);
@@ -441,6 +443,9 @@ int main(int argc, char** argv) {
   obs::IntrospectionSources sources;
   sources.brokerJson = [] { return liveBrokerJson(&serve::QueryBroker::debugJson); };
   sources.shardsJson = [] { return liveBrokerJson(&serve::QueryBroker::shardsJson); };
+  sources.tenantsJson = [] {
+    return liveBrokerJson(&serve::QueryBroker::tenantsJson);
+  };
   const auto http = obs::serveIntrospection(obsPort, std::move(sources));
   if (http) {
     obs::TraceRegistry::global().setEnabled(true);
@@ -582,9 +587,12 @@ int main(int argc, char** argv) {
     }
     // Same gate through the windowed SLO path: the sliding-window
     // quantiles must tell the same story as the harvest-window ones.
-    const obs::SloSnapshot sraSlo = obs::SloRegistry::global().window("sra").snapshot();
+    const obs::SloWindow* sraWindow = obs::SloRegistry::global().find("sra");
+    const obs::SloWindow* greedyWindow = obs::SloRegistry::global().find("greedy");
+    const obs::SloSnapshot sraSlo =
+        sraWindow ? sraWindow->snapshot() : obs::SloSnapshot{};
     const obs::SloSnapshot greedySlo =
-        obs::SloRegistry::global().window("greedy").snapshot();
+        greedyWindow ? greedyWindow->snapshot() : obs::SloSnapshot{};
     if (sraSlo.total == 0 || greedySlo.total == 0 ||
         !(sraSlo.p99 < greedySlo.p99)) {
       std::fprintf(stderr,

@@ -88,10 +88,12 @@ void serveDemo(const resex::PartitionedIndex& index,
   obs::IntrospectionSources sources;
   sources.brokerJson = [&broker] { return broker.debugJson(); };
   sources.shardsJson = [&broker] { return broker.shardsJson(); };
+  sources.tenantsJson = [&broker] { return broker.tenantsJson(); };
   const auto http = obs::serveIntrospection(obsPort, std::move(sources));
   if (http)
     std::printf("\nintrospection plane on http://127.0.0.1:%d "
-                "(/metrics /traces /debug/broker /debug/shards /debug/slo)\n",
+                "(/metrics /traces /debug/broker /debug/shards /debug/slo "
+                "/debug/tenants)\n",
                 http->port());
 
   std::printf("\n-- serve mode: %zu partitions on %zu machines, %zu clients, "

@@ -275,6 +275,11 @@ std::unique_ptr<HttpServer> serveIntrospection(int port,
                    [source = std::move(sources.shardsJson)](const HttpRequest&) {
                      return HttpResponse::json(source());
                    });
+  if (sources.tenantsJson)
+    server->handle("/debug/tenants",
+                   [source = std::move(sources.tenantsJson)](const HttpRequest&) {
+                     return HttpResponse::json(source());
+                   });
   server->start();
   return server;
 }

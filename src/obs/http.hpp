@@ -17,6 +17,8 @@
 //   /healthz       200 "ok"
 //   /debug/broker  per-machine queue depth / busy fraction (JSON; binary-
 //   /debug/shards  provided callbacks — only where a broker exists)
+//   /debug/tenants per-tenant fair-share/admission/SLO state (JSON; only
+//                  where a multi-tenant broker exists)
 //
 // Lifecycle: construct with a port (0 = ephemeral, port() tells), add
 // handlers, start(). stop() wakes the poll loop via a self-pipe and joins;
@@ -106,8 +108,9 @@ class HttpServer {
 /// Extra, binary-specific JSON sources for the standard endpoints; leave a
 /// field empty to have its endpoint answer 404.
 struct IntrospectionSources {
-  std::function<std::string()> brokerJson;  ///< /debug/broker
-  std::function<std::string()> shardsJson;  ///< /debug/shards
+  std::function<std::string()> brokerJson;   ///< /debug/broker
+  std::function<std::string()> shardsJson;   ///< /debug/shards
+  std::function<std::string()> tenantsJson;  ///< /debug/tenants
 };
 
 /// Creates a started server on `port` with the standard endpoint catalog

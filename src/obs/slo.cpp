@@ -61,26 +61,31 @@ void SloWindow::record(double latencySeconds, bool error) {
   record(latencySeconds, error, nowFromTracerEpoch());
 }
 
-SloSnapshot SloWindow::snapshotAt(double nowSeconds) const {
-  SloSnapshot snap;
-  snap.windowSeconds = config_.windowSeconds;
-  snap.objective = config_.objective;
-  snap.p99TargetSeconds = config_.p99TargetSeconds;
+LatencyHistogram SloWindow::mergedAt(double nowSeconds, SloSnapshot* counts) const {
   const auto newest =
       static_cast<std::int64_t>(nowSeconds / config_.bucketSeconds);
   const auto oldest = static_cast<std::int64_t>(
       std::max(0.0, nowSeconds - config_.windowSeconds) / config_.bucketSeconds);
   LatencyHistogram merged{1e-6, 8};
-  {
-    std::lock_guard lock(mutex_);
-    for (const Bucket& bucket : ring_) {
-      if (bucket.index < oldest || bucket.index > newest) continue;
-      merged.merge(bucket.latency);
-      snap.total += bucket.total;
-      snap.errors += bucket.errors;
-      snap.latencyBreaches += bucket.latencyBreaches;
+  std::lock_guard lock(mutex_);
+  for (const Bucket& bucket : ring_) {
+    if (bucket.index < oldest || bucket.index > newest) continue;
+    merged.merge(bucket.latency);
+    if (counts) {
+      counts->total += bucket.total;
+      counts->errors += bucket.errors;
+      counts->latencyBreaches += bucket.latencyBreaches;
     }
   }
+  return merged;
+}
+
+SloSnapshot SloWindow::snapshotAt(double nowSeconds) const {
+  SloSnapshot snap;
+  snap.windowSeconds = config_.windowSeconds;
+  snap.objective = config_.objective;
+  snap.p99TargetSeconds = config_.p99TargetSeconds;
+  const LatencyHistogram merged = mergedAt(nowSeconds, &snap);
   snap.p50 = merged.quantile(0.50);
   snap.p90 = merged.quantile(0.90);
   snap.p99 = merged.quantile(0.99);
@@ -96,10 +101,9 @@ SloSnapshot SloWindow::snapshotAt(double nowSeconds) const {
 SloSnapshot SloWindow::snapshot() const { return snapshotAt(nowFromTracerEpoch()); }
 
 double SloWindow::quantileAt(double q, double nowSeconds) const {
-  SloSnapshot snap = snapshotAt(nowSeconds);
-  if (q <= 0.5) return snap.p50;
-  if (q <= 0.9) return snap.p90;
-  return snap.p99;
+  // Computed from the merged in-window histogram: q = 0.6 is a real p60,
+  // not the nearest canned snapshot point.
+  return mergedAt(nowSeconds, nullptr).quantile(q);
 }
 
 double SloWindow::quantile(double q) const {
@@ -111,12 +115,39 @@ SloRegistry& SloRegistry::global() {
   return registry;
 }
 
+namespace {
+
+bool sameConfig(const SloConfig& a, const SloConfig& b) noexcept {
+  return a.windowSeconds == b.windowSeconds &&
+         a.bucketSeconds == b.bucketSeconds && a.objective == b.objective &&
+         a.p99TargetSeconds == b.p99TargetSeconds;
+}
+
+}  // namespace
+
 SloWindow& SloRegistry::window(const std::string& name, SloConfig config) {
   std::lock_guard lock(mutex_);
   for (auto& [existing, window] : windows_)
-    if (existing == name) return *window;
+    if (existing == name) {
+      // Re-registration must mean the same window, not a silent first-config-
+      // wins collision: a second tenant registering "interactive" with a
+      // different objective would otherwise inherit the first tenant's SLO.
+      if (!sameConfig(window->config(), config))
+        throw std::invalid_argument(
+            "SloRegistry: class '" + name +
+            "' already registered with a different SloConfig (use find() for "
+            "config-agnostic reads)");
+      return *window;
+    }
   windows_.emplace_back(name, std::make_unique<SloWindow>(config));
   return *windows_.back().second;
+}
+
+SloWindow* SloRegistry::find(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [existing, window] : windows_)
+    if (existing == name) return window.get();
+  return nullptr;
 }
 
 std::vector<SloSnapshot> SloRegistry::snapshotAll() const {

@@ -77,7 +77,9 @@ class SloWindow {
   SloSnapshot snapshotAt(double nowSeconds) const;
   SloSnapshot snapshot() const;
 
-  /// Quantile over the live window (convenience over snapshotAt).
+  /// Quantile over the live window, computed from the merged histogram of
+  /// the in-window buckets — any q in [0, 1], not just the canned
+  /// p50/p90/p99 snapshot points.
   double quantileAt(double q, double nowSeconds) const;
   double quantile(double q) const;
 
@@ -95,6 +97,9 @@ class SloWindow {
 
   /// The ring slot covering absolute bucket `index`, rotated in if stale.
   Bucket& bucketFor(std::int64_t index);
+  /// Merged histogram of the buckets inside [now - window, now]; when
+  /// `counts` is non-null the bucket totals/errors/breaches sum into it.
+  LatencyHistogram mergedAt(double nowSeconds, SloSnapshot* counts) const;
 
   SloConfig config_;
   std::size_t bucketCount_;
@@ -109,8 +114,16 @@ class SloRegistry {
  public:
   static SloRegistry& global();
 
-  /// Finds or creates; config applies only on first registration.
+  /// Finds or creates. Config applies on first registration; a later call
+  /// with a *different* config for the same name throws
+  /// std::invalid_argument — two query classes silently sharing one
+  /// window (first config wins) is exactly the bug multi-tenant SLO
+  /// registration would trip over. Use find() for config-agnostic reads.
   SloWindow& window(const std::string& name, SloConfig config = {});
+
+  /// Pure lookup: the registered window, or nullptr. Never creates and
+  /// never compares configs — the read-path companion to window().
+  SloWindow* find(const std::string& name) const;
 
   std::vector<SloSnapshot> snapshotAll() const;
   /// JSON for the /debug/slo endpoint: {"classes":[{...}, ...]}.

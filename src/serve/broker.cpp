@@ -46,6 +46,11 @@ obs::Counter& shedCounter() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter("serve.shed_tasks");
   return c;
 }
+obs::Counter& rejectedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("serve.rejected_queries");
+  return c;
+}
 obs::Counter& remapCounter() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter("serve.remaps");
   return c;
@@ -93,6 +98,24 @@ struct QueryBroker::MachineStats {
   double busySeconds = 0.0;
 };
 
+/// Per-tenant window accumulators. Counters are atomics (written from
+/// client and worker threads); the latency histogram covers served queries
+/// only — rejections appear in the rejection counters and the tenant's SLO
+/// error rate, never as latency samples.
+struct QueryBroker::TenantStats {
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> cacheHits{0};
+  std::atomic<std::uint64_t> rejectedOverShare{0};
+  std::atomic<std::uint64_t> rejectedNoToken{0};
+  std::atomic<std::uint64_t> expiredQueries{0};
+  std::atomic<std::uint64_t> shedTasks{0};
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> postings{0};
+  std::atomic<std::uint64_t> busyNanos{0};
+  std::mutex mutex;  ///< guards latency
+  LatencyHistogram latency{1e-6, 12};
+};
+
 QueryBroker::QueryBroker(const Instance& instance, std::vector<MachineId> mapping,
                          const PartitionedIndex& index, ServeConfig config,
                          std::vector<std::shared_ptr<const InvertedIndex>> liveShards)
@@ -125,12 +148,28 @@ QueryBroker::QueryBroker(const Instance& instance, std::vector<MachineId> mappin
       throw std::invalid_argument("QueryBroker: mapping machine out of range");
   }
 
+  // Tenant table: the configured query classes, or one implicit class in
+  // legacy mode — which keeps the fair-share queues degenerate FIFOs and
+  // skips token admission and per-tenant SLO registration entirely.
+  tenantMode_ = !config_.tenants.empty();
+  if (tenantMode_) {
+    registry_ = TenantRegistry(config_.tenants);
+  } else {
+    TenantSpec implicit;
+    implicit.name = "default";
+    registry_ = TenantRegistry({std::move(implicit)});
+  }
+
   queues_.reserve(m);
   machineStats_.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
-    queues_.push_back(std::make_unique<MpmcQueue<Task>>(config_.queueCapacity));
+    queues_.push_back(
+        std::make_unique<FairShareQueue<Task>>(config_.queueCapacity, registry_.tree()));
     machineStats_.push_back(std::make_unique<MachineStats>());
   }
+  tenantStats_.reserve(registry_.count());
+  for (std::size_t t = 0; t < registry_.count(); ++t)
+    tenantStats_.push_back(std::make_unique<TenantStats>());
   shardTasks_ = std::vector<std::atomic<std::uint64_t>>(n);
   shardPostings_ = std::vector<std::atomic<std::uint64_t>>(n);
   shardBusyNanos_ = std::vector<std::atomic<std::uint64_t>>(n);
@@ -140,6 +179,12 @@ QueryBroker::QueryBroker(const Instance& instance, std::vector<MachineId> mappin
 
   if (!config_.sloClass.empty())
     slo_ = &obs::SloRegistry::global().window(config_.sloClass, config_.slo);
+  if (tenantMode_) {
+    tenantSlos_.reserve(registry_.count());
+    for (TenantId t = 0; t < registry_.count(); ++t)
+      tenantSlos_.push_back(&obs::SloRegistry::global().window(
+          registry_.sloClassOf(t), registry_.spec(t).slo));
+  }
   if (config_.tracing)
     obs::TraceRegistry::global().setKeepSlowestOf(config_.traceKeepSlowestOf);
 
@@ -155,6 +200,18 @@ QueryBroker::QueryBroker(const Instance& instance, std::vector<MachineId> mappin
         maxCapacity > 0.0 ? instance.machine(i).capacity[0] / maxCapacity : 1.0;
     workersPerMachine_[i] =
         std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(base * scale)));
+  }
+
+  // Execution-slot tokens scale with each machine's worker pool, so
+  // admission sees the same capacity skew routing does.
+  if (tenantMode_) {
+    std::vector<std::uint32_t> slots(m);
+    for (std::size_t i = 0; i < m; ++i)
+      slots[i] = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 std::lround(static_cast<double>(workersPerMachine_[i]) *
+                             config_.tokensPerWorker)));
+    bank_ = std::make_unique<TokenBank>(std::move(slots), registry_);
   }
 
   windowStart_ = Clock::now();
@@ -233,8 +290,14 @@ std::shared_ptr<const InvertedIndex> QueryBroker::applyShardMove(
 }
 
 QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
+  return execute(terms, 0);
+}
+
+QueryResult QueryBroker::execute(const std::vector<TermId>& terms, TenantId tenant) {
   const auto t0 = Clock::now();
+  TenantStats& tstats = *tenantStats_.at(tenant);
   QueryResult result;
+  result.tenant = tenant;
   result.partitionsTotal = static_cast<std::uint32_t>(partitionCount_);
   if (!accepting_.load(std::memory_order_acquire)) {
     result.cancelled = true;
@@ -242,6 +305,7 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
   }
   RESEX_TRACE_SPAN("serve.query");
   queries_.fetch_add(1, std::memory_order_relaxed);
+  tstats.queries.fetch_add(1, std::memory_order_relaxed);
   queriesCounter().add();
 
   // Request-scoped trace: the root "query" span is recorded manually at
@@ -285,6 +349,7 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
     result.partitionsAnswered = result.partitionsTotal;
     result.latencySeconds = secondsBetween(t0, Clock::now());
     cacheHits_.fetch_add(1, std::memory_order_relaxed);
+    tstats.cacheHits.fetch_add(1, std::memory_order_relaxed);
     cacheHitCounter().add();
     {
       std::lock_guard lock(latencyMutex_);
@@ -292,6 +357,13 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
     }
     latencyHistogram().observe(result.latencySeconds * 1e6);
     if (slo_) slo_->record(result.latencySeconds, false);
+    if (tenantMode_) {
+      {
+        std::lock_guard lock(tstats.mutex);
+        tstats.latency.add(result.latencySeconds);
+      }
+      tenantSlos_[tenant]->record(result.latencySeconds, false);
+    }
     finishTrace(result);
     return result;
   }
@@ -308,42 +380,85 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
   pending->remaining = partitionCount_;
   pending->servedBy.reserve(partitionCount_);
 
-  // Route and enqueue one task per partition. Failed pushes (deadline hit
-  // while backpressured, or shutdown closed the queue) count the partition
-  // as missed immediately.
+  // Route and enqueue one task per partition. In tenant mode routing *is*
+  // token admission: the query acquires one execution-slot token per
+  // partition (each greedily bound to the freest hosting machine) and a
+  // rejection returns immediately — over-share traffic is turned away here
+  // instead of poisoning the shared queues and being shed worker-side.
+  // Failed pushes (deadline hit while backpressured, or shutdown closed
+  // the queue) count the partition as missed immediately and hand their
+  // token straight back.
   std::size_t missedPushes = 0;
+  Admission verdict = Admission::kAdmitted;
   {
     obs::ScopedSpan routeSpan(rootCtx, "query.route");
     std::shared_lock lock(mappingMutex_);
-    Rng& rng = clientRng();
-    std::vector<std::size_t> depths;
-    for (std::uint32_t g = 0; g < partitionCount_; ++g) {
-      const auto& hosts = hosts_[g];
-      depths.clear();
-      for (const auto& [mach, shard] : hosts) depths.push_back(queues_[mach]->size());
-      const std::size_t pick =
-          chooseReplica(config_.routing, std::span<const std::size_t>(depths), rng);
-      peakDepthGauge().max(static_cast<double>(depths[pick]));
-      const auto [mach, shard] = hosts[pick];
-      pending->servedBy.push_back(shard);
-      Task task;
-      task.pending = pending;
-      task.partition = g;
-      task.physicalShard = shard;
-      if (rootCtx.active()) {
-        task.trace = rootCtx;
-        task.enqueueUs = obs::Tracer::nowMicros();
-        task.depthAtDispatch = static_cast<std::uint32_t>(depths[pick]);
+    std::vector<std::uint32_t> tokenPicks;
+    if (tenantMode_)
+      verdict = bank_->acquire(
+          tenant, std::span<const std::vector<ReplicaHost>>(hosts_), tokenPicks);
+    if (verdict == Admission::kAdmitted) {
+      Rng& rng = clientRng();
+      std::vector<std::size_t> depths;
+      for (std::uint32_t g = 0; g < partitionCount_; ++g) {
+        const auto& hosts = hosts_[g];
+        std::size_t pick;
+        std::size_t depthAtPick;
+        if (tenantMode_) {
+          pick = tokenPicks[g];
+          depthAtPick = queues_[hosts[pick].first]->size();
+        } else {
+          depths.clear();
+          for (const auto& [mach, shard] : hosts)
+            depths.push_back(queues_[mach]->size());
+          pick = chooseReplica(config_.routing, std::span<const std::size_t>(depths),
+                               rng);
+          depthAtPick = depths[pick];
+        }
+        peakDepthGauge().max(static_cast<double>(depthAtPick));
+        const auto [mach, shard] = hosts[pick];
+        pending->servedBy.push_back(shard);
+        Task task;
+        task.pending = pending;
+        task.partition = g;
+        task.physicalShard = shard;
+        task.tenant = tenant;
+        if (rootCtx.active()) {
+          task.trace = rootCtx;
+          task.enqueueUs = obs::Tracer::nowMicros();
+          task.depthAtDispatch = static_cast<std::uint32_t>(depthAtPick);
+        }
+        const bool ok =
+            pending->hasDeadline
+                ? queues_[mach]->pushUntil(std::move(task), tenant, pending->deadline)
+                : queues_[mach]->push(std::move(task), tenant);
+        if (!ok) {
+          ++missedPushes;
+          // The task never reached a worker, so its token returns here.
+          if (tenantMode_) bank_->release(tenant, mach);
+        }
       }
-      const bool ok = pending->hasDeadline
-                          ? queues_[mach]->pushUntil(std::move(task), pending->deadline)
-                          : queues_[mach]->push(std::move(task));
-      if (!ok) ++missedPushes;
     }
     if (routeSpan.active()) {
       routeSpan.arg("partitions", static_cast<double>(partitionCount_));
       routeSpan.arg("missed_pushes", static_cast<double>(missedPushes));
+      if (tenantMode_)
+        routeSpan.arg("admitted", verdict == Admission::kAdmitted ? 1.0 : 0.0);
     }
+  }
+  if (verdict != Admission::kAdmitted) {
+    // Turned away at admission: no work was queued. The rejection is an
+    // SLO error for the tenant but not a latency sample — quantiles cover
+    // served queries only.
+    result.rejected = true;
+    result.latencySeconds = secondsBetween(t0, Clock::now());
+    (verdict == Admission::kRejectedNoToken ? tstats.rejectedNoToken
+                                            : tstats.rejectedOverShare)
+        .fetch_add(1, std::memory_order_relaxed);
+    rejectedCounter().add();
+    tenantSlos_[tenant]->record(result.latencySeconds, true);
+    finishTrace(result);
+    return result;
   }
   if (missedPushes > 0) {
     std::lock_guard lock(pending->mutex);
@@ -373,6 +488,7 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
   result.latencySeconds = secondsBetween(t0, Clock::now());
   if (!result.complete) {
     expiredQueries_.fetch_add(1, std::memory_order_relaxed);
+    tstats.expiredQueries.fetch_add(1, std::memory_order_relaxed);
     expiredCounter().add();
   } else {
     cache_.put(key, result.docs, pending->servedBy);
@@ -383,12 +499,19 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
   }
   latencyHistogram().observe(result.latencySeconds * 1e6);
   if (slo_) slo_->record(result.latencySeconds, !result.complete);
+  if (tenantMode_) {
+    {
+      std::lock_guard lock(tstats.mutex);
+      tstats.latency.add(result.latencySeconds);
+    }
+    tenantSlos_[tenant]->record(result.latencySeconds, !result.complete);
+  }
   finishTrace(result);
   return result;
 }
 
 void QueryBroker::workerLoop(std::size_t machine) {
-  MpmcQueue<Task>& queue = *queues_[machine];
+  FairShareQueue<Task>& queue = *queues_[machine];
   MachineStats& stats = *machineStats_[machine];
   // The worker's scratch arena: every query this thread executes scores
   // through these buffers, so steady-state execution allocates nothing.
@@ -461,6 +584,7 @@ void QueryBroker::workerLoop(std::size_t machine) {
         }
       } else {
         shedTasks_.fetch_add(1, std::memory_order_relaxed);
+        tenantStats_[task.tenant]->shedTasks.fetch_add(1, std::memory_order_relaxed);
         shedCounter().add();
         busy = secondsBetween(start, Clock::now());
       }
@@ -475,6 +599,11 @@ void QueryBroker::workerLoop(std::size_t machine) {
         blocksDecoded_.fetch_add(exec.blocksDecoded, std::memory_order_relaxed);
         blocksSkipped_.fetch_add(exec.blocksSkipped, std::memory_order_relaxed);
         heapPrunes_.fetch_add(exec.heapThresholdPrunes, std::memory_order_relaxed);
+        TenantStats& tstats = *tenantStats_[task.tenant];
+        tstats.tasks.fetch_add(1, std::memory_order_relaxed);
+        tstats.postings.fetch_add(exec.postingsScanned, std::memory_order_relaxed);
+        tstats.busyNanos.fetch_add(static_cast<std::uint64_t>(busy * 1e9),
+                                   std::memory_order_relaxed);
       }
 
       if (execSpan.active()) {
@@ -488,6 +617,10 @@ void QueryBroker::workerLoop(std::size_t machine) {
         }
       }
     }  // execSpan records into this worker's arena here
+
+    // The execution slot returns to this machine the moment the work (or
+    // the shed) is done, so admission sees capacity again before delivery.
+    if (tenantMode_) bank_->release(task.tenant, static_cast<MachineId>(machine));
 
     // Stats land before delivery so a client observing its result's
     // completion also observes the work accounted (snapshot consistency
@@ -559,6 +692,31 @@ ObservedLoad QueryBroker::harvestObservedLoad(bool resetWindow) {
   out.cacheHits = harvest(cacheHits_);
   out.expiredQueries = harvest(expiredQueries_);
   out.shedTasks = harvest(shedTasks_);
+  if (tenantMode_) {
+    out.tenants.resize(registry_.count());
+    for (std::size_t t = 0; t < registry_.count(); ++t) {
+      TenantStats& ts = *tenantStats_[t];
+      ObservedLoad::TenantLoad& tl = out.tenants[t];
+      tl.name = registry_.spec(static_cast<TenantId>(t)).name;
+      tl.queries = harvest(ts.queries);
+      tl.cacheHits = harvest(ts.cacheHits);
+      tl.rejectedOverShare = harvest(ts.rejectedOverShare);
+      tl.rejectedNoToken = harvest(ts.rejectedNoToken);
+      tl.expiredQueries = harvest(ts.expiredQueries);
+      tl.shedTasks = harvest(ts.shedTasks);
+      tl.tasks = harvest(ts.tasks);
+      tl.postings = harvest(ts.postings);
+      tl.busySeconds = static_cast<double>(harvest(ts.busyNanos)) * 1e-9;
+      {
+        std::lock_guard lock(ts.mutex);
+        tl.p50 = ts.latency.quantile(0.50);
+        tl.p95 = ts.latency.quantile(0.95);
+        tl.p99 = ts.latency.quantile(0.99);
+        tl.meanLatency = ts.latency.meanValue();
+        if (resetWindow) ts.latency = LatencyHistogram{1e-6, 12};
+      }
+    }
+  }
   return out;
 }
 
@@ -624,6 +782,63 @@ std::string QueryBroker::shardsJson() const {
                load.shardTasks[s] > 0
                    ? load.shardBusySeconds[s] / static_cast<double>(load.shardTasks[s])
                    : 0.0);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  return json.str();
+}
+
+std::string QueryBroker::tenantsJson() const {
+  JsonWriter json;
+  json.beginObject();
+  json.field("tenant_mode", tenantMode_);
+  if (!tenantMode_) {
+    json.endObject();
+    return json.str();
+  }
+  const ObservedLoad load = peekObservedLoad();
+  json.field("window_seconds", load.windowSeconds);
+  json.field("total_tokens", bank_->totalTokens());
+  json.field("free_tokens", bank_->freeTokens());
+  json.key("tenants").beginArray();
+  for (std::size_t t = 0; t < registry_.count(); ++t) {
+    const auto id = static_cast<TenantId>(t);
+    const TenantSpec& spec = registry_.spec(id);
+    const ObservedLoad::TenantLoad& tl = load.tenants[t];
+    json.beginObject();
+    json.field("tenant", static_cast<std::uint64_t>(t));
+    json.field("name", spec.name);
+    json.field("weight", spec.weight);
+    json.field("guaranteed_share", spec.guaranteedShare);
+    json.field("burst_limit", spec.burstLimit);
+    json.field("slo_class", registry_.sloClassOf(id));
+    json.field("held_tokens", bank_->heldBy(id));
+    json.field("entitled_tokens", bank_->entitled(id));
+    json.field("cap_tokens", bank_->cap(id));
+    json.field("queries", tl.queries);
+    json.field("cache_hits", tl.cacheHits);
+    json.field("rejected_over_share", tl.rejectedOverShare);
+    json.field("rejected_no_token", tl.rejectedNoToken);
+    json.field("expired_queries", tl.expiredQueries);
+    json.field("shed_tasks", tl.shedTasks);
+    json.field("tasks", tl.tasks);
+    json.field("postings", tl.postings);
+    json.field("busy_seconds", tl.busySeconds);
+    json.field("p50_seconds", tl.p50);
+    json.field("p95_seconds", tl.p95);
+    json.field("p99_seconds", tl.p99);
+    json.field("mean_seconds", tl.meanLatency);
+    const obs::SloSnapshot slo = tenantSlos_[t]->snapshot();
+    json.key("slo").beginObject();
+    json.field("objective", slo.objective);
+    json.field("total", slo.total);
+    json.field("errors", slo.errors);
+    json.field("error_rate", slo.errorRate);
+    json.field("burn_rate", slo.burnRate);
+    json.field("p99_seconds", slo.p99);
+    json.field("latency_breaches", slo.latencyBreaches);
+    json.endObject();
     json.endObject();
   }
   json.endArray();

@@ -48,9 +48,10 @@
 #include "index/partition.hpp"
 #include "obs/context.hpp"
 #include "obs/slo.hpp"
+#include "serve/fair_share.hpp"
 #include "serve/lru_cache.hpp"
-#include "serve/mpmc_queue.hpp"
 #include "serve/router.hpp"
+#include "serve/tenant.hpp"
 #include "util/histogram.hpp"
 
 namespace resex::serve {
@@ -96,6 +97,21 @@ struct ServeConfig {
   /// degraded/cancelled), making the broker a live SLO source.
   std::string sloClass;
   obs::SloConfig slo;
+  /// Multi-tenant mode: the query classes this broker serves, each with a
+  /// fair-share weight, token guarantee/burst cap, and its own SLO class
+  /// (see tenant.hpp). Empty = legacy single-class serving: one implicit
+  /// tenant, no admission control, `routing`-policy replica choice, FIFO
+  /// dispatch. Non-empty replaces FIFO with hierarchical fair-share
+  /// ordering across tenant sub-queues and routes by greedy token
+  /// assignment (`routing` is ignored); execute() calls then identify
+  /// their tenant by id (registration order).
+  std::vector<TenantSpec> tenants;
+  /// Execution-slot tokens per worker thread (tenant mode only): machine m
+  /// contributes workers(m) * tokensPerWorker tokens, bounding its
+  /// in-flight tasks at admission. 1.0 admits no queueing at all; larger
+  /// values allow a bounded backlog inside which fair-share ordering
+  /// operates.
+  double tokensPerWorker = 4.0;
 };
 
 /// What the client gets back.
@@ -107,6 +123,13 @@ struct QueryResult {
   bool cacheHit = false;
   /// The broker was shutting down; no work was attempted.
   bool cancelled = false;
+  /// Token admission turned the query away (tenant mode only): the tenant
+  /// was over its share, or no machine had a free execution slot. No work
+  /// was attempted; counted against the tenant's SLO but not its latency
+  /// quantiles (which cover served queries only).
+  bool rejected = false;
+  /// Which tenant the query was accounted to (0 in legacy mode).
+  TenantId tenant = 0;
   std::uint32_t partitionsAnswered = 0;
   std::uint32_t partitionsTotal = 0;
   double latencySeconds = 0.0;
@@ -144,6 +167,23 @@ struct ObservedLoad {
   std::uint64_t heapThresholdPrunes = 0;
   /// Client-visible latency over the window.
   double p50 = 0.0, p95 = 0.0, p99 = 0.0, meanLatency = 0.0;
+  /// Per-tenant heat over the window (tenant mode only; empty in legacy
+  /// mode). Latency quantiles cover served queries; rejected queries show
+  /// up only in the rejection counters and the tenant's SLO error rate.
+  struct TenantLoad {
+    std::string name;
+    std::uint64_t queries = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t rejectedOverShare = 0;
+    std::uint64_t rejectedNoToken = 0;
+    std::uint64_t expiredQueries = 0;
+    std::uint64_t shedTasks = 0;
+    std::uint64_t tasks = 0;
+    std::uint64_t postings = 0;
+    double busySeconds = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0, meanLatency = 0.0;
+  };
+  std::vector<TenantLoad> tenants;
 
   double throughputQps() const noexcept {
     return windowSeconds > 0.0 ? static_cast<double>(queries) / windowSeconds : 0.0;
@@ -186,7 +226,16 @@ class QueryBroker {
 
   /// Serves one query; thread-safe, blocking (bounded by the deadline when
   /// one is configured). After shutdown() returns cancelled results.
+  /// Equivalent to execute(terms, 0) — tenant 0 is the implicit legacy
+  /// tenant, or the first registered one in tenant mode.
   QueryResult execute(const std::vector<TermId>& terms);
+
+  /// Serves one query on behalf of `tenant` (an index into
+  /// ServeConfig::tenants). In tenant mode the query first passes token
+  /// admission — a rejection returns immediately with result.rejected set —
+  /// and its tasks are dispatched in fair-share order against the tenant's
+  /// weight. Throws std::out_of_range on an unknown tenant id.
+  QueryResult execute(const std::vector<TermId>& terms, TenantId tenant);
 
   /// Atomically swaps the shard -> machine mapping (a rebalance landing)
   /// and invalidates the result-cache entries served by the shards whose
@@ -226,6 +275,10 @@ class QueryBroker {
   /// window — tasks, postings scanned, busy seconds, and the machine each
   /// physical shard is currently mapped to.
   std::string shardsJson() const;
+  /// JSON for /debug/tenants: per-tenant spec (weight, guarantee, burst
+  /// cap), live token state (held / entitled / cap), window heat, and the
+  /// tenant's SLO snapshot. `{"tenantMode": false}` in legacy mode.
+  std::string tenantsJson() const;
 
   /// Stops accepting queries, drains accepted work, joins all workers.
   /// Idempotent; the destructor calls it.
@@ -241,12 +294,21 @@ class QueryBroker {
   }
   CacheStats cacheStats() const { return cache_.stats(); }
 
+  bool tenantMode() const noexcept { return tenantMode_; }
+  /// The validated tenant table (count() == 1 with the implicit "default"
+  /// spec in legacy mode).
+  const TenantRegistry& tenantRegistry() const noexcept { return registry_; }
+  /// The admission token bank; null in legacy mode.
+  const TokenBank* tokenBank() const noexcept { return bank_.get(); }
+
  private:
   struct PendingQuery;
   struct Task {
     std::shared_ptr<PendingQuery> pending;
     std::uint32_t partition = 0;
     ShardId physicalShard = 0;
+    /// Accounting + token-return identity; 0 in legacy mode.
+    TenantId tenant = 0;
     /// Request-scoped trace linkage (inert when the query is untraced):
     /// the query's root span is the parent, so per-partition execution
     /// spans recorded by workers attach to the client's trace tree.
@@ -255,6 +317,7 @@ class QueryBroker {
     std::uint32_t depthAtDispatch = 0;
   };
   struct MachineStats;
+  struct TenantStats;
 
   void workerLoop(std::size_t machine);
   void rebuildHosts(const std::vector<MachineId>& mapping);
@@ -283,9 +346,18 @@ class QueryBroker {
   mutable std::shared_mutex liveMutex_;
   std::vector<std::shared_ptr<const InvertedIndex>> liveShards_;
 
-  std::vector<std::unique_ptr<MpmcQueue<Task>>> queues_;
+  std::vector<std::unique_ptr<FairShareQueue<Task>>> queues_;
   std::vector<std::size_t> workersPerMachine_;
   std::vector<std::thread> workers_;
+
+  // Tenant layer. registry_ always holds at least one spec (an implicit
+  // "default" in legacy mode); bank_ and the per-tenant SLO windows exist
+  // only in tenant mode.
+  TenantRegistry registry_;
+  bool tenantMode_ = false;
+  std::unique_ptr<TokenBank> bank_;
+  std::vector<std::unique_ptr<TenantStats>> tenantStats_;
+  std::vector<obs::SloWindow*> tenantSlos_;
 
   ShardedLruCache cache_;
 

@@ -44,7 +44,12 @@ class MpmcQueue {
   }
 
   /// Like push but gives up at `deadline`; returns false on timeout or close.
+  /// An already-expired deadline is rejected up front even when the queue
+  /// has room: enqueueing work the consumer is guaranteed to shed would
+  /// burn a bounded-capacity slot, and the producer should count the item
+  /// as missed immediately.
   bool pushUntil(T item, std::chrono::steady_clock::time_point deadline) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
     std::unique_lock lock(mutex_);
     if (!notFull_.wait_until(lock, deadline, [this] {
           return items_.size() < capacity_ || closed_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/mini_json.hpp"
 
 namespace resex::obs {
@@ -92,15 +94,57 @@ TEST(SloWindow, LatencyBreachesCountAgainstTarget) {
   EXPECT_EQ(snap.latencyBreaches, 2u);
 }
 
+TEST(SloWindow, QuantileAtComputesArbitraryQuantiles) {
+  SloWindow window(tightConfig());
+  // 100 well-separated samples: 60 at ~1 ms, 30 at ~20 ms, 10 at ~500 ms.
+  for (int i = 0; i < 60; ++i) window.record(0.001, false, 10.0);
+  for (int i = 0; i < 30; ++i) window.record(0.020, false, 10.0);
+  for (int i = 0; i < 10; ++i) window.record(0.500, false, 10.0);
+  // q = 0.6 sits at the 1 ms / 20 ms boundary — the old canned mapping
+  // returned p90 (~20 ms) for it; the real p60 is still in the 1 ms region.
+  EXPECT_LT(window.quantileAt(0.60, 10.0), 0.005);
+  // q = 0.8 is inside the 20 ms band, far below the p99 the old mapping
+  // never distinguished it from.
+  EXPECT_GT(window.quantileAt(0.80, 10.0), 0.010);
+  EXPECT_LT(window.quantileAt(0.80, 10.0), 0.100);
+  // q = 0.95 maps into the 500 ms tail, and must agree with the snapshot's
+  // canned points at their own q values.
+  EXPECT_GT(window.quantileAt(0.95, 10.0), 0.2);
+  const SloSnapshot snap = window.snapshotAt(10.0);
+  EXPECT_DOUBLE_EQ(window.quantileAt(0.50, 10.0), snap.p50);
+  EXPECT_DOUBLE_EQ(window.quantileAt(0.90, 10.0), snap.p90);
+  EXPECT_DOUBLE_EQ(window.quantileAt(0.99, 10.0), snap.p99);
+}
+
 TEST(SloRegistry, WindowIsFindOrCreateWithStableReference) {
   SloRegistry::global().reset();
   SloWindow& a = SloRegistry::global().window("test.class", tightConfig());
-  SloConfig other;
-  other.windowSeconds = 5.0;
-  SloWindow& b = SloRegistry::global().window("test.class", other);
+  SloWindow& b = SloRegistry::global().window("test.class", tightConfig());
   EXPECT_EQ(&a, &b);
-  // Config applies only on first registration.
-  EXPECT_DOUBLE_EQ(b.config().windowSeconds, 60.0);
+  SloRegistry::global().reset();
+}
+
+TEST(SloRegistry, ReRegisteringWithDifferentConfigThrows) {
+  SloRegistry::global().reset();
+  SloRegistry::global().window("test.class", tightConfig());
+  // A second class registering the same name with a different objective
+  // must not silently inherit the first config.
+  SloConfig other = tightConfig();
+  other.objective = 0.99;
+  EXPECT_THROW(SloRegistry::global().window("test.class", other),
+               std::invalid_argument);
+  SloConfig widened = tightConfig();
+  widened.windowSeconds = 120.0;
+  EXPECT_THROW(SloRegistry::global().window("test.class", widened),
+               std::invalid_argument);
+  SloRegistry::global().reset();
+}
+
+TEST(SloRegistry, FindIsConfigAgnosticLookup) {
+  SloRegistry::global().reset();
+  EXPECT_EQ(SloRegistry::global().find("test.class"), nullptr);
+  SloWindow& created = SloRegistry::global().window("test.class", tightConfig());
+  EXPECT_EQ(SloRegistry::global().find("test.class"), &created);
   SloRegistry::global().reset();
 }
 

@@ -378,8 +378,9 @@ TEST(QueryBroker, SloClassRecordsEveryQuery) {
   config.slo.p99TargetSeconds = 10.0;  // nothing breaches
   QueryBroker broker(instance, instance.initialAssignment(), index, config);
   for (int i = 0; i < 8; ++i) broker.execute(query({static_cast<TermId>(i)}));
-  const obs::SloSnapshot snap =
-      obs::SloRegistry::global().window("test.broker").snapshot();
+  const obs::SloWindow* window = obs::SloRegistry::global().find("test.broker");
+  ASSERT_NE(window, nullptr);
+  const obs::SloSnapshot snap = window->snapshot();
   EXPECT_EQ(snap.total, 8u);
   EXPECT_EQ(snap.errors, 0u);
   EXPECT_EQ(snap.latencyBreaches, 0u);

@@ -50,6 +50,22 @@ TEST(MpmcQueue, PushUntilTimesOutWhenFull) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(MpmcQueue, PushUntilRejectsAlreadyExpiredDeadline) {
+  // Regression: an expired deadline with room in the queue used to enqueue
+  // anyway (the wait predicate was already true), burning a bounded slot on
+  // work the worker is guaranteed to shed. The push must fail up front so
+  // the producer counts the item as missed immediately.
+  MpmcQueue<int> q(8);
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_FALSE(q.pushUntil(1, past));
+  EXPECT_EQ(q.size(), 0u);
+  // A live deadline with room still accepts.
+  EXPECT_TRUE(q.pushUntil(2, std::chrono::steady_clock::now() +
+                                 std::chrono::seconds(5)));
+  EXPECT_EQ(q.size(), 1u);
+}
+
 TEST(MpmcQueue, CloseRejectsProducersButDrainsConsumers) {
   MpmcQueue<int> q(8);
   EXPECT_TRUE(q.push(1));
