@@ -50,6 +50,7 @@
 #include "obs/context.hpp"
 #include "obs/http.hpp"
 #include "obs/slo.hpp"
+#include "open_loop.hpp"
 #include "serve/broker.hpp"
 #include "util/flags.hpp"
 #include "util/json_writer.hpp"
@@ -60,7 +61,6 @@
 namespace {
 
 using namespace resex;
-using Clock = std::chrono::steady_clock;
 
 struct PhaseOutcome {
   std::string name;
@@ -101,24 +101,11 @@ PhaseOutcome runPhase(const std::string& name, const Instance& instance,
   serve::QueryBroker broker(instance, mapping, index, config);
   publishLiveBroker(&broker);
   WallTimer timer;
-  const auto phaseStart = Clock::now();
-  std::atomic<std::size_t> cursor{0};
-  std::vector<std::thread> threads;
-  threads.reserve(clients);
-  for (std::size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= trace.size()) break;
-        std::this_thread::sleep_until(
-            phaseStart + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double>(
-                                 static_cast<double>(i) / qps)));
-        broker.execute(trace[i]);
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
+  bench::OpenLoopStream loop;
+  loop.offsets = bench::arrivalOffsets(trace.size(), qps);
+  loop.clients = clients;
+  bench::replayOpenLoop(
+      {loop}, [&](std::size_t, std::size_t i) { broker.execute(trace[i]); });
   PhaseOutcome outcome;
   outcome.name = name;
   outcome.wallSeconds = timer.seconds();

@@ -53,6 +53,7 @@
 #include "obs/context.hpp"
 #include "obs/http.hpp"
 #include "obs/slo.hpp"
+#include "open_loop.hpp"
 #include "serve/broker.hpp"
 #include "util/flags.hpp"
 #include "util/json_writer.hpp"
@@ -63,7 +64,6 @@
 namespace {
 
 using namespace resex;
-using Clock = std::chrono::steady_clock;
 
 /// One tenant's open-loop arrival stream within a phase.
 struct Stream {
@@ -114,28 +114,14 @@ PhaseOutcome runPhase(const std::string& name, const Instance& instance,
   serve::QueryBroker broker(instance, mapping, index, config);
   publishLiveBroker(&broker);
   WallTimer timer;
-  const auto phaseStart = Clock::now();
-  std::vector<std::atomic<std::size_t>> cursors(streams.size());
-  for (auto& cursor : cursors) cursor.store(0);
-  std::vector<std::thread> threads;
+  std::vector<bench::OpenLoopStream> loops(streams.size());
   for (std::size_t s = 0; s < streams.size(); ++s) {
-    const Stream& stream = streams[s];
-    for (std::size_t c = 0; c < stream.clients; ++c) {
-      threads.emplace_back([&, s] {
-        for (;;) {
-          const std::size_t i =
-              cursors[s].fetch_add(1, std::memory_order_relaxed);
-          if (i >= streams[s].queries) break;
-          std::this_thread::sleep_until(
-              phaseStart + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(
-                                   static_cast<double>(i) / streams[s].qps)));
-          broker.execute(trace[i % trace.size()], streams[s].tenant);
-        }
-      });
-    }
+    loops[s].offsets = bench::arrivalOffsets(streams[s].queries, streams[s].qps);
+    loops[s].clients = streams[s].clients;
   }
-  for (std::thread& t : threads) t.join();
+  bench::replayOpenLoop(loops, [&](std::size_t s, std::size_t i) {
+    broker.execute(trace[i % trace.size()], streams[s].tenant);
+  });
   PhaseOutcome outcome;
   outcome.name = name;
   outcome.wallSeconds = timer.seconds();

@@ -1,0 +1,80 @@
+// Pipelining RPC client: one non-blocking connection, many requests in
+// flight, replies matched by requestId in whatever order they arrive.
+//
+// The client is deliberately loop-agnostic: send() only buffers, flush()
+// writes until the socket would block, drain() reads and decodes whatever
+// arrived. A load generator multiplexes many Clients off one poll set via
+// fd(); simple callers use wait()/call() which poll internally. Not
+// thread-safe — one owner drives a Client.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace resex::net {
+
+/// One decoded reply frame. `type` is kResult or kError; the matching
+/// member is populated.
+struct Reply {
+  std::uint64_t requestId = 0;
+  FrameType type = FrameType::kResult;
+  QueryResponse response;
+  ErrorBody error;
+};
+
+class Client {
+ public:
+  explicit Client(std::string host, std::uint16_t port, FrameLimits limits = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (blocking) then switches the socket non-blocking; throws
+  /// std::runtime_error on failure.
+  void connect();
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Buffers one QUERY frame with a fresh requestId (returned). Nothing
+  /// touches the socket until flush().
+  std::uint64_t send(const QueryRequest& request);
+
+  /// Writes buffered bytes until done or the socket would block. Returns
+  /// true when the buffer is fully flushed. Throws on a dead socket.
+  bool flush();
+  std::size_t pendingSendBytes() const noexcept {
+    return sendBuffer_.size() - sendOffset_;
+  }
+
+  /// Reads whatever is available without blocking and appends decoded
+  /// replies to `out`. Returns false when the server closed the
+  /// connection or the stream is unparseable (the socket is closed
+  /// either way).
+  bool drain(std::vector<Reply>& out);
+
+  /// Flushes, then blocks up to `timeoutMs` (-1 = forever) for at least
+  /// one reply. Returns false on timeout or closed connection.
+  bool wait(std::vector<Reply>& out, int timeoutMs);
+
+  /// Synchronous convenience: send one query, wait for its reply. Throws
+  /// std::runtime_error on an ERROR reply, timeout, or closed connection.
+  QueryResponse call(const QueryRequest& request, int timeoutMs = 10000);
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  FrameLimits limits_;
+  int fd_ = -1;
+  std::uint64_t nextRequestId_ = 1;
+  std::string sendBuffer_;
+  std::size_t sendOffset_ = 0;
+  FrameReader reader_;
+};
+
+}  // namespace resex::net

@@ -1,0 +1,235 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace resex::net {
+namespace {
+
+// Explicit little-endian packing: the wire format must not depend on
+// host byte order, and unaligned loads through casts would be UB.
+void putU8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void patchU32(std::string& out, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[at + static_cast<std::size_t>(i)] =
+      static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+/// Bounds-checked sequential reader over a payload span. Every take
+/// checks remaining bytes first; ok_ latches false on the first short
+/// read so callers can finish a fixed sequence of reads and test once.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1) ? data_[at_ - 1] : 0; }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    return static_cast<std::uint16_t>(data_[at_ - 2] |
+                                      (static_cast<std::uint16_t>(data_[at_ - 1]) << 8));
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[at_ - 4 + static_cast<std::size_t>(i)])
+           << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[at_ - 8 + static_cast<std::size_t>(i)])
+           << (8 * i);
+    return v;
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!take(n)) return {};
+    return data_.subspan(at_ - n, n);
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - at_; }
+  bool ok() const noexcept { return ok_; }
+  /// The whole payload was consumed with no violation — trailing bytes
+  /// are as much a protocol error as short ones.
+  bool exhausted() const noexcept { return ok_ && at_ == data_.size(); }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || data_.size() - at_ < n) {
+      ok_ = false;
+      return false;
+    }
+    at_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+/// Opens a frame: writes the placeholder length prefix plus type and
+/// requestId, returning the offset to patch with the final length.
+std::size_t beginFrame(std::string& out, FrameType type, std::uint64_t requestId) {
+  const std::size_t lenAt = out.size();
+  putU32(out, 0);
+  putU8(out, static_cast<std::uint8_t>(type));
+  putU64(out, requestId);
+  return lenAt;
+}
+
+void endFrame(std::string& out, std::size_t lenAt) {
+  patchU32(out, lenAt, static_cast<std::uint32_t>(out.size() - lenAt - 4));
+}
+
+}  // namespace
+
+void encodeQueryFrame(std::uint64_t requestId, const QueryRequest& query,
+                      std::string& out) {
+  const std::size_t lenAt = beginFrame(out, FrameType::kQuery, requestId);
+  putU32(out, query.tenant);
+  putU32(out, query.topK);
+  putU32(out, query.deadlineMicros);
+  putU16(out, static_cast<std::uint16_t>(query.terms.size()));
+  for (const TermId term : query.terms) putU32(out, term);
+  endFrame(out, lenAt);
+}
+
+void encodeResultFrame(std::uint64_t requestId, const QueryResponse& response,
+                       std::string& out) {
+  const std::size_t lenAt = beginFrame(out, FrameType::kResult, requestId);
+  std::uint8_t flags = 0;
+  if (response.complete) flags |= 1;
+  if (response.cacheHit) flags |= 2;
+  if (response.rejected) flags |= 4;
+  if (response.cancelled) flags |= 8;
+  putU8(out, flags);
+  putU32(out, response.partitionsAnswered);
+  putU32(out, response.partitionsTotal);
+  putU16(out, static_cast<std::uint16_t>(response.docs.size()));
+  for (const ScoredDoc& doc : response.docs) {
+    putU32(out, doc.doc);
+    putU64(out, std::bit_cast<std::uint64_t>(doc.score));
+  }
+  endFrame(out, lenAt);
+}
+
+void encodeErrorFrame(std::uint64_t requestId, ErrorCode code,
+                      std::string_view message, std::string& out) {
+  const std::size_t lenAt = beginFrame(out, FrameType::kError, requestId);
+  putU8(out, static_cast<std::uint8_t>(code));
+  const auto n = static_cast<std::uint16_t>(
+      std::min<std::size_t>(message.size(), 0xffff));
+  putU16(out, n);
+  out.append(message.data(), n);
+  endFrame(out, lenAt);
+}
+
+std::optional<QueryRequest> decodeQueryBody(std::span<const std::uint8_t> body,
+                                            const FrameLimits& limits) {
+  Cursor cursor(body);
+  QueryRequest query;
+  query.tenant = cursor.u32();
+  query.topK = cursor.u32();
+  query.deadlineMicros = cursor.u32();
+  const std::uint16_t termCount = cursor.u16();
+  // Validate the claimed count against both policy and the bytes that
+  // are actually present before sizing any allocation from it.
+  if (!cursor.ok() || termCount > limits.maxTerms ||
+      cursor.remaining() != static_cast<std::size_t>(termCount) * 4)
+    return std::nullopt;
+  query.terms.reserve(termCount);
+  for (std::uint16_t i = 0; i < termCount; ++i) query.terms.push_back(cursor.u32());
+  if (!cursor.exhausted()) return std::nullopt;
+  return query;
+}
+
+std::optional<QueryResponse> decodeResultBody(std::span<const std::uint8_t> body,
+                                              const FrameLimits& limits) {
+  Cursor cursor(body);
+  QueryResponse response;
+  const std::uint8_t flags = cursor.u8();
+  response.complete = (flags & 1) != 0;
+  response.cacheHit = (flags & 2) != 0;
+  response.rejected = (flags & 4) != 0;
+  response.cancelled = (flags & 8) != 0;
+  response.partitionsAnswered = cursor.u32();
+  response.partitionsTotal = cursor.u32();
+  const std::uint16_t docCount = cursor.u16();
+  if (!cursor.ok() || docCount > limits.maxDocs ||
+      cursor.remaining() != static_cast<std::size_t>(docCount) * 12)
+    return std::nullopt;
+  response.docs.reserve(docCount);
+  for (std::uint16_t i = 0; i < docCount; ++i) {
+    ScoredDoc doc;
+    doc.doc = cursor.u32();
+    doc.score = std::bit_cast<double>(cursor.u64());
+    response.docs.push_back(doc);
+  }
+  if (!cursor.exhausted()) return std::nullopt;
+  return response;
+}
+
+std::optional<ErrorBody> decodeErrorBody(std::span<const std::uint8_t> body) {
+  Cursor cursor(body);
+  ErrorBody error;
+  error.code = static_cast<ErrorCode>(cursor.u8());
+  const std::uint16_t messageLength = cursor.u16();
+  if (!cursor.ok() || cursor.remaining() != messageLength) return std::nullopt;
+  const auto bytes = cursor.bytes(messageLength);
+  error.message.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  if (!cursor.exhausted()) return std::nullopt;
+  return error;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  if (poisoned_ || n == 0) return;
+  // Compact before growing: consumed bytes at the front are dead weight,
+  // and compacting here (not in next()) keeps returned spans stable.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + n);
+}
+
+std::optional<ParsedFrame> FrameReader::next() {
+  if (poisoned_) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  std::uint32_t payloadLen = 0;
+  for (int i = 0; i < 4; ++i)
+    payloadLen |= static_cast<std::uint32_t>(head[i]) << (8 * i);
+  // A frame smaller than type+requestId or larger than the cap can never
+  // become valid: poison without buffering toward the hostile length.
+  if (payloadLen < 9 || payloadLen > limits_.maxPayloadBytes) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  if (available < 4 + static_cast<std::size_t>(payloadLen)) return std::nullopt;
+  ParsedFrame frame;
+  frame.type = static_cast<FrameType>(head[4]);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i)
+    id |= static_cast<std::uint64_t>(head[5 + i]) << (8 * i);
+  frame.requestId = id;
+  frame.body = std::span<const std::uint8_t>(head + 13, payloadLen - 9);
+  consumed_ += 4 + static_cast<std::size_t>(payloadLen);
+  return frame;
+}
+
+}  // namespace resex::net

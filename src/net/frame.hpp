@@ -1,0 +1,148 @@
+// Binary RPC wire format: length-prefixed frames with request pipelining.
+//
+// A connection carries an ordered byte stream of frames in both
+// directions; nothing else. Every frame is
+//
+//   u32  payloadLength  (little-endian; bytes after this field)
+//   u8   type           (request types < 0x80, response types >= 0x80)
+//   u64  requestId      (client-chosen; the server echoes it verbatim)
+//   ...  body           (type-specific, fixed little-endian layout)
+//
+// so a client may keep many requests in flight on one connection and
+// match responses by requestId in whatever order the server answers.
+// All integers are little-endian regardless of host order; doubles
+// travel as their IEEE-754 bit pattern in a u64, so a score decoded on
+// the client is bit-identical to the one the broker computed.
+//
+// Body layouts:
+//   QUERY  (0x01): u32 tenant | u32 topK (0 = server default)
+//                | u32 deadlineMicros (0 = server default budget)
+//                | u16 termCount | termCount x u32 term
+//   RESULT (0x81): u8 flags (bit 0 complete, 1 cacheHit, 2 rejected,
+//                            3 cancelled)
+//                | u32 partitionsAnswered | u32 partitionsTotal
+//                | u16 docCount | docCount x (u32 doc | u64 scoreBits)
+//   ERROR  (0x82): u8 code | u16 messageLength | message bytes
+//
+// Decoding is defensive by construction: every read is bounds-checked
+// against the declared payload length, counts are validated against the
+// bytes actually present before any allocation is sized from them, and a
+// frame must consume its payload exactly — trailing bytes are a protocol
+// error, never silently ignored. FrameReader accumulates a raw byte
+// stream (arbitrary fragmentation: single bytes, many frames per read,
+// frames split mid-header) and yields complete frames; a declared length
+// above the configured cap is reported as an error without ever
+// allocating or waiting for that many bytes, which is what keeps a
+// hostile 0xFFFFFFFF length field harmless.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/scoring.hpp"  // ScoredDoc, TermId
+
+namespace resex::net {
+
+enum class FrameType : std::uint8_t {
+  kQuery = 0x01,
+  kResult = 0x81,
+  kError = 0x82,
+};
+
+enum class ErrorCode : std::uint8_t {
+  kBadFrame = 1,      ///< undecodable payload / length violation
+  kUnknownType = 2,   ///< type byte this endpoint does not serve
+  kBadRequest = 3,    ///< decodable but out of policy (too many terms, ...)
+  kShuttingDown = 4,  ///< server is draining; retry elsewhere
+};
+
+/// Frame-level protocol limits. Payload cap is per endpoint (the reader
+/// enforces it before buffering); the others bound decoded counts.
+struct FrameLimits {
+  std::size_t maxPayloadBytes = 1u << 20;
+  std::uint32_t maxTerms = 4096;
+  std::uint32_t maxDocs = 65535;
+};
+
+struct QueryRequest {
+  std::uint32_t tenant = 0;
+  std::uint32_t topK = 0;           ///< 0 = server default
+  std::uint32_t deadlineMicros = 0; ///< 0 = server default budget
+  std::vector<TermId> terms;
+};
+
+struct QueryResponse {
+  bool complete = false;
+  bool cacheHit = false;
+  bool rejected = false;
+  bool cancelled = false;
+  std::uint32_t partitionsAnswered = 0;
+  std::uint32_t partitionsTotal = 0;
+  std::vector<ScoredDoc> docs;
+};
+
+struct ErrorBody {
+  ErrorCode code = ErrorCode::kBadFrame;
+  std::string message;
+};
+
+/// One complete frame as parsed off the stream. `body` points into the
+/// reader's buffer and is valid until the next FrameReader::next()/feed().
+struct ParsedFrame {
+  FrameType type{};
+  std::uint64_t requestId = 0;
+  std::span<const std::uint8_t> body;
+};
+
+/// Appends one fully framed message (length prefix included) to `out`.
+/// Encoders never fail: callers enforce limits before building the
+/// structs (decode enforces them against the wire).
+void encodeQueryFrame(std::uint64_t requestId, const QueryRequest& query,
+                      std::string& out);
+void encodeResultFrame(std::uint64_t requestId, const QueryResponse& response,
+                       std::string& out);
+void encodeErrorFrame(std::uint64_t requestId, ErrorCode code,
+                      std::string_view message, std::string& out);
+
+/// Body decoders: `body` is ParsedFrame::body (payload after type and
+/// requestId). Return nullopt on any violation — short reads, count
+/// overclaims, trailing bytes.
+std::optional<QueryRequest> decodeQueryBody(std::span<const std::uint8_t> body,
+                                            const FrameLimits& limits = {});
+std::optional<QueryResponse> decodeResultBody(std::span<const std::uint8_t> body,
+                                              const FrameLimits& limits = {});
+std::optional<ErrorBody> decodeErrorBody(std::span<const std::uint8_t> body);
+
+/// Incremental frame extraction from an untrusted byte stream.
+class FrameReader {
+ public:
+  explicit FrameReader(FrameLimits limits = {}) : limits_(limits) {}
+
+  /// Appends raw bytes from the transport. No parsing happens here beyond
+  /// the length-cap check, so feeding a hostile length is O(1).
+  void feed(const char* data, std::size_t n);
+
+  /// Returns the next complete frame, or nullopt when more bytes are
+  /// needed. The returned body span is valid until the next feed()/next().
+  /// After an error (poisoned()) always returns nullopt.
+  std::optional<ParsedFrame> next();
+
+  /// The stream violated the protocol (oversized or undersized declared
+  /// length). The connection cannot be resynchronized and must be closed.
+  bool poisoned() const noexcept { return poisoned_; }
+
+  /// Bytes currently buffered (bounded by maxPayloadBytes + header).
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  FrameLimits limits_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace resex::net

@@ -1,0 +1,68 @@
+// Readiness polling for the event loop: epoll where available, poll()
+// everywhere else. One Poller instance belongs to one loop thread; only
+// wake() may be called from other threads (it writes the wake pipe, and
+// the loop observes a kWake event on its next wait).
+#pragma once
+
+#include <poll.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace resex::net {
+
+/// Interest / readiness bits. Deliberately a tiny subset: level-triggered
+/// read/write interest is all the server needs, and both backends can
+/// express it exactly.
+enum PollEvents : std::uint32_t {
+  kReadable = 1u << 0,
+  kWritable = 1u << 1,
+  kError = 1u << 2,  ///< readiness-only: HUP/ERR; never requested
+};
+
+struct PollEvent {
+  int fd = -1;
+  std::uint32_t events = 0;
+};
+
+class Poller {
+ public:
+  /// `forcePollBackend` drops to the portable poll() implementation even
+  /// when epoll is available — used by tests to cover the fallback.
+  explicit Poller(bool forcePollBackend = false);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void add(int fd, std::uint32_t events);
+  void mod(int fd, std::uint32_t events);
+  void remove(int fd);
+
+  /// Blocks until at least one fd is ready, a wake() arrives, or
+  /// `timeoutMs` elapses (-1 = no timeout). Wake notifications are
+  /// consumed internally and reported as a PollEvent with fd == wakeFd().
+  void wait(std::vector<PollEvent>& out, int timeoutMs = -1);
+
+  /// Thread-safe: interrupts a concurrent (or the next) wait().
+  void wake();
+
+  /// The read end of the wake pipe, so loops can recognize wake events.
+  int wakeFd() const noexcept { return wakePipe_[0]; }
+
+  bool usingEpoll() const noexcept { return epollFd_ >= 0; }
+
+ private:
+  void drainWake();
+
+  int epollFd_ = -1;  ///< -1 when on the poll() backend
+  int wakePipe_[2] = {-1, -1};
+  // poll() backend state: interest set mirrored into a pollfd array that
+  // is rebuilt lazily when membership changes.
+  std::unordered_map<int, std::uint32_t> interest_;
+  std::vector<::pollfd> pollSet_;
+  bool pollSetDirty_ = true;
+};
+
+}  // namespace resex::net

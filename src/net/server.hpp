@@ -1,0 +1,153 @@
+// Event-loop RPC server: the transport layer of the serving stack.
+//
+// N shards, each one thread around a Poller (epoll, poll() fallback) that
+// owns a listener and a set of non-blocking connections. Accept
+// distribution is SO_REUSEPORT — every shard binds its own listener on
+// the same address and the kernel spreads incoming connections — with a
+// handoff fallback (shard 0 accepts and round-robins fds to the other
+// shards through their mailboxes) where REUSEPORT is unavailable.
+//
+// A connection is a pipelined frame stream: any number of QUERY frames
+// may be in flight at once; the handler answers each through a
+// ResponseTicket from whatever thread the completion lands on, and the
+// shard writes RESULT frames back in completion order (the requestId is
+// the client's correlation key — ordering is explicitly not preserved).
+// Responses are batched into a per-connection outbox of encoded frames
+// and flushed with writev, so one syscall carries many responses.
+//
+// Backpressure is read-side and per connection. A shard stops reading —
+// drops kReadable interest — when any of:
+//   - decoded-but-unanswered requests reach maxInFlightPerConnection;
+//   - the outbox exceeds maxOutboxBytes (client not draining);
+//   - the handler returns false (scheduling layer under pressure).
+// Reading resumes when responses drain below the limits. Bytes the
+// client keeps sending meanwhile sit in its socket buffer and eventually
+// zero its TCP window — backpressure propagates to the wire, nothing is
+// buffered unboundedly on the server.
+//
+// Protocol violations are terminal: an oversized/garbage frame gets one
+// typed ERROR frame (kBadFrame) and the connection closes after the
+// outbox flushes. Unknown frame types likewise. A handler never sees an
+// undecodable request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace resex::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; Server::port() reports the bound port after start().
+  std::uint16_t port = 0;
+  /// Event-loop shards (threads + listeners).
+  std::size_t shards = 1;
+  FrameLimits limits;
+  /// Read-pause threshold: decoded requests awaiting their response.
+  std::size_t maxInFlightPerConnection = 256;
+  /// Read-pause threshold: encoded-but-unsent response bytes.
+  std::size_t maxOutboxBytes = 4u << 20;
+  /// Test hook: exercise the portable poll() backend.
+  bool forcePollBackend = false;
+};
+
+struct ServerStats {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsClosed = 0;
+  std::uint64_t framesReceived = 0;
+  std::uint64_t responsesSent = 0;
+  std::uint64_t errorFramesSent = 0;
+  std::uint64_t protocolErrors = 0;
+  std::uint64_t readPauses = 0;
+};
+
+namespace detail {
+struct Mailbox;
+}
+
+/// The route back to one in-flight request's connection. Created by the
+/// server per decoded QUERY frame and handed to the handler; respond() /
+/// fail() may be called from any thread, exactly once (later calls are
+/// ignored). If the connection died meanwhile the response is dropped —
+/// the client is gone, there is nobody to tell.
+class ResponseTicket {
+ public:
+  void respond(QueryResponse response);
+  void fail(ErrorCode code, std::string message);
+
+ private:
+  friend class Server;
+  ResponseTicket(std::shared_ptr<detail::Mailbox> mailbox, std::uint64_t connId,
+                 std::uint64_t requestId)
+      : mailbox_(std::move(mailbox)), connId_(connId), requestId_(requestId) {}
+
+  std::shared_ptr<detail::Mailbox> mailbox_;
+  std::uint64_t connId_ = 0;
+  std::uint64_t requestId_ = 0;
+  std::atomic<bool> done_{false};
+};
+
+class Server {
+ public:
+  /// Invoked on the shard's loop thread for every decoded QUERY frame.
+  /// Must arrange for the ticket to be completed exactly once (inline is
+  /// fine). Return false to signal scheduling-layer pressure: the
+  /// connection pauses reading until responses drain.
+  using Handler =
+      std::function<bool(QueryRequest&&, const std::shared_ptr<ResponseTicket>&)>;
+
+  Server(ServerConfig config, Handler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and spawns the shard threads; throws
+  /// std::runtime_error when the bind fails. Idempotent.
+  void start();
+  /// Closes every connection and joins the shards. Outstanding tickets
+  /// stay safe to complete (their responses are dropped). Idempotent.
+  void stop();
+
+  std::uint16_t port() const noexcept { return port_; }
+  std::size_t shardCount() const noexcept { return shardCount_; }
+  bool reusePortActive() const noexcept { return reusePort_; }
+  ServerStats stats() const;
+
+ private:
+  struct Shard;
+  struct Connection;
+
+  void loop(Shard& shard);
+  void acceptLoop(Shard& shard);
+  void adoptConnection(Shard& shard, int fd);
+  bool handleReadable(Shard& shard, Connection& conn);
+  bool processFrames(Shard& shard, Connection& conn);
+  bool flushOutbox(Shard& shard, Connection& conn);
+  void drainMailbox(Shard& shard);
+  void closeConnection(Shard& shard, Connection& conn);
+  void updateInterest(Shard& shard, Connection& conn);
+  void maybeResumeReading(Connection& conn);
+  void protocolError(Shard& shard, Connection& conn, std::uint64_t requestId,
+                     ErrorCode code, std::string_view message);
+
+  ServerConfig config_;
+  Handler handler_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+  std::uint16_t port_ = 0;
+  std::size_t shardCount_ = 1;
+  bool reusePort_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> nextConnId_{1};
+  bool started_ = false;
+};
+
+}  // namespace resex::net

@@ -73,7 +73,7 @@ HttpServer::HttpServer(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(listenFd_, 16) < 0) {
+      ::listen(listenFd_, SOMAXCONN) < 0) {
     const std::string why = std::strerror(errno);
     ::close(listenFd_);
     listenFd_ = -1;
@@ -143,7 +143,10 @@ void HttpServer::serveLoop() {
       fds.push_back(pollfd{conn.fd,
                            static_cast<short>(conn.responding ? POLLOUT : POLLIN),
                            0});
-    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/250) < 0) {
+    // No idle timeout: the wake pipe (fds[1], written by stop()) is the
+    // sole idle wakeup, so an idle server parks in the kernel instead of
+    // spinning awake four times a second.
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/-1) < 0) {
       if (errno == EINTR) continue;
       RESEX_LOG_ERROR("obs.http: poll failed: %s", std::strerror(errno));
       break;

@@ -69,27 +69,47 @@ obs::Gauge& peakDepthGauge() {
 }  // namespace
 
 /// Shared state of one in-flight query. Lifetime is managed by shared_ptr:
-/// the client holds one reference, every queued task another, so a client
-/// that gives up at its deadline never invalidates a worker's view.
+/// every queued task holds a reference and the deadline timer another, so
+/// a query that expires never invalidates a worker's view. Delivery is
+/// push-based: whoever brings `remaining` to zero — or the timer at the
+/// deadline — calls QueryBroker::deliver, which merges, accounts, and
+/// invokes the completion exactly once (the `delivered` flag arbitrates).
 struct QueryBroker::PendingQuery {
   std::mutex mutex;
-  std::condition_variable cv;
   std::vector<TermId> terms;
   std::uint32_t k = 0;
+  TenantId tenant = 0;
   bool hasDeadline = false;
+  Clock::time_point t0{};
   Clock::time_point deadline{};
   /// Guarded by `mutex`.
   std::vector<std::vector<ScoredDoc>> partials;
   std::uint32_t answered = 0;
   std::size_t remaining = 0;
-  /// Set (under `mutex`) when the client stopped waiting; workers read it
-  /// relaxed before executing as a load-shedding hint and re-check under
-  /// the mutex before delivering.
+  bool delivered = false;
+  /// Set when the deadline fired; workers read it relaxed before
+  /// executing as a load-shedding hint and re-check under the mutex
+  /// before recording a partial.
   std::atomic<bool> expired{false};
   /// Physical shards the router picked for this query — the provenance a
   /// complete result is cached with (written once at route time, before
-  /// any waiting; read by the client thread after).
+  /// any task can complete).
   std::vector<ShardId> servedBy;
+  /// Invoked exactly once by deliver().
+  QueryCompletion completion;
+  /// Root-span state for request-scoped tracing (inert when untraced).
+  obs::TraceContext rootCtx;
+  std::uint32_t rootSpanId = 0;
+  std::uint64_t rootStartUs = 0;
+};
+
+/// Timer-heap entry; min-heap by deadline via std::push/pop_heap.
+struct QueryBroker::DeadlineEntry {
+  Clock::time_point when{};
+  std::shared_ptr<PendingQuery> pending;
+  bool operator<(const DeadlineEntry& other) const noexcept {
+    return when > other.when;  // std::*_heap are max-heaps; invert
+  }
 };
 
 struct QueryBroker::MachineStats {
@@ -216,6 +236,7 @@ QueryBroker::QueryBroker(const Instance& instance, std::vector<MachineId> mappin
 
   windowStart_ = Clock::now();
   accepting_.store(true, std::memory_order_release);
+  timerThread_ = std::thread([this] { timerLoop(); });
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t w = 0; w < workersPerMachine_[i]; ++w)
       workers_.emplace_back([this, i] { workerLoop(i); });
@@ -294,23 +315,80 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms) {
 }
 
 QueryResult QueryBroker::execute(const std::vector<TermId>& terms, TenantId tenant) {
+  // Synchronous facade over the async path: park this thread until the
+  // completion fires. The deadline wait the old implementation did on the
+  // caller's condition variable now happens on the timer thread.
+  struct SyncState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    QueryResult result;
+  };
+  auto state = std::make_shared<SyncState>();
+  SubmitOptions options;
+  options.tenant = tenant;
+  submit(terms, options, [state](QueryResult result) {
+    std::lock_guard lock(state->mutex);
+    state->result = std::move(result);
+    state->done = true;
+    state->cv.notify_one();
+  });
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->done; });
+  return std::move(state->result);
+}
+
+/// Records the root "query" span and retires the trace; a no-op when the
+/// query is untraced. Free-standing because every delivery path —
+/// submitting thread, worker, timer — funnels through it.
+namespace {
+void finishQueryTrace(const obs::TraceContext& rootCtx, std::uint32_t rootSpanId,
+                      std::uint64_t rootStartUs, const QueryResult& res) {
+  if (!rootCtx.active()) return;
+  obs::SpanArena& arena = obs::TraceRegistry::global().threadArena();
+  obs::RichSpan root;
+  root.name = "query";
+  root.traceId = rootCtx.traceId;
+  root.spanId = rootSpanId;
+  root.parentSpanId = 0;
+  root.startUs = rootStartUs;
+  root.durUs = obs::Tracer::nowMicros() - rootStartUs;
+  root.tid = arena.tid();
+  root.addArg("cache_hit", res.cacheHit ? 1.0 : 0.0);
+  root.addArg("complete", res.complete ? 1.0 : 0.0);
+  root.addArg("partitions", static_cast<double>(res.partitionsTotal));
+  root.addArg("answered", static_cast<double>(res.partitionsAnswered));
+  arena.record(root);
+  obs::TraceRegistry::global().retire(rootCtx, root.durUs, !res.complete,
+                                      res.complete ? "slow" : "deadline");
+}
+}  // namespace
+
+bool QueryBroker::submit(const std::vector<TermId>& terms,
+                         const SubmitOptions& options, QueryCompletion completion) {
   const auto t0 = Clock::now();
+  const TenantId tenant = options.tenant;
   TenantStats& tstats = *tenantStats_.at(tenant);
+  const std::uint32_t k = options.topK != 0 ? options.topK : config_.topK;
+  const double deadlineSeconds = options.deadlineSeconds < 0.0
+                                     ? config_.deadlineSeconds
+                                     : options.deadlineSeconds;
   QueryResult result;
   result.tenant = tenant;
   result.partitionsTotal = static_cast<std::uint32_t>(partitionCount_);
   if (!accepting_.load(std::memory_order_acquire)) {
     result.cancelled = true;
-    return result;
+    completion(std::move(result));
+    return true;
   }
   RESEX_TRACE_SPAN("serve.query");
   queries_.fetch_add(1, std::memory_order_relaxed);
   tstats.queries.fetch_add(1, std::memory_order_relaxed);
   queriesCounter().add();
 
-  // Request-scoped trace: the root "query" span is recorded manually at
-  // the end so the retire decision (tail sampling) sees the final latency
-  // and degradation outcome in the same breath.
+  // Request-scoped trace: the root "query" span is recorded at delivery so
+  // the retire decision (tail sampling) sees the final latency and
+  // degradation outcome in the same breath.
   obs::TraceContext rootCtx;
   std::uint32_t rootSpanId = 0;
   std::uint64_t rootStartUs = 0;
@@ -322,27 +400,8 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms, TenantId tena
       rootCtx = trace.child(rootSpanId);
     }
   }
-  const auto finishTrace = [&](const QueryResult& res) {
-    if (!rootCtx.active()) return;
-    obs::SpanArena& arena = obs::TraceRegistry::global().threadArena();
-    obs::RichSpan root;
-    root.name = "query";
-    root.traceId = rootCtx.traceId;
-    root.spanId = rootSpanId;
-    root.parentSpanId = 0;
-    root.startUs = rootStartUs;
-    root.durUs = obs::Tracer::nowMicros() - rootStartUs;
-    root.tid = arena.tid();
-    root.addArg("cache_hit", res.cacheHit ? 1.0 : 0.0);
-    root.addArg("complete", res.complete ? 1.0 : 0.0);
-    root.addArg("partitions", static_cast<double>(res.partitionsTotal));
-    root.addArg("answered", static_cast<double>(res.partitionsAnswered));
-    arena.record(root);
-    obs::TraceRegistry::global().retire(rootCtx, root.durUs, !res.complete,
-                                        res.complete ? "slow" : "deadline");
-  };
 
-  const ResultKey key{terms, config_.topK};
+  const ResultKey key{terms, k};
   if (cache_.get(key, result.docs)) {
     result.complete = true;
     result.cacheHit = true;
@@ -364,21 +423,28 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms, TenantId tena
       }
       tenantSlos_[tenant]->record(result.latencySeconds, false);
     }
-    finishTrace(result);
-    return result;
+    finishQueryTrace(rootCtx, rootSpanId, rootStartUs, result);
+    completion(std::move(result));
+    return true;
   }
 
   auto pending = std::make_shared<PendingQuery>();
   pending->terms = terms;
-  pending->k = config_.topK;
-  pending->hasDeadline = config_.deadlineSeconds > 0.0;
+  pending->k = k;
+  pending->tenant = tenant;
+  pending->t0 = t0;
+  pending->hasDeadline = deadlineSeconds > 0.0;
   if (pending->hasDeadline)
     pending->deadline =
         t0 + std::chrono::duration_cast<Clock::duration>(
-                 std::chrono::duration<double>(config_.deadlineSeconds));
+                 std::chrono::duration<double>(deadlineSeconds));
   pending->partials.resize(partitionCount_);
   pending->remaining = partitionCount_;
   pending->servedBy.reserve(partitionCount_);
+  pending->completion = std::move(completion);
+  pending->rootCtx = rootCtx;
+  pending->rootSpanId = rootSpanId;
+  pending->rootStartUs = rootStartUs;
 
   // Route and enqueue one task per partition. In tenant mode routing *is*
   // token admission: the query acquires one execution-slot token per
@@ -429,9 +495,12 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms, TenantId tena
           task.depthAtDispatch = static_cast<std::uint32_t>(depthAtPick);
         }
         const bool ok =
-            pending->hasDeadline
-                ? queues_[mach]->pushUntil(std::move(task), tenant, pending->deadline)
-                : queues_[mach]->push(std::move(task), tenant);
+            !options.waitForQueue
+                ? queues_[mach]->tryPush(std::move(task), tenant)
+                : (pending->hasDeadline
+                       ? queues_[mach]->pushUntil(std::move(task), tenant,
+                                                  pending->deadline)
+                       : queues_[mach]->push(std::move(task), tenant));
         if (!ok) {
           ++missedPushes;
           // The task never reached a worker, so its token returns here.
@@ -457,41 +526,54 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms, TenantId tena
         .fetch_add(1, std::memory_order_relaxed);
     rejectedCounter().add();
     tenantSlos_[tenant]->record(result.latencySeconds, true);
-    finishTrace(result);
-    return result;
+    finishQueryTrace(rootCtx, rootSpanId, rootStartUs, result);
+    pending->completion(std::move(result));
+    return true;
   }
+
+  bool alreadyDone = false;
   if (missedPushes > 0) {
     std::lock_guard lock(pending->mutex);
     pending->remaining -= missedPushes;
-    if (pending->remaining == 0) pending->cv.notify_all();
+    alreadyDone = pending->remaining == 0;
   }
+  if (alreadyDone) {
+    // Every push failed (shutdown race or total backpressure): nothing is
+    // in flight, deliver the empty degraded result right here.
+    deliver(pending, /*viaTimer=*/false);
+  } else if (pending->hasDeadline) {
+    armDeadline(pending);
+  }
+  return missedPushes == 0;
+}
 
+void QueryBroker::deliver(const std::shared_ptr<PendingQuery>& pending,
+                          bool viaTimer) {
+  QueryResult result;
+  result.tenant = pending->tenant;
+  result.partitionsTotal = static_cast<std::uint32_t>(partitionCount_);
   {
-    std::unique_lock lock(pending->mutex);
-    const auto done = [&] { return pending->remaining == 0; };
-    if (pending->hasDeadline) {
-      if (!pending->cv.wait_until(lock, pending->deadline, done))
-        pending->expired.store(true, std::memory_order_relaxed);
-    } else {
-      pending->cv.wait(lock, done);
-    }
+    std::lock_guard lock(pending->mutex);
+    if (pending->delivered) return;
+    pending->delivered = true;
+    if (viaTimer) pending->expired.store(true, std::memory_order_relaxed);
     result.partitionsAnswered = pending->answered;
     result.complete = pending->answered == partitionCount_;
-    {
-      obs::ScopedSpan mergeSpan(rootCtx, "query.merge");
-      result.docs = mergeTopK(pending->partials, config_.topK);
-      if (mergeSpan.active())
-        mergeSpan.arg("answered", static_cast<double>(result.partitionsAnswered));
-    }
+    obs::ScopedSpan mergeSpan(pending->rootCtx, "query.merge");
+    result.docs = mergeTopK(pending->partials, pending->k);
+    if (mergeSpan.active())
+      mergeSpan.arg("answered", static_cast<double>(result.partitionsAnswered));
   }
 
-  result.latencySeconds = secondsBetween(t0, Clock::now());
+  result.latencySeconds = secondsBetween(pending->t0, Clock::now());
+  TenantStats& tstats = *tenantStats_[pending->tenant];
   if (!result.complete) {
     expiredQueries_.fetch_add(1, std::memory_order_relaxed);
     tstats.expiredQueries.fetch_add(1, std::memory_order_relaxed);
     expiredCounter().add();
   } else {
-    cache_.put(key, result.docs, pending->servedBy);
+    cache_.put(ResultKey{pending->terms, pending->k}, result.docs,
+               pending->servedBy);
   }
   {
     std::lock_guard lock(latencyMutex_);
@@ -504,10 +586,46 @@ QueryResult QueryBroker::execute(const std::vector<TermId>& terms, TenantId tena
       std::lock_guard lock(tstats.mutex);
       tstats.latency.add(result.latencySeconds);
     }
-    tenantSlos_[tenant]->record(result.latencySeconds, !result.complete);
+    tenantSlos_[pending->tenant]->record(result.latencySeconds, !result.complete);
   }
-  finishTrace(result);
-  return result;
+  finishQueryTrace(pending->rootCtx, pending->rootSpanId, pending->rootStartUs,
+                   result);
+  // The completion runs outside every broker lock; it may re-enter the
+  // broker (a pipelined client submitting its next query inline).
+  QueryCompletion completion = std::move(pending->completion);
+  completion(std::move(result));
+}
+
+void QueryBroker::armDeadline(std::shared_ptr<PendingQuery> pending) {
+  {
+    std::lock_guard lock(timerMutex_);
+    timerHeap_.push_back(DeadlineEntry{pending->deadline, std::move(pending)});
+    std::push_heap(timerHeap_.begin(), timerHeap_.end());
+  }
+  timerCv_.notify_one();
+}
+
+void QueryBroker::timerLoop() {
+  std::unique_lock lock(timerMutex_);
+  while (!timerStop_) {
+    if (timerHeap_.empty()) {
+      timerCv_.wait(lock, [this] { return timerStop_ || !timerHeap_.empty(); });
+      continue;
+    }
+    const Clock::time_point due = timerHeap_.front().when;
+    if (Clock::now() < due) {
+      // Woken early by a new (possibly earlier) deadline or stop; loop
+      // re-evaluates the heap top either way.
+      timerCv_.wait_until(lock, due);
+      continue;
+    }
+    std::pop_heap(timerHeap_.begin(), timerHeap_.end());
+    std::shared_ptr<PendingQuery> pending = std::move(timerHeap_.back().pending);
+    timerHeap_.pop_back();
+    lock.unlock();
+    deliver(pending, /*viaTimer=*/true);
+    lock.lock();
+  }
 }
 
 void QueryBroker::workerLoop(std::size_t machine) {
@@ -630,15 +748,21 @@ void QueryBroker::workerLoop(std::size_t machine) {
       ++stats.tasks;
       stats.busySeconds += busy;
     }
+    bool finished = false;
     {
       std::lock_guard lock(pending.mutex);
-      if (run && !pending.expired.load(std::memory_order_relaxed)) {
+      if (run && !pending.expired.load(std::memory_order_relaxed) &&
+          !pending.delivered) {
         pending.partials[task.partition] = std::move(partial);
         ++pending.answered;
       }
       if (pending.remaining > 0) --pending.remaining;
-      if (pending.remaining == 0) pending.cv.notify_all();
+      finished = pending.remaining == 0 && !pending.delivered;
     }
+    // The worker that answers (or sheds) the last partition delivers the
+    // merged result; deliver() re-checks the delivered flag, so racing
+    // the deadline timer is benign.
+    if (finished) deliver(task.pending, /*viaTimer=*/false);
   }
 }
 
@@ -849,8 +973,18 @@ std::string QueryBroker::tenantsJson() const {
 void QueryBroker::shutdown() {
   accepting_.store(false, std::memory_order_release);
   std::call_once(shutdownOnce_, [this] {
+    // Drain order matters for exactly-once delivery: queues reject new
+    // work but workers pop everything already accepted, so every pending
+    // query's remaining-count reaches zero and delivers. Only then does
+    // the timer stop — its leftover entries are all delivered no-ops.
     for (const auto& queue : queues_) queue->close();
     for (std::thread& worker : workers_) worker.join();
+    {
+      std::lock_guard lock(timerMutex_);
+      timerStop_ = true;
+    }
+    timerCv_.notify_all();
+    if (timerThread_.joinable()) timerThread_.join();
   });
 }
 

@@ -36,7 +36,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -201,6 +203,29 @@ struct ObservedLoad {
   }
 };
 
+/// Per-call overrides for submit(). Defaults reproduce execute()'s
+/// behavior exactly (config-driven top-k and deadline, blocking pushes).
+struct SubmitOptions {
+  TenantId tenant = 0;
+  /// 0 = ServeConfig::topK.
+  std::uint32_t topK = 0;
+  /// < 0 = ServeConfig::deadlineSeconds; 0 = no deadline; > 0 = override.
+  double deadlineSeconds = -1.0;
+  /// When false the submit path never blocks: partition tasks are
+  /// enqueued with tryPush and a full queue counts the partition as
+  /// missed (degraded result) instead of waiting for a slot. This is the
+  /// transport-thread contract — an event loop cannot sleep on
+  /// backpressure; it propagates the false return to the socket instead.
+  bool waitForQueue = true;
+};
+
+/// Invoked exactly once per submit() with the query's final result — on
+/// the submitting thread (cache hit, admission reject, cancelled, every
+/// push missed), a worker thread (last partition answered), or the
+/// deadline timer thread (expiry with partials). Must not block for
+/// long: it runs inside serving threads.
+using QueryCompletion = std::function<void(QueryResult)>;
+
 class QueryBroker {
  public:
   /// Serves `index` (one entry per logical partition) on the cluster
@@ -235,7 +260,21 @@ class QueryBroker {
   /// admission — a rejection returns immediately with result.rejected set —
   /// and its tasks are dispatched in fair-share order against the tenant's
   /// weight. Throws std::out_of_range on an unknown tenant id.
+  /// Implemented as submit() + wait, so sync and async callers share one
+  /// code path.
   QueryResult execute(const std::vector<TermId>& terms, TenantId tenant);
+
+  /// Asynchronous serve: no thread blocks per in-flight query. The
+  /// completion is invoked exactly once on every path — cache hit,
+  /// admission reject, shutdown-cancelled, push failure, deadline expiry
+  /// (partial result via the timer thread), and normal completion (the
+  /// worker answering the last partition delivers). Returns false when
+  /// at least one partition task could not be enqueued (queue full /
+  /// timed out) — the scheduling layer's backpressure signal to the
+  /// transport; the completion still fires with the degraded result.
+  /// Throws std::out_of_range on an unknown tenant id.
+  bool submit(const std::vector<TermId>& terms, const SubmitOptions& options,
+              QueryCompletion completion);
 
   /// Atomically swaps the shard -> machine mapping (a rebalance landing)
   /// and invalidates the result-cache entries served by the shards whose
@@ -320,6 +359,15 @@ class QueryBroker {
   struct TenantStats;
 
   void workerLoop(std::size_t machine);
+  /// Merges partials, accounts the outcome (cache/latency/SLO/trace), and
+  /// invokes the completion — exactly once per query, guarded by
+  /// PendingQuery::delivered. `viaTimer` marks a deadline expiry (the
+  /// query is flagged expired so still-queued tasks shed).
+  void deliver(const std::shared_ptr<PendingQuery>& pending, bool viaTimer);
+  /// Registers a pending query with the deadline timer thread, which
+  /// delivers the partial result at expiry if no worker finished it first.
+  void armDeadline(std::shared_ptr<PendingQuery> pending);
+  void timerLoop();
   void rebuildHosts(const std::vector<MachineId>& mapping);
   /// Shared body of take/peekObservedLoad: reads the window, and when
   /// `resetWindow` also zeroes the accumulators and restarts it.
@@ -380,6 +428,16 @@ class QueryBroker {
   /// Registered SLO window when config.sloClass is set (global registry
   /// reference, valid forever).
   obs::SloWindow* slo_ = nullptr;
+
+  // Deadline timer: a min-heap of armed pending queries serviced by one
+  // thread. Entries hold shared_ptrs; delivering early makes the timer's
+  // later attempt a no-op (the delivered flag wins).
+  struct DeadlineEntry;
+  std::mutex timerMutex_;
+  std::condition_variable timerCv_;
+  std::vector<DeadlineEntry> timerHeap_;
+  bool timerStop_ = false;
+  std::thread timerThread_;
 
   std::atomic<bool> accepting_{false};
   std::once_flag shutdownOnce_;

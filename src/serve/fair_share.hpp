@@ -109,6 +109,19 @@ class FairShareQueue {
     return true;
   }
 
+  /// Non-blocking push: fails immediately when full or closed. This is
+  /// the event-loop submit path — a transport thread must never sleep on
+  /// a queue slot; a false return becomes read-side backpressure.
+  bool tryPush(T item, TenantId tenant) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || size_ >= capacity_) return false;
+      enqueueLocked(std::move(item), tenant);
+    }
+    notEmpty_.notify_one();
+    return true;
+  }
+
   /// Like push but gives up at `deadline`; returns false on timeout or
   /// close. An already-expired deadline is rejected up front even with
   /// room — enqueueing work the worker is guaranteed to shed would burn a

@@ -1,0 +1,301 @@
+// Frame codec under friendly and hostile input: round trips must be
+// bit-exact (scores travel as IEEE-754 bit patterns) and no byte stream —
+// truncated, oversized, overclaiming, or random — may ever crash,
+// over-read, or allocate from an unvalidated length. Run under
+// ASan/UBSan in CI (label `net`), where any over-read is fatal.
+
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace resex::net {
+namespace {
+
+QueryRequest sampleQuery() {
+  QueryRequest query;
+  query.tenant = 3;
+  query.topK = 25;
+  query.deadlineMicros = 1500;
+  query.terms = {7, 0, 4096, 19};
+  return query;
+}
+
+QueryResponse sampleResponse() {
+  QueryResponse response;
+  response.complete = true;
+  response.cacheHit = true;
+  response.partitionsAnswered = 3;
+  response.partitionsTotal = 4;
+  response.docs.push_back(ScoredDoc{41, 0.1 + 0.2});  // not exactly 0.3
+  response.docs.push_back(ScoredDoc{7, -1.5e-300});
+  response.docs.push_back(ScoredDoc{0, 0.0});
+  return response;
+}
+
+/// Feeds `bytes` and expects exactly one frame out.
+ParsedFrame feedOne(FrameReader& reader, const std::string& bytes) {
+  reader.feed(bytes.data(), bytes.size());
+  const auto frame = reader.next();
+  EXPECT_TRUE(frame.has_value());
+  return frame.value_or(ParsedFrame{});
+}
+
+/// A raw frame with an arbitrary (possibly lying) length prefix.
+std::string rawFrame(std::uint32_t payloadLen, std::uint8_t type,
+                     std::uint64_t requestId, const std::string& body) {
+  std::string out;
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((payloadLen >> (8 * i)) & 0xff));
+  out.push_back(static_cast<char>(type));
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((requestId >> (8 * i)) & 0xff));
+  out += body;
+  return out;
+}
+
+TEST(FrameCodec, QueryRoundTripsExactly) {
+  const QueryRequest query = sampleQuery();
+  std::string wire;
+  encodeQueryFrame(77, query, wire);
+  FrameReader reader;
+  const ParsedFrame frame = feedOne(reader, wire);
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_EQ(frame.requestId, 77u);
+  const auto decoded = decodeQueryBody(frame.body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tenant, query.tenant);
+  EXPECT_EQ(decoded->topK, query.topK);
+  EXPECT_EQ(decoded->deadlineMicros, query.deadlineMicros);
+  EXPECT_EQ(decoded->terms, query.terms);
+}
+
+TEST(FrameCodec, ResultRoundTripIsBitExact) {
+  const QueryResponse response = sampleResponse();
+  std::string wire;
+  encodeResultFrame(0xdeadbeefcafeULL, response, wire);
+  FrameReader reader;
+  const ParsedFrame frame = feedOne(reader, wire);
+  EXPECT_EQ(frame.type, FrameType::kResult);
+  EXPECT_EQ(frame.requestId, 0xdeadbeefcafeULL);
+  const auto decoded = decodeResultBody(frame.body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->complete, response.complete);
+  EXPECT_EQ(decoded->cacheHit, response.cacheHit);
+  EXPECT_EQ(decoded->rejected, response.rejected);
+  EXPECT_EQ(decoded->cancelled, response.cancelled);
+  EXPECT_EQ(decoded->partitionsAnswered, response.partitionsAnswered);
+  EXPECT_EQ(decoded->partitionsTotal, response.partitionsTotal);
+  ASSERT_EQ(decoded->docs.size(), response.docs.size());
+  for (std::size_t i = 0; i < response.docs.size(); ++i) {
+    EXPECT_EQ(decoded->docs[i].doc, response.docs[i].doc);
+    // Bit comparison, not ==: distinguishes -0.0, survives NaN.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->docs[i].score),
+              std::bit_cast<std::uint64_t>(response.docs[i].score));
+  }
+}
+
+TEST(FrameCodec, ErrorRoundTrips) {
+  std::string wire;
+  encodeErrorFrame(9, ErrorCode::kBadRequest, "unknown tenant 12", wire);
+  FrameReader reader;
+  const ParsedFrame frame = feedOne(reader, wire);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  const auto decoded = decodeErrorBody(frame.body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->code, ErrorCode::kBadRequest);
+  EXPECT_EQ(decoded->message, "unknown tenant 12");
+}
+
+TEST(FrameReaderTest, ByteAtATimeFeedRecoversEveryFrame) {
+  std::string wire;
+  encodeQueryFrame(1, sampleQuery(), wire);
+  encodeResultFrame(2, sampleResponse(), wire);
+  encodeErrorFrame(3, ErrorCode::kShuttingDown, "bye", wire);
+  FrameReader reader;
+  std::vector<std::uint64_t> ids;
+  for (const char byte : wire) {
+    reader.feed(&byte, 1);
+    while (const auto frame = reader.next()) ids.push_back(frame->requestId);
+  }
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_FALSE(reader.poisoned());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, TruncationAtEveryBoundaryNeverYieldsAFrame) {
+  std::string wire;
+  encodeQueryFrame(42, sampleQuery(), wire);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameReader reader;
+    reader.feed(wire.data(), cut);
+    EXPECT_FALSE(reader.next().has_value()) << "cut at " << cut;
+    EXPECT_FALSE(reader.poisoned()) << "cut at " << cut;
+    // The remainder completes the frame — truncation was starvation, not
+    // corruption.
+    reader.feed(wire.data() + cut, wire.size() - cut);
+    EXPECT_TRUE(reader.next().has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(FrameReaderTest, LengthNearMaxPoisonsWithoutAllocating) {
+  for (const std::uint32_t evil :
+       {std::numeric_limits<std::uint32_t>::max(),
+        std::numeric_limits<std::uint32_t>::max() - 1, (1u << 20) + 10u}) {
+    FrameReader reader;  // default cap: 1 MiB payload
+    const std::string wire = rawFrame(evil, 0x01, 1, "xxxx");
+    reader.feed(wire.data(), wire.size());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.poisoned()) << "length " << evil;
+    // Poisoned is terminal: even a valid follow-up frame is refused.
+    std::string good;
+    encodeQueryFrame(2, sampleQuery(), good);
+    reader.feed(good.data(), good.size());
+    EXPECT_FALSE(reader.next().has_value());
+  }
+}
+
+TEST(FrameReaderTest, UndersizedLengthPoisons) {
+  // A payload below 9 bytes cannot even hold type + requestId.
+  for (const std::uint32_t evil : {0u, 1u, 8u}) {
+    FrameReader reader;
+    const std::string wire = rawFrame(evil, 0x01, 1, std::string(16, 'x'));
+    reader.feed(wire.data(), wire.size());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.poisoned()) << "length " << evil;
+  }
+}
+
+TEST(FrameDecode, TermCountOverclaimIsRejected) {
+  std::string wire;
+  encodeQueryFrame(5, sampleQuery(), wire);
+  FrameReader reader;
+  ParsedFrame frame = feedOne(reader, wire);
+  // The term-count field lives 12 bytes into the body; inflate it so it
+  // claims more terms than the payload carries.
+  std::vector<std::uint8_t> body(frame.body.begin(), frame.body.end());
+  body[12] = 0xff;
+  body[13] = 0xff;
+  EXPECT_FALSE(decodeQueryBody(body).has_value());
+}
+
+TEST(FrameDecode, DocCountOverclaimIsRejected) {
+  std::string wire;
+  encodeResultFrame(5, sampleResponse(), wire);
+  FrameReader reader;
+  ParsedFrame frame = feedOne(reader, wire);
+  std::vector<std::uint8_t> body(frame.body.begin(), frame.body.end());
+  body[9] = 0xff;  // docCount lives 9 bytes in (flags + 2x u32)
+  body[10] = 0xff;
+  EXPECT_FALSE(decodeResultBody(body).has_value());
+}
+
+TEST(FrameDecode, TrailingBytesAreRejected) {
+  std::string query, result;
+  encodeQueryFrame(5, sampleQuery(), query);
+  encodeResultFrame(5, sampleResponse(), result);
+  for (const std::string& wire : {query, result}) {
+    FrameReader reader;
+    const ParsedFrame frame = feedOne(reader, wire);
+    std::vector<std::uint8_t> body(frame.body.begin(), frame.body.end());
+    body.push_back(0x00);
+    if (frame.type == FrameType::kQuery)
+      EXPECT_FALSE(decodeQueryBody(body).has_value());
+    else
+      EXPECT_FALSE(decodeResultBody(body).has_value());
+  }
+}
+
+TEST(FrameDecode, TermLimitIsEnforced) {
+  QueryRequest query;
+  query.terms.assign(17, 1);
+  std::string wire;
+  encodeQueryFrame(1, query, wire);
+  FrameReader reader;
+  const ParsedFrame frame = feedOne(reader, wire);
+  FrameLimits tight;
+  tight.maxTerms = 16;
+  EXPECT_FALSE(decodeQueryBody(frame.body, tight).has_value());
+  EXPECT_TRUE(decodeQueryBody(frame.body).has_value());
+}
+
+TEST(FrameDecode, EmptyBodiesAreRejected) {
+  EXPECT_FALSE(decodeQueryBody({}).has_value());
+  EXPECT_FALSE(decodeResultBody({}).has_value());
+  EXPECT_FALSE(decodeErrorBody({}).has_value());
+}
+
+TEST(FrameFuzz, RandomGarbageNeverCrashes) {
+  // Pure noise: every frame the reader does yield must then survive every
+  // decoder without crashing (ASan/UBSan verify the "without over-reading"
+  // half). Poisoning is the expected common outcome.
+  std::mt19937_64 rng(0xfeedULL);
+  for (int round = 0; round < 200; ++round) {
+    FrameReader reader;
+    std::string chunk(1 + rng() % 512, '\0');
+    for (int feeds = 0; feeds < 8 && !reader.poisoned(); ++feeds) {
+      for (char& byte : chunk) byte = static_cast<char>(rng());
+      reader.feed(chunk.data(), chunk.size());
+      while (const auto frame = reader.next()) {
+        decodeQueryBody(frame->body);
+        decodeResultBody(frame->body);
+        decodeErrorBody(frame->body);
+      }
+    }
+  }
+}
+
+TEST(FrameFuzz, BitFlippedValidStreamsNeverCrash) {
+  // Start from a valid multi-frame stream and flip one byte at a time:
+  // closer to the codec's parse surface than pure noise.
+  std::string wire;
+  encodeQueryFrame(1, sampleQuery(), wire);
+  encodeResultFrame(2, sampleResponse(), wire);
+  encodeErrorFrame(3, ErrorCode::kBadFrame, "x", wire);
+  std::mt19937_64 rng(0x5eedULL);
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = wire;
+    mutated[rng() % mutated.size()] = static_cast<char>(rng());
+    FrameReader reader;
+    reader.feed(mutated.data(), mutated.size());
+    while (const auto frame = reader.next()) {
+      decodeQueryBody(frame->body);
+      decodeResultBody(frame->body);
+      decodeErrorBody(frame->body);
+    }
+  }
+}
+
+TEST(FrameFuzz, RandomSplitPointsPreserveFrames) {
+  // A valid stream must decode identically no matter how the transport
+  // fragments it.
+  std::string wire;
+  for (std::uint64_t id = 1; id <= 20; ++id)
+    encodeQueryFrame(id, sampleQuery(), wire);
+  std::mt19937_64 rng(0xabcULL);
+  for (int round = 0; round < 50; ++round) {
+    FrameReader reader;
+    std::uint64_t seen = 0;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t n =
+          std::min(wire.size() - pos, static_cast<std::size_t>(1 + rng() % 64));
+      reader.feed(wire.data() + pos, n);
+      pos += n;
+      while (const auto frame = reader.next()) {
+        EXPECT_EQ(frame->requestId, ++seen);
+        EXPECT_TRUE(decodeQueryBody(frame->body).has_value());
+      }
+    }
+    EXPECT_EQ(seen, 20u);
+  }
+}
+
+}  // namespace
+}  // namespace resex::net

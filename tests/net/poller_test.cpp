@@ -1,0 +1,103 @@
+// Poller backends (epoll and forced-poll) must agree on observable
+// behavior: level-triggered readiness, interest updates, and cross-thread
+// wake delivery.
+
+#include "net/poller.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+namespace resex::net {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+};
+
+bool sawFd(const std::vector<PollEvent>& events, int fd, std::uint32_t mask) {
+  for (const PollEvent& event : events)
+    if (event.fd == fd && (event.events & mask)) return true;
+  return false;
+}
+
+class PollerBackends : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PollerBackends, ReportsReadableWhenDataArrives) {
+  Poller poller(/*forcePollBackend=*/GetParam());
+  if (GetParam()) {
+    EXPECT_FALSE(poller.usingEpoll());
+  }
+  Pipe pipe;
+  poller.add(pipe.fds[0], kReadable);
+  std::vector<PollEvent> events;
+  poller.wait(events, /*timeoutMs=*/0);
+  EXPECT_FALSE(sawFd(events, pipe.fds[0], kReadable));
+  ASSERT_EQ(::write(pipe.fds[1], "x", 1), 1);
+  poller.wait(events, /*timeoutMs=*/1000);
+  EXPECT_TRUE(sawFd(events, pipe.fds[0], kReadable));
+  // Level-triggered: unconsumed data stays ready.
+  poller.wait(events, /*timeoutMs=*/1000);
+  EXPECT_TRUE(sawFd(events, pipe.fds[0], kReadable));
+}
+
+TEST_P(PollerBackends, ModAndRemoveChangeInterest) {
+  Poller poller(GetParam());
+  Pipe pipe;
+  ASSERT_EQ(::write(pipe.fds[1], "x", 1), 1);
+  poller.add(pipe.fds[0], kReadable);
+  // The write end of a pipe with buffer space is immediately writable.
+  poller.add(pipe.fds[1], kWritable);
+  std::vector<PollEvent> events;
+  poller.wait(events, 1000);
+  EXPECT_TRUE(sawFd(events, pipe.fds[0], kReadable));
+  EXPECT_TRUE(sawFd(events, pipe.fds[1], kWritable));
+
+  poller.mod(pipe.fds[0], 0);  // still registered, no interest
+  poller.remove(pipe.fds[1]);
+  poller.wait(events, 0);
+  EXPECT_FALSE(sawFd(events, pipe.fds[0], kReadable));
+  EXPECT_FALSE(sawFd(events, pipe.fds[1], kWritable));
+
+  poller.mod(pipe.fds[0], kReadable);
+  poller.wait(events, 1000);
+  EXPECT_TRUE(sawFd(events, pipe.fds[0], kReadable));
+}
+
+TEST_P(PollerBackends, WakeInterruptsBlockingWait) {
+  Poller poller(GetParam());
+  std::thread waker([&poller] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    poller.wake();
+  });
+  std::vector<PollEvent> events;
+  poller.wait(events, /*timeoutMs=*/-1);  // would hang without the wake
+  waker.join();
+  EXPECT_TRUE(sawFd(events, poller.wakeFd(), kReadable));
+}
+
+TEST_P(PollerBackends, WakesCoalesceAndDrain) {
+  Poller poller(GetParam());
+  for (int i = 0; i < 10; ++i) poller.wake();
+  std::vector<PollEvent> events;
+  poller.wait(events, 100);
+  EXPECT_TRUE(sawFd(events, poller.wakeFd(), kReadable));
+  // wait() drains the pipe: with no new wake the next wait times out.
+  poller.wait(events, 0);
+  EXPECT_FALSE(sawFd(events, poller.wakeFd(), kReadable));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerBackends, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "ForcedPoll" : "Native";
+                         });
+
+}  // namespace
+}  // namespace resex::net

@@ -1,0 +1,432 @@
+// net::Server end to end over real loopback sockets: pipelining,
+// out-of-order completion, read-side backpressure, typed protocol-error
+// handling, and survival of every kind of hostile or dying client. The
+// handler here is a stub (no broker) so the transport is tested alone;
+// SearchService wiring is covered by the serve suite and net_bench.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+
+namespace resex::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Echo-style handler: doc id = first term, score = term * 1.5.
+bool echoHandler(QueryRequest&& request,
+                 const std::shared_ptr<ResponseTicket>& ticket) {
+  QueryResponse response;
+  response.complete = true;
+  response.partitionsAnswered = response.partitionsTotal = 1;
+  if (!request.terms.empty())
+    response.docs.push_back(
+        ScoredDoc{request.terms[0], 1.5 * request.terms[0]});
+  ticket->respond(std::move(response));
+  return true;
+}
+
+QueryRequest queryOf(TermId term) {
+  QueryRequest request;
+  request.terms = {term};
+  return request;
+}
+
+/// Blocking raw-socket client for hostile byte streams.
+struct RawConn {
+  int fd = -1;
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  }
+  ~RawConn() { close(); }
+  void close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  void sendAll(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  /// Reads until the peer closes; returns everything received.
+  std::string recvUntilClosed() {
+    std::string all;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      all.append(buf, static_cast<std::size_t>(n));
+    }
+    return all;
+  }
+};
+
+ServerConfig baseConfig() {
+  ServerConfig config;
+  config.port = 0;
+  return config;
+}
+
+class ServerBackends : public ::testing::TestWithParam<bool> {
+ protected:
+  ServerConfig config() {
+    ServerConfig c = baseConfig();
+    c.forcePollBackend = GetParam();
+    return c;
+  }
+};
+
+TEST_P(ServerBackends, AnswersPipelinedRequestsByRequestId) {
+  Server server(config(), echoHandler);
+  server.start();
+  Client client("127.0.0.1", server.port());
+  client.connect();
+  constexpr std::uint64_t kCount = 200;
+  for (TermId t = 1; t <= kCount; ++t) client.send(queryOf(t));
+  std::vector<Reply> replies;
+  std::uint64_t seen = 0;
+  while (seen < kCount) {
+    ASSERT_TRUE(client.wait(replies, 5000));
+    for (const Reply& reply : replies) {
+      ASSERT_EQ(reply.type, FrameType::kResult);
+      ASSERT_EQ(reply.response.docs.size(), 1u);
+      // requestId i carried term i (send order), so the echo proves the
+      // response was matched to the right request.
+      EXPECT_EQ(reply.response.docs[0].doc, reply.requestId);
+      ++seen;
+    }
+    replies.clear();
+  }
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.framesReceived, kCount);
+  EXPECT_EQ(stats.responsesSent, kCount);
+  EXPECT_EQ(stats.protocolErrors, 0u);
+}
+
+TEST_P(ServerBackends, DeliversResponsesCompletedOutOfOrder) {
+  // Tickets are parked and completed in reverse order from a foreign
+  // thread: responses must still reach the right requests.
+  std::mutex mutex;
+  std::vector<std::pair<std::uint32_t, std::shared_ptr<ResponseTicket>>> parked;
+  std::condition_variable cv;
+  Server server(config(), [&](QueryRequest&& request,
+                              const std::shared_ptr<ResponseTicket>& ticket) {
+    std::lock_guard lock(mutex);
+    parked.emplace_back(request.terms.at(0), ticket);
+    cv.notify_all();
+    return true;
+  });
+  server.start();
+  Client client("127.0.0.1", server.port());
+  client.connect();
+  for (TermId t = 1; t <= 8; ++t) client.send(queryOf(t));
+  client.flush();
+  std::thread completer([&] {
+    std::unique_lock lock(mutex);
+    cv.wait_for(lock, 5s, [&] { return parked.size() == 8; });
+    ASSERT_EQ(parked.size(), 8u);
+    for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
+      QueryResponse response;
+      response.complete = true;
+      response.docs.push_back(ScoredDoc{it->first, 2.0 * it->first});
+      it->second->respond(std::move(response));
+    }
+  });
+  std::vector<Reply> replies;
+  while (replies.size() < 8) ASSERT_TRUE(client.wait(replies, 5000));
+  completer.join();
+  for (const Reply& reply : replies)
+    EXPECT_EQ(reply.response.docs.at(0).doc, reply.requestId);
+  server.stop();
+}
+
+TEST_P(ServerBackends, OversizedLengthGetsErrorFrameThenClose) {
+  Server server(config(), echoHandler);
+  server.start();
+  RawConn conn(server.port());
+  std::string evil = "\xff\xff\xff\xff";  // 4 GiB payload claim
+  evil += std::string(32, 'A');
+  conn.sendAll(evil);
+  const std::string answer = conn.recvUntilClosed();  // close proves recv ends
+  FrameReader reader;
+  reader.feed(answer.data(), answer.size());
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kError);
+  const auto error = decodeErrorBody(frame->body);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, ErrorCode::kBadFrame);
+  server.stop();
+  EXPECT_GE(server.stats().protocolErrors, 1u);
+}
+
+TEST_P(ServerBackends, UnknownFrameTypeGetsErrorFrameThenClose) {
+  Server server(config(), echoHandler);
+  server.start();
+  RawConn conn(server.port());
+  // Well-formed frame, type 0x7f which the server does not serve.
+  std::string body = "\x7f";
+  body += std::string(8, '\0');  // requestId 0
+  std::string evil;
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i)
+    evil.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  evil += body;
+  conn.sendAll(evil);
+  const std::string answer = conn.recvUntilClosed();
+  FrameReader reader;
+  reader.feed(answer.data(), answer.size());
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kError);
+  EXPECT_EQ(decodeErrorBody(frame->body)->code, ErrorCode::kUnknownType);
+  server.stop();
+}
+
+TEST_P(ServerBackends, UndecodableQueryBodyGetsErrorFrame) {
+  Server server(config(), echoHandler);
+  server.start();
+  RawConn conn(server.port());
+  // Type kQuery but a body that is one byte of junk.
+  std::string payload = "\x01";
+  payload += std::string(8, '\0');
+  payload += "Z";
+  std::string evil;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    evil.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  evil += payload;
+  conn.sendAll(evil);
+  const std::string answer = conn.recvUntilClosed();
+  FrameReader reader;
+  reader.feed(answer.data(), answer.size());
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(decodeErrorBody(frame->body)->code, ErrorCode::kBadFrame);
+  server.stop();
+}
+
+TEST_P(ServerBackends, MidFrameDisconnectIsSurvived) {
+  Server server(config(), echoHandler);
+  server.start();
+  {
+    std::string wire;
+    encodeQueryFrame(1, queryOf(9), wire);
+    RawConn conn(server.port());
+    conn.sendAll(wire.substr(0, wire.size() / 2));
+    std::this_thread::sleep_for(20ms);
+  }  // dtor closes mid-frame
+  // The server must still be perfectly healthy for the next client.
+  Client client("127.0.0.1", server.port());
+  client.connect();
+  const QueryResponse response = client.call(queryOf(5), 5000);
+  ASSERT_EQ(response.docs.size(), 1u);
+  EXPECT_EQ(response.docs[0].doc, 5u);
+  server.stop();
+  EXPECT_EQ(server.stats().connectionsClosed, server.stats().connectionsAccepted);
+}
+
+TEST_P(ServerBackends, InterleavedPartialWritesAcrossManyConnections) {
+  Server server(config(), echoHandler);
+  server.start();
+  // Two raw connections dribble their frames alternately, a byte or two
+  // at a time; both must decode and answer correctly.
+  RawConn a(server.port()), b(server.port());
+  std::string wireA, wireB;
+  encodeQueryFrame(1, queryOf(100), wireA);
+  encodeQueryFrame(1, queryOf(200), wireB);
+  std::size_t posA = 0, posB = 0;
+  while (posA < wireA.size() || posB < wireB.size()) {
+    if (posA < wireA.size()) {
+      a.sendAll(wireA.substr(posA, 2));
+      posA += 2;
+    }
+    if (posB < wireB.size()) {
+      b.sendAll(wireB.substr(posB, 1));
+      posB += 1;
+    }
+  }
+  auto readOne = [](RawConn& conn) -> std::uint32_t {
+    FrameReader reader;
+    char buf[256];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (n <= 0) return 0;
+      reader.feed(buf, static_cast<std::size_t>(n));
+      if (const auto frame = reader.next())
+        return decodeResultBody(frame->body)->docs.at(0).doc;
+    }
+  };
+  EXPECT_EQ(readOne(a), 100u);
+  EXPECT_EQ(readOne(b), 200u);
+  server.stop();
+}
+
+TEST_P(ServerBackends, HandlerPressurePausesReadingUntilResponsesDrain) {
+  // maxInFlight 4: the handler parks every ticket, so reading must pause
+  // after 4 decoded frames and resume as responses drain.
+  ServerConfig c = config();
+  c.maxInFlightPerConnection = 4;
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ResponseTicket>> parked;
+  Server server(c, [&](QueryRequest&&,
+                       const std::shared_ptr<ResponseTicket>& ticket) {
+    std::lock_guard lock(mutex);
+    parked.push_back(ticket);
+    return true;
+  });
+  server.start();
+  Client client("127.0.0.1", server.port());
+  client.connect();
+  constexpr std::uint64_t kCount = 32;
+  for (TermId t = 1; t <= kCount; ++t) client.send(queryOf(t));
+  while (client.pendingSendBytes() > 0) client.flush();
+  // Drain parked tickets from another thread until all are answered.
+  std::thread completer([&] {
+    std::uint64_t done = 0;
+    while (done < kCount) {
+      std::vector<std::shared_ptr<ResponseTicket>> batch;
+      {
+        std::lock_guard lock(mutex);
+        batch.swap(parked);
+      }
+      if (batch.empty()) {
+        std::this_thread::sleep_for(1ms);
+        continue;
+      }
+      for (const auto& ticket : batch) {
+        QueryResponse response;
+        response.complete = true;
+        ticket->respond(std::move(response));
+        ++done;
+      }
+    }
+  });
+  std::vector<Reply> replies;
+  while (replies.size() < kCount) ASSERT_TRUE(client.wait(replies, 5000));
+  completer.join();
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.responsesSent, kCount);
+  EXPECT_GE(stats.readPauses, 1u);
+}
+
+TEST_P(ServerBackends, TicketsCompletedAfterStopAreDroppedSafely) {
+  std::vector<std::shared_ptr<ResponseTicket>> parked;
+  std::mutex mutex;
+  Server server(config(), [&](QueryRequest&&,
+                              const std::shared_ptr<ResponseTicket>& ticket) {
+    std::lock_guard lock(mutex);
+    parked.push_back(ticket);
+    return true;
+  });
+  server.start();
+  Client client("127.0.0.1", server.port());
+  client.connect();
+  client.send(queryOf(1));
+  client.flush();
+  for (int i = 0; i < 500; ++i) {
+    {
+      std::lock_guard lock(mutex);
+      if (!parked.empty()) break;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  server.stop();
+  // The loop and its mailbox are gone; completing now must be a no-op,
+  // not a crash or a leak.
+  for (const auto& ticket : parked) {
+    QueryResponse response;
+    ticket->respond(std::move(response));
+  }
+}
+
+TEST_P(ServerBackends, HandlerFailSendsTypedErrorWithoutClosing) {
+  Server server(config(), [](QueryRequest&& request,
+                             const std::shared_ptr<ResponseTicket>& ticket) {
+    if (request.terms.at(0) == 13)
+      ticket->fail(ErrorCode::kBadRequest, "unlucky");
+    else
+      return echoHandler(std::move(request), ticket);
+    return true;
+  });
+  server.start();
+  Client client("127.0.0.1", server.port());
+  client.connect();
+  EXPECT_THROW(client.call(queryOf(13), 5000), std::runtime_error);
+  // Same connection still serves good requests: fail() is per-request,
+  // not a protocol violation.
+  EXPECT_EQ(client.call(queryOf(21), 5000).docs.at(0).doc, 21u);
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServerBackends, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "ForcedPoll" : "Native";
+                         });
+
+TEST(ServerShards, MultipleShardsServeConcurrentConnections) {
+  ServerConfig config = baseConfig();
+  config.shards = 2;
+  Server server(config, echoHandler);
+  server.start();
+  EXPECT_EQ(server.shardCount(), 2u);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Client client("127.0.0.1", server.port());
+        client.connect();
+        for (TermId q = 1; q <= 50; ++q) {
+          const TermId term = static_cast<TermId>(t * 1000 + q);
+          if (client.call(queryOf(term), 5000).docs.at(0).doc != term)
+            failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+  EXPECT_EQ(server.stats().connectionsAccepted, 6u);
+}
+
+TEST(ServerLifecycle, StartStopIsIdempotentAndRestartable) {
+  Server server(baseConfig(), echoHandler);
+  server.start();
+  server.start();  // no-op
+  const std::uint16_t port = server.port();
+  EXPECT_GT(port, 0);
+  server.stop();
+  server.stop();  // no-op
+}
+
+}  // namespace
+}  // namespace resex::net
