@@ -54,6 +54,14 @@ void Client::close() {
 }
 
 std::uint64_t Client::send(const QueryRequest& request) {
+  // Enforce the term-count policy before encoding: the encoder would
+  // clamp silently, and the server answers an over-limit query with
+  // kBadRequest and keeps counting it against the connection — failing
+  // here is the debuggable version of both.
+  if (request.terms.size() > limits_.maxTerms)
+    throw std::invalid_argument(
+        "net::Client: query has " + std::to_string(request.terms.size()) +
+        " terms, limit " + std::to_string(limits_.maxTerms));
   const std::uint64_t id = nextRequestId_++;
   encodeQueryFrame(id, request, sendBuffer_);
   return id;

@@ -42,7 +42,8 @@ class Client {
   int fd() const noexcept { return fd_; }
 
   /// Buffers one QUERY frame with a fresh requestId (returned). Nothing
-  /// touches the socket until flush().
+  /// touches the socket until flush(). Throws std::invalid_argument when
+  /// the request exceeds FrameLimits::maxTerms.
   std::uint64_t send(const QueryRequest& request);
 
   /// Writes buffered bytes until done or the socket would block. Returns

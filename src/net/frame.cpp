@@ -1,5 +1,6 @@
 #include "net/frame.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -101,8 +102,13 @@ void encodeQueryFrame(std::uint64_t requestId, const QueryRequest& query,
   putU32(out, query.tenant);
   putU32(out, query.topK);
   putU32(out, query.deadlineMicros);
-  putU16(out, static_cast<std::uint16_t>(query.terms.size()));
-  for (const TermId term : query.terms) putU32(out, term);
+  // The wire count is u16: clamp so the frame is always well-formed
+  // (count == terms actually written) even for an out-of-policy caller.
+  // Client::send rejects >maxTerms before it gets here.
+  const std::size_t termCount =
+      std::min<std::size_t>(query.terms.size(), 0xffff);
+  putU16(out, static_cast<std::uint16_t>(termCount));
+  for (std::size_t i = 0; i < termCount; ++i) putU32(out, query.terms[i]);
   endFrame(out, lenAt);
 }
 
@@ -117,10 +123,13 @@ void encodeResultFrame(std::uint64_t requestId, const QueryResponse& response,
   putU8(out, flags);
   putU32(out, response.partitionsAnswered);
   putU32(out, response.partitionsTotal);
-  putU16(out, static_cast<std::uint16_t>(response.docs.size()));
-  for (const ScoredDoc& doc : response.docs) {
-    putU32(out, doc.doc);
-    putU64(out, std::bit_cast<std::uint64_t>(doc.score));
+  // Same u16 clamp as the query encoder: never emit count != payload.
+  const std::size_t docCount =
+      std::min<std::size_t>(response.docs.size(), 0xffff);
+  putU16(out, static_cast<std::uint16_t>(docCount));
+  for (std::size_t i = 0; i < docCount; ++i) {
+    putU32(out, response.docs[i].doc);
+    putU64(out, std::bit_cast<std::uint64_t>(response.docs[i].score));
   }
   endFrame(out, lenAt);
 }

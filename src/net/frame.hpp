@@ -99,8 +99,11 @@ struct ParsedFrame {
 };
 
 /// Appends one fully framed message (length prefix included) to `out`.
-/// Encoders never fail: callers enforce limits before building the
-/// structs (decode enforces them against the wire).
+/// Encoders never fail and never emit a malformed frame: counts that
+/// would overflow their u16 wire field are clamped (the frame stays
+/// internally consistent, trailing elements are dropped). Policy limits
+/// (FrameLimits) are the caller's job — Client::send rejects oversized
+/// term lists before encoding; decode enforces them against the wire.
 void encodeQueryFrame(std::uint64_t requestId, const QueryRequest& query,
                       std::string& out);
 void encodeResultFrame(std::uint64_t requestId, const QueryResponse& response,

@@ -438,7 +438,7 @@ bool Server::flushOutbox(Shard& shard, Connection& conn) {
     const ssize_t n = ::writev(conn.fd, iov, count);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       closeConnection(shard, conn);
       return false;
     }
@@ -457,10 +457,16 @@ bool Server::flushOutbox(Shard& shard, Connection& conn) {
       }
     }
   }
-  if (conn.closeAfterFlush) {
+  if (conn.outbox.empty() && conn.closeAfterFlush) {
     closeConnection(shard, conn);
     return false;
   }
+  // Re-evaluate the read pause against the post-flush outbox on every
+  // successful flush. The kWritable path may be the only thing that ever
+  // drains this connection again (inFlight can already be zero, so no
+  // future mailbox drain will touch it) — deciding resume anywhere else
+  // risks parking the connection read-paused forever.
+  maybeResumeReading(conn);
   return true;
 }
 
@@ -503,7 +509,8 @@ void Server::drainMailbox(Shard& shard) {
     conn.outboxBytes += batch.size() - before;
   }
   for (Connection* conn : touched) {
-    maybeResumeReading(*conn);
+    // flushOutbox re-evaluates the read pause with post-flush outboxBytes
+    // (and the inFlight decrements applied above) before interest updates.
     if (flushOutbox(shard, *conn)) updateInterest(shard, *conn);
   }
 }

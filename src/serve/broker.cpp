@@ -103,10 +103,18 @@ struct QueryBroker::PendingQuery {
   std::uint64_t rootStartUs = 0;
 };
 
-/// Timer-heap entry; min-heap by deadline via std::push/pop_heap.
+/// Timer-heap entry; min-heap by deadline via std::push/pop_heap. The
+/// reference is weak on purpose: an undelivered query is always kept
+/// alive by its outstanding tasks (remaining > 0 means at least one task
+/// holds a shared_ptr, and the worker that drops `remaining` to zero
+/// delivers before releasing its reference), so the timer never loses a
+/// query it still owes a deadline. A delivered query, by contrast, frees
+/// as soon as its last task drains instead of being pinned here for up
+/// to the full client-supplied deadline — with 30 s deadlines at high
+/// QPS a strong reference would retain millions of completed queries.
 struct QueryBroker::DeadlineEntry {
   Clock::time_point when{};
-  std::shared_ptr<PendingQuery> pending;
+  std::weak_ptr<PendingQuery> pending;
   bool operator<(const DeadlineEntry& other) const noexcept {
     return when > other.when;  // std::*_heap are max-heaps; invert
   }
@@ -563,6 +571,13 @@ void QueryBroker::deliver(const std::shared_ptr<PendingQuery>& pending,
     result.docs = mergeTopK(pending->partials, pending->k);
     if (mergeSpan.active())
       mergeSpan.arg("answered", static_cast<double>(result.partitionsAnswered));
+    // Still-queued shed tasks keep the PendingQuery alive until they
+    // drain; drop the merged partials now so what they pin is small.
+    // (`terms` must stay: workers read it without the mutex while
+    // executing.) Workers only touch `partials` under the mutex after
+    // checking `delivered`, so clearing here is safe.
+    pending->partials.clear();
+    pending->partials.shrink_to_fit();
   }
 
   result.latencySeconds = secondsBetween(pending->t0, Clock::now());
@@ -599,10 +614,28 @@ void QueryBroker::deliver(const std::shared_ptr<PendingQuery>& pending,
 void QueryBroker::armDeadline(std::shared_ptr<PendingQuery> pending) {
   {
     std::lock_guard lock(timerMutex_);
-    timerHeap_.push_back(DeadlineEntry{pending->deadline, std::move(pending)});
+    timerHeap_.push_back(DeadlineEntry{pending->deadline, pending});
     std::push_heap(timerHeap_.begin(), timerHeap_.end());
+    // Dead entries (query delivered, all task references gone) still
+    // occupy heap slots until their deadline would have fired. Compact
+    // them out whenever the heap doubles past the last compaction, so
+    // the heap tracks the number of genuinely live queries — amortized
+    // O(1) per arm — instead of growing with deadline length x QPS.
+    if (timerHeap_.size() >= timerCompactAt_) {
+      std::erase_if(timerHeap_, [](const DeadlineEntry& entry) {
+        return entry.pending.expired();
+      });
+      std::make_heap(timerHeap_.begin(), timerHeap_.end());
+      timerCompactAt_ =
+          std::max<std::size_t>(kTimerCompactFloor, timerHeap_.size() * 2);
+    }
   }
   timerCv_.notify_one();
+}
+
+std::size_t QueryBroker::deadlineHeapSize() const {
+  std::lock_guard lock(timerMutex_);
+  return timerHeap_.size();
 }
 
 void QueryBroker::timerLoop() {
@@ -610,6 +643,13 @@ void QueryBroker::timerLoop() {
   while (!timerStop_) {
     if (timerHeap_.empty()) {
       timerCv_.wait(lock, [this] { return timerStop_ || !timerHeap_.empty(); });
+      continue;
+    }
+    if (timerHeap_.front().pending.expired()) {
+      // The earliest armed query already delivered and fully drained:
+      // drop the entry now instead of sleeping on a dead deadline.
+      std::pop_heap(timerHeap_.begin(), timerHeap_.end());
+      timerHeap_.pop_back();
       continue;
     }
     const Clock::time_point due = timerHeap_.front().when;
@@ -620,10 +660,10 @@ void QueryBroker::timerLoop() {
       continue;
     }
     std::pop_heap(timerHeap_.begin(), timerHeap_.end());
-    std::shared_ptr<PendingQuery> pending = std::move(timerHeap_.back().pending);
+    std::shared_ptr<PendingQuery> pending = timerHeap_.back().pending.lock();
     timerHeap_.pop_back();
     lock.unlock();
-    deliver(pending, /*viaTimer=*/true);
+    if (pending) deliver(pending, /*viaTimer=*/true);
     lock.lock();
   }
 }

@@ -319,6 +319,11 @@ class QueryBroker {
   /// tenant's SLO snapshot. `{"tenantMode": false}` in legacy mode.
   std::string tenantsJson() const;
 
+  /// Entries currently held by the deadline timer heap (armed queries
+  /// plus not-yet-compacted dead entries). Observability/test hook: with
+  /// long deadlines this must track live queries, not deadline x QPS.
+  std::size_t deadlineHeapSize() const;
+
   /// Stops accepting queries, drains accepted work, joins all workers.
   /// Idempotent; the destructor calls it.
   void shutdown();
@@ -430,12 +435,18 @@ class QueryBroker {
   obs::SloWindow* slo_ = nullptr;
 
   // Deadline timer: a min-heap of armed pending queries serviced by one
-  // thread. Entries hold shared_ptrs; delivering early makes the timer's
-  // later attempt a no-op (the delivered flag wins).
+  // thread. Entries hold weak_ptrs — outstanding tasks keep an
+  // undelivered query alive, so a delivered one frees as soon as its
+  // tasks drain instead of being pinned until its deadline. Dead entries
+  // are compacted when the heap doubles past timerCompactAt_; delivering
+  // early still makes the timer's later attempt a no-op (the delivered
+  // flag wins).
   struct DeadlineEntry;
-  std::mutex timerMutex_;
+  static constexpr std::size_t kTimerCompactFloor = 1024;
+  mutable std::mutex timerMutex_;
   std::condition_variable timerCv_;
   std::vector<DeadlineEntry> timerHeap_;
+  std::size_t timerCompactAt_ = kTimerCompactFloor;
   bool timerStop_ = false;
   std::thread timerThread_;
 

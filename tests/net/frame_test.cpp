@@ -225,6 +225,39 @@ TEST(FrameDecode, TermLimitIsEnforced) {
   EXPECT_TRUE(decodeQueryBody(frame.body).has_value());
 }
 
+TEST(FrameEncode, QueryTermCountClampsToU16) {
+  // >65535 terms cannot be represented in the u16 wire count. The
+  // encoder must clamp rather than write a count that disagrees with the
+  // payload — the frame stays decodable (count == terms present), just
+  // truncated.
+  QueryRequest query;
+  query.terms.assign(70000, 9);
+  std::string wire;
+  encodeQueryFrame(42, query, wire);
+  FrameLimits big;
+  big.maxPayloadBytes = 8u << 20;
+  big.maxTerms = 200000;
+  FrameReader reader(big);
+  const ParsedFrame frame = feedOne(reader, wire);
+  const auto decoded = decodeQueryBody(frame.body, big);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->terms.size(), 65535u);
+  EXPECT_FALSE(reader.next().has_value());  // nothing trailing
+}
+
+TEST(FrameEncode, ResultDocCountClampsToU16) {
+  QueryResponse response;
+  response.complete = true;
+  response.docs.assign(70000, ScoredDoc{3, 1.0});
+  std::string wire;
+  encodeResultFrame(7, response, wire);
+  FrameReader reader;
+  const ParsedFrame frame = feedOne(reader, wire);
+  const auto decoded = decodeResultBody(frame.body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->docs.size(), 65535u);
+}
+
 TEST(FrameDecode, EmptyBodiesAreRejected) {
   EXPECT_FALSE(decodeQueryBody({}).has_value());
   EXPECT_FALSE(decodeResultBody({}).has_value());

@@ -335,6 +335,62 @@ TEST_P(ServerBackends, HandlerPressurePausesReadingUntilResponsesDrain) {
   EXPECT_GE(stats.readPauses, 1u);
 }
 
+TEST_P(ServerBackends, ResumesReadingAfterOutboxDrainsViaWritableEvents) {
+  // Regression: a connection that pauses on outboxBytes while its last
+  // completion has already delivered (inFlight == 0) drains its outbox
+  // purely through kWritable events — no future mailbox drain touches
+  // it. The writable flush path itself must clear the pause, or the
+  // server never reads that socket again and the client hangs forever.
+  ServerConfig c = config();
+  c.maxOutboxBytes = 64 * 1024;
+  Server server(c, [](QueryRequest&& request,
+                      const std::shared_ptr<ResponseTicket>& ticket) {
+    QueryResponse response;
+    response.complete = true;
+    response.docs.assign(60000, ScoredDoc{request.terms.at(0), 1.0});
+    ticket->respond(std::move(response));
+    return true;
+  });
+  server.start();
+  Client client("127.0.0.1", server.port());
+  client.connect();
+  // Wave 1: each response is ~720 KiB and the client reads nothing, so
+  // the outbox fills far past the pause threshold once the kernel
+  // buffers are full.
+  constexpr std::uint64_t kWave1 = 24;
+  for (TermId t = 1; t <= kWave1; ++t) client.send(queryOf(t));
+  while (client.pendingSendBytes() > 0) client.flush();
+  std::this_thread::sleep_for(200ms);
+  // Wave 2 is read against the full outbox: processing it trips the
+  // outbox pause, and its completion drains inFlight back to zero.
+  client.send(queryOf(100));
+  while (client.pendingSendBytes() > 0) client.flush();
+  std::this_thread::sleep_for(100ms);
+  // Wave 3 sits unread in the server's socket buffer until reading
+  // resumes — which only the writable-flush path can do now.
+  client.send(queryOf(200));
+  while (client.pendingSendBytes() > 0) client.flush();
+  std::vector<Reply> replies;
+  while (replies.size() < kWave1 + 2) ASSERT_TRUE(client.wait(replies, 10000));
+  for (const Reply& reply : replies) EXPECT_EQ(reply.type, FrameType::kResult);
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.responsesSent, kWave1 + 2);
+  // The scenario really exercised the pause (otherwise the test proved
+  // nothing about resume).
+  EXPECT_GE(stats.readPauses, 1u);
+}
+
+TEST(ClientPolicy, SendRejectsQueriesOverMaxTerms) {
+  // The encoder clamps the u16 term count to keep frames well-formed, so
+  // the policy check must happen before encoding: a silently truncated
+  // query would return wrong results instead of an error.
+  Client client("127.0.0.1", 1);  // send() only buffers; no connection
+  QueryRequest request;
+  request.terms.assign(FrameLimits{}.maxTerms + 1, TermId{5});
+  EXPECT_THROW(client.send(request), std::invalid_argument);
+}
+
 TEST_P(ServerBackends, TicketsCompletedAfterStopAreDroppedSafely) {
   std::vector<std::shared_ptr<ResponseTicket>> parked;
   std::mutex mutex;

@@ -169,6 +169,26 @@ TEST(BrokerSubmit, CompletionFiresOnceOnDeadlineExpiry) {
   broker.shutdown();
 }
 
+TEST(BrokerSubmit, DeadlineHeapDoesNotRetainDeliveredQueries) {
+  // Long client deadlines must not pin completed queries in the timer
+  // heap until expiry: with 30 s deadlines the heap would otherwise grow
+  // as deadline x QPS and retain every query's terms and partials — a
+  // multi-GB vector any client can trigger. Delivered entries die with
+  // their last task reference and get compacted out, so after the burst
+  // the heap holds at most one compaction window of dead entries.
+  const PartitionedIndex index = tinyIndex(2);
+  const Instance instance = tinyInstance(2, 2);
+  ServeConfig config;
+  config.cacheCapacity = 0;  // every query arms a deadline
+  config.deadlineSeconds = 30.0;
+  QueryBroker broker(instance, instance.initialAssignment(), index, config);
+  constexpr std::size_t kQueries = 5000;
+  for (std::size_t i = 0; i < kQueries; ++i)
+    broker.execute({static_cast<TermId>(i % 250)});
+  EXPECT_LE(broker.deadlineHeapSize(), 2048u);
+  broker.shutdown();
+}
+
 TEST(BrokerSubmit, UnknownTenantThrowsWithoutInvokingCompletion) {
   const PartitionedIndex index = tinyIndex(2);
   const Instance instance = tinyInstance(2, 2);
